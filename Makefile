@@ -1,0 +1,37 @@
+# Convenience targets for the BOOM Analytics reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-paper examples experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every table/figure as testing.B benchmarks (plus runtime ablations).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The paper's evaluation with full parameters, printed as reports.
+experiments:
+	$(GO) run ./cmd/boom-bench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/wordcount
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/partitioned
+	$(GO) run ./examples/monitoring
+	$(GO) run ./examples/twophase
+
+clean:
+	$(GO) clean ./...
+	rm -f boom boom-bench test_output.txt bench_output.txt

@@ -1,0 +1,294 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the BOOM Analytics evaluation as testing.B benchmarks (one per
+// artifact; see DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for measured-vs-paper shapes). Each iteration runs the full simulated
+// experiment; the reported ns/op is the wall cost of regenerating the
+// artifact, while the artifact's own numbers are in simulated time and
+// exposed via b.ReportMetric.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/kvstore"
+	"repro/internal/overlog"
+	"repro/internal/paxos"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1CodeSize regenerates T1 (the code-size table).
+func BenchmarkTable1CodeSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunCodeSize()
+		if len(res.Olg) == 0 {
+			b.Fatal("no olg stats")
+		}
+	}
+}
+
+// BenchmarkFig1Perf regenerates F1 (wordcount CDFs across
+// {scheduler} x {file system}).
+func BenchmarkFig1Perf(b *testing.B) {
+	p := experiments.PerfParams{DataNodes: 6, TaskTrackers: 6, NumSplits: 12,
+		BytesPerSplit: 16 << 10, NumReduce: 4, Seed: 42}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPerf(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.MaxRatio(), "job-time-ratio")
+			b.ReportMetric(float64(res.Combos[len(res.Combos)-1].JobMS), "boom-job-sim-ms")
+		}
+	}
+}
+
+// BenchmarkFig2Failover regenerates F2 (replicated-master failures).
+func BenchmarkFig2Failover(b *testing.B) {
+	p := experiments.FailoverParams{Replicas: 3, DataNodes: 2, Ops: 24, KillAtOp: 10, Seed: 7}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFailover(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Runs[2].WorstOpMS), "primary-kill-spike-sim-ms")
+			b.ReportMetric(float64(res.Runs[0].OpCDF.Percentile(50)), "healthy-op-p50-sim-ms")
+		}
+	}
+}
+
+// BenchmarkFig3Scaleup regenerates F3 (partitioned-master scale-up).
+func BenchmarkFig3Scaleup(b *testing.B) {
+	p := experiments.ScaleupParams{Partitions: []int{1, 2, 4}, Clients: 6,
+		OpsPerClient: 40, Mix: workload.CreateHeavy(), Seed: 11, MasterServiceMS: 2}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScaleup(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && res.Points[0].Throughput > 0 {
+			b.ReportMetric(res.Points[len(res.Points)-1].Throughput/res.Points[0].Throughput,
+				"scaleup-x")
+		}
+	}
+}
+
+// BenchmarkFig4Late regenerates F4 (LATE vs FIFO with stragglers).
+func BenchmarkFig4Late(b *testing.B) {
+	p := experiments.LateParams{TaskTrackers: 6, NumSplits: 10, BytesPerSplit: 24 << 10,
+		NumReduce: 2, Plan: workload.OneStraggler(8), Seed: 5}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var fifo, late int64
+			for _, r := range res.Runs {
+				switch r.Policy {
+				case experiments.PolicyFIFONoSpec:
+					fifo = r.JobMS
+				case experiments.PolicyBoomLATE:
+					late = r.JobMS
+				}
+			}
+			if late > 0 {
+				b.ReportMetric(float64(fifo)/float64(late), "late-speedup-x")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Monitoring regenerates T2 (tracing overhead).
+func BenchmarkTable2Monitoring(b *testing.B) {
+	p := experiments.MonitoringParams{DataNodes: 2, Ops: 50, Seed: 3}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMonitoring(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && res.Runs[0].WallNS > 0 {
+			over := float64(res.Runs[1].WallNS-res.Runs[0].WallNS) / float64(res.Runs[0].WallNS)
+			b.ReportMetric(100*over, "tracing-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFig5Paxos regenerates F5 (Paxos cost vs group size).
+func BenchmarkFig5Paxos(b *testing.B) {
+	p := experiments.PaxosParams{ReplicaCounts: []int{1, 3, 5}, Commands: 15, Seed: 13}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPaxosBench(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Points[len(res.Points)-1].LatCDF.Percentile(50)),
+				"5rep-commit-p50-sim-ms")
+		}
+	}
+}
+
+// BenchmarkAblationFairness regenerates A1 (the FAIR-vs-FIFO
+// scheduling-policy ablation, this reproduction's extension).
+func BenchmarkAblationFairness(b *testing.B) {
+	p := experiments.FairnessParams{TaskTrackers: 1, Jobs: 2, SplitsPerJob: 4,
+		BytesPerSplit: 16 << 10, Seed: 17}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFairness(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && res.Runs[1].SpreadMS > 0 {
+			b.ReportMetric(float64(res.Runs[0].SpreadMS)/float64(res.Runs[1].SpreadMS),
+				"fifo-vs-fair-spread-x")
+		}
+	}
+}
+
+// BenchmarkKVStoreReplicatedPut measures the composed stack end to end:
+// one Paxos-ordered KV write per iteration across 3 replicas (commit
+// latency is simulated; ns/op is the evaluator's wall cost).
+func BenchmarkKVStoreReplicatedPut(b *testing.B) {
+	c := sim.NewCluster()
+	g, err := kvstore.NewGroup(c, "kv", 3, paxos.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := kvstore.NewClient(c, "client:0", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.Run(500); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Put(fmt.Sprintf("k%d", i%64), "v"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the Overlog runtime itself (ablations) ---
+
+// BenchmarkOverlogFixpointTC measures raw semi-naive evaluation:
+// transitive closure over a 200-edge chain.
+func BenchmarkOverlogFixpointTC(b *testing.B) {
+	const src = `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := overlog.NewRuntime("n1")
+		if err := rt.InstallSource(src); err != nil {
+			b.Fatal(err)
+		}
+		var facts []overlog.Tuple
+		for j := int64(0); j < 200; j++ {
+			facts = append(facts, overlog.NewTuple("edge", overlog.Int(j), overlog.Int(j+1)))
+		}
+		if _, err := rt.Step(1, facts); err != nil {
+			b.Fatal(err)
+		}
+		if rt.Table("reach").Len() != 200*201/2 {
+			b.Fatalf("reach: %d", rt.Table("reach").Len())
+		}
+	}
+}
+
+// BenchmarkOverlogFixpointTCNaive is the ablation twin of
+// BenchmarkOverlogFixpointTC with semi-naive evaluation disabled: the
+// gap between the two is what incremental (delta-driven) evaluation
+// buys, the core design choice inherited from P2/JOL.
+func BenchmarkOverlogFixpointTCNaive(b *testing.B) {
+	const src = `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+	`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt := overlog.NewRuntime("n1", overlog.WithNaiveEval())
+		if err := rt.InstallSource(src); err != nil {
+			b.Fatal(err)
+		}
+		var facts []overlog.Tuple
+		for j := int64(0); j < 60; j++ { // smaller chain: naive is O(n^2) passes
+			facts = append(facts, overlog.NewTuple("edge", overlog.Int(j), overlog.Int(j+1)))
+		}
+		if _, err := rt.Step(1, facts); err != nil {
+			b.Fatal(err)
+		}
+		if rt.Table("reach").Len() != 60*61/2 {
+			b.Fatalf("reach: %d", rt.Table("reach").Len())
+		}
+	}
+}
+
+// BenchmarkOverlogEventThroughput measures steady-state event handling:
+// one join per incoming event against a 1k-row table.
+func BenchmarkOverlogEventThroughput(b *testing.B) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table kv(K: int, V: int) keys(0);
+		event lookup(K: int);
+		event hit(K: int, V: int);
+		r1 hit(K, V) :- lookup(K), kv(K, V);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	var seed []overlog.Tuple
+	for j := int64(0); j < 1000; j++ {
+		seed = append(seed, overlog.NewTuple("kv", overlog.Int(j), overlog.Int(j*2)))
+	}
+	if _, err := rt.Step(1, seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := rt.Step(int64(i+2), []overlog.Tuple{
+			overlog.NewTuple("lookup", overlog.Int(int64(i)%1000))})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverlogAggregate measures aggregate recomputation cost.
+func BenchmarkOverlogAggregate(b *testing.B) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table obs(K: int, V: int) keys(0,1);
+		table agg(K: int, C: int, S: int) keys(0);
+		r1 agg(K, count<V>, sum<V>) :- obs(K, V);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	var seed []overlog.Tuple
+	for j := int64(0); j < 2000; j++ {
+		seed = append(seed, overlog.NewTuple("obs", overlog.Int(j%10), overlog.Int(j)))
+	}
+	if _, err := rt.Step(1, seed); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := rt.Step(int64(i+2), []overlog.Tuple{
+			overlog.NewTuple("obs", overlog.Int(int64(i)%10), overlog.Int(int64(3000+i)))})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command boom-bench regenerates the paper's evaluation artifacts: one
+// subcommand per table/figure, printing the rows/series the paper
+// reports (see EXPERIMENTS.md for the mapping and expected shapes).
+//
+// Usage:
+//
+//	boom-bench codesize            # T1: code-size table
+//	boom-bench perf                # F1: {scheduler} x {fs} wordcount CDFs
+//	boom-bench failover            # F2: replicated-master failure scenarios
+//	boom-bench scaleup             # F3: partitioned-master scale-up
+//	boom-bench late                # F4: LATE speculative scheduling
+//	boom-bench monitor             # T2: metaprogrammed tracing overhead
+//	boom-bench paxos               # F5: Paxos commit latency vs group size
+//	boom-bench all                 # everything, in order
+//
+// Add -quick for reduced sizes (CI-friendly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	cdf := flag.Bool("cdf", false, "also print ASCII CDF plots for the figure experiments")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	start := time.Now()
+	var err error
+	switch cmd {
+	case "codesize":
+		err = runCodesize()
+	case "perf":
+		err = runPerf(*quick, *cdf)
+	case "failover":
+		err = runFailover(*quick)
+	case "scaleup":
+		err = runScaleup(*quick)
+	case "late":
+		err = runLate(*quick, *cdf)
+	case "monitor":
+		err = runMonitor(*quick)
+	case "paxos":
+		err = runPaxos(*quick)
+	case "fair":
+		err = runFair(*quick)
+	case "all":
+		for _, f := range []func() error{
+			runCodesize,
+			func() error { return runPerf(*quick, *cdf) },
+			func() error { return runFailover(*quick) },
+			func() error { return runScaleup(*quick) },
+			func() error { return runLate(*quick, *cdf) },
+			func() error { return runMonitor(*quick) },
+			func() error { return runPaxos(*quick) },
+			func() error { return runFair(*quick) },
+		} {
+			if err = f(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boom-bench %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[boom-bench %s completed in %.1fs wall]\n", cmd, time.Since(start).Seconds())
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `boom-bench regenerates the BOOM Analytics evaluation.
+
+usage: boom-bench [-quick] <codesize|perf|failover|scaleup|late|monitor|paxos|fair|all>
+`)
+}
+
+func runCodesize() error {
+	fmt.Print(experiments.RunCodeSize().Report())
+	return nil
+}
+
+func runPerf(quick, cdf bool) error {
+	p := experiments.DefaultPerfParams()
+	if quick {
+		p.DataNodes, p.TaskTrackers, p.NumSplits, p.BytesPerSplit, p.NumReduce =
+			4, 4, 8, 8<<10, 2
+	}
+	res, err := experiments.RunPerf(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if cdf {
+		for _, cb := range res.Combos {
+			fmt.Printf("\nmap-completion CDF, %s + %s:\n%s", cb.MR, cb.FS,
+				cb.MapCDF.AsciiPlot(50))
+		}
+	}
+	return nil
+}
+
+func runFailover(quick bool) error {
+	p := experiments.DefaultFailoverParams()
+	if quick {
+		p.Ops, p.KillAtOp, p.DataNodes = 20, 8, 2
+	}
+	res, err := experiments.RunFailover(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func runScaleup(quick bool) error {
+	p := experiments.DefaultScaleupParams()
+	if quick {
+		p.Partitions = []int{1, 2}
+		p.Clients, p.OpsPerClient = 4, 30
+	}
+	res, err := experiments.RunScaleup(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func runLate(quick, cdf bool) error {
+	p := experiments.DefaultLateParams()
+	if quick {
+		p.TaskTrackers, p.NumSplits, p.BytesPerSplit = 4, 8, 24<<10
+		p.Plan = workload.OneStraggler(8)
+	}
+	res, err := experiments.RunLate(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	if cdf {
+		for _, run := range res.Runs {
+			fmt.Printf("\nmap-completion CDF, %s:\n%s", run.Policy,
+				run.MapCDF.AsciiPlot(50))
+		}
+	}
+	return nil
+}
+
+func runMonitor(quick bool) error {
+	p := experiments.DefaultMonitoringParams()
+	if quick {
+		p.Ops, p.DataNodes = 40, 2
+	}
+	res, err := experiments.RunMonitoring(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func runFair(quick bool) error {
+	p := experiments.DefaultFairnessParams()
+	if quick {
+		p.Jobs, p.SplitsPerJob = 2, 4
+	}
+	res, err := experiments.RunFairness(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}
+
+func runPaxos(quick bool) error {
+	p := experiments.DefaultPaxosParams()
+	if quick {
+		p.ReplicaCounts = []int{1, 3}
+		p.Commands = 12
+	}
+	res, err := experiments.RunPaxosBench(p)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Report())
+	return nil
+}

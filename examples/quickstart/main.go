@@ -1,0 +1,70 @@
+// Quickstart: embed the Overlog runtime in a Go program.
+//
+// This is the declarative-networking "hello world" the BOOM papers
+// inherit from P2: network reachability as two rules, plus an
+// aggregate. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/overlog"
+)
+
+const program = `
+	program quickstart;
+
+	table link(Src: string, Dst: string, Cost: int) keys(0,1);
+	// path keeps every (src, dst, cost) triple: cost is part of the
+	// key, otherwise key-replacement would keep an arbitrary cost.
+	table path(Src: string, Dst: string, Cost: int) keys(0,1,2);
+	table best(Src: string, Dst: string, Cost: int) keys(0,1);
+
+	// The network.
+	link("sf", "chi", 18);  link("chi", "nyc", 17);
+	link("sf", "sea", 11);  link("sea", "chi", 28);
+	link("nyc", "ldn", 75); link("sf", "nyc", 40);
+
+	// Reachability with accumulated cost (kept minimal per pair below).
+	r1 path(S, D, C) :- link(S, D, C);
+	r2 path(S, D, C) :- link(S, X, C1), path(X, D, C2), C := C1 + C2, S != D;
+
+	// Cheapest observed path per (src, dst).
+	r3 best(S, D, min<C>) :- path(S, D, C);
+`
+
+func main() {
+	rt := overlog.NewRuntime("quickstart")
+	if err := rt.InstallSource(program); err != nil {
+		log.Fatal(err)
+	}
+	// One timestep brings the rules to fixpoint over the facts.
+	if _, err := rt.Step(1, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cheapest paths from sf:")
+	for _, tp := range rt.Table("best").Tuples() {
+		if tp.Vals[0].AsString() != "sf" {
+			continue
+		}
+		fmt.Printf("  sf -> %-4s cost %d\n", tp.Vals[1].AsString(), tp.Vals[2].AsInt())
+	}
+
+	// Incremental maintenance: a new link triggers only the deltas.
+	fmt.Println("\nadding link(chi, ldn, 40)...")
+	if _, err := rt.Step(2, []overlog.Tuple{
+		overlog.NewTuple("link", overlog.Str("chi"), overlog.Str("ldn"), overlog.Int(40)),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tp, _ := rt.Table("best").LookupKey(
+		overlog.NewTuple("best", overlog.Str("sf"), overlog.Str("ldn"), overlog.Int(0)))
+	fmt.Printf("best sf -> ldn is now %d\n", tp.Vals[2].AsInt())
+
+	fmt.Printf("\nrules installed: %d, total derivations: %d\n",
+		len(rt.Rules()), rt.DerivationCount())
+}

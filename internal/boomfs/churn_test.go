@@ -1,0 +1,146 @@
+package boomfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestInvariantsUnderDataNodeChurn drives random metadata and data
+// operations while datanodes die and revive, then checks the master's
+// global invariants:
+//
+//  1. fqpath and file are in bijection (no orphan paths, no unreachable
+//     files);
+//  2. every chunk of every file is owned by exactly one file;
+//  3. after the cluster settles, every chunk of every surviving file
+//     has at least ReplicationFactor live replicas.
+func TestInvariantsUnderDataNodeChurn(t *testing.T) {
+	cfg := smallConfig()
+	c, m, dns, cl := testFS(t, 5, cfg)
+	r := rand.New(rand.NewSource(31))
+
+	if err := cl.Mkdir("/c"); err != nil {
+		t.Fatal(err)
+	}
+	live := make([]bool, len(dns))
+	for i := range live {
+		live[i] = true
+	}
+	liveCount := len(dns)
+	var files []string
+	next := 0
+
+	for i := 0; i < 60; i++ {
+		switch r.Intn(10) {
+		case 0: // kill a datanode, keeping at least ReplicationFactor+1
+			if liveCount > cfg.ReplicationFactor+1 {
+				idx := r.Intn(len(dns))
+				if live[idx] {
+					c.Kill(dns[idx].Addr)
+					live[idx] = false
+					liveCount--
+				}
+			}
+		case 1: // revive one
+			for idx := range dns {
+				if !live[idx] {
+					c.Revive(dns[idx].Addr)
+					live[idx] = true
+					liveCount++
+					break
+				}
+			}
+		case 2, 3: // write a small file
+			p := fmt.Sprintf("/c/f%03d", next)
+			next++
+			if err := cl.WriteFile(p, "0123456789abcdef0123456789abcdef"); err == nil {
+				files = append(files, p)
+			}
+		case 4: // remove one
+			if len(files) > 0 {
+				idx := r.Intn(len(files))
+				if err := cl.Rm(files[idx]); err == nil {
+					files = append(files[:idx], files[idx+1:]...)
+				}
+			}
+		case 5: // rename one
+			if len(files) > 0 {
+				idx := r.Intn(len(files))
+				np := fmt.Sprintf("/c/r%03d", next)
+				next++
+				if err := cl.Mv(files[idx], np); err == nil {
+					files[idx] = np
+				}
+			}
+		default: // metadata reads
+			if len(files) > 0 {
+				if _, err := cl.Exists(files[r.Intn(len(files))]); err != nil {
+					t.Fatalf("exists: %v", err)
+				}
+			}
+			if _, err := cl.Ls("/c"); err != nil {
+				t.Fatalf("ls: %v", err)
+			}
+		}
+	}
+	// Revive everyone and let re-replication settle.
+	for idx := range dns {
+		if !live[idx] {
+			c.Revive(dns[idx].Addr)
+			live[idx] = true
+		}
+	}
+	rt := m.Runtime()
+
+	// Invariant 1: fqpath <-> file bijection.
+	if rt.Table("fqpath").Len() != rt.Table("file").Len() {
+		t.Fatalf("fqpath %d != file %d\n%s\n%s", rt.Table("fqpath").Len(),
+			rt.Table("file").Len(), rt.Table("fqpath").Dump(), rt.Table("file").Dump())
+	}
+	// Invariant 2: every fchunk's file exists; each chunk appears once.
+	bindings, err := rt.Query(`fchunk(C, F, I), notin file(F, _, _, _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bindings) != 0 {
+		t.Fatalf("orphan chunks: %v", bindings)
+	}
+	// Invariant 3: full replication for every surviving file's chunks.
+	var allChunks []int64
+	for _, p := range files {
+		ids, err := cl.Chunks(p)
+		if err != nil {
+			t.Fatalf("chunks %s: %v", p, err)
+		}
+		allChunks = append(allChunks, ids...)
+	}
+	met, err := c.RunUntil(func() bool {
+		for _, cid := range allChunks {
+			n := 0
+			for _, dn := range dns {
+				if dn.HasChunk(cid) {
+					n++
+				}
+			}
+			if n < cfg.ReplicationFactor {
+				return false
+			}
+		}
+		return true
+	}, c.Now()+180_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatalf("replication not restored for %d chunks of %d files",
+			len(allChunks), len(files))
+	}
+	// And every surviving file still reads correctly.
+	for _, p := range files {
+		got, err := cl.ReadFile(p)
+		if err != nil || got != "0123456789abcdef0123456789abcdef" {
+			t.Fatalf("read %s: %q %v", p, got, err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package boomfs
+
+import (
+	"testing"
+)
+
+// TestOrphanChunkGC exercises the garbage-collection revision: removing
+// a file must eventually purge its chunks from every datanode.
+func TestOrphanChunkGC(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GCTickMS = 1000
+	c, m, dns, cl := testFS(t, 3, cfg)
+
+	data := "0123456789abcdef0123456789abcdef" // two chunks
+	if err := cl.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := cl.Chunks("/f")
+	if err != nil || len(chunks) != 2 {
+		t.Fatalf("chunks: %v %v", chunks, err)
+	}
+	// Let heartbeats report the stored chunks so hb_chunk is populated.
+	cfgRun(t, c, cfg.HeartbeatMS*3)
+	stored := 0
+	for _, dn := range dns {
+		stored += dn.ChunkCount()
+	}
+	if stored != 4 { // 2 chunks x replication 2
+		t.Fatalf("pre-rm stored: %d", stored)
+	}
+
+	if err := cl.Rm("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Collection converges on both sides: datanode byte stores and the
+	// master's replica inventory (the latter may lag one GC tick behind
+	// in-flight heartbeats).
+	met, err := c.RunUntil(func() bool {
+		total := 0
+		for _, dn := range dns {
+			total += dn.ChunkCount()
+		}
+		return total == 0 && m.Runtime().Table("hb_chunk").Len() == 0
+	}, c.Now()+60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		total := 0
+		for _, dn := range dns {
+			total += dn.ChunkCount()
+		}
+		t.Fatalf("orphans not collected: %d chunks on datanodes, %d hb_chunk rows",
+			total, m.Runtime().Table("hb_chunk").Len())
+	}
+}
+
+// TestGCSparesLiveChunks: a healthy file's chunks must survive GC ticks.
+func TestGCSparesLiveChunks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.GCTickMS = 500
+	c, _, dns, cl := testFS(t, 3, cfg)
+	if err := cl.WriteFile("/keep", "0123456789abcdef"); err != nil {
+		t.Fatal(err)
+	}
+	cfgRun(t, c, 10_000) // many GC cycles
+	total := 0
+	for _, dn := range dns {
+		total += dn.ChunkCount()
+	}
+	if total != 2 {
+		t.Fatalf("live chunks were collected: %d remain", total)
+	}
+	got, err := cl.ReadFile("/keep")
+	if err != nil || got != "0123456789abcdef" {
+		t.Fatalf("read after GC cycles: %q %v", got, err)
+	}
+}

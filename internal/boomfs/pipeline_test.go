@@ -1,0 +1,132 @@
+package boomfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestWritePipelineFailureSurfaces: when a replica in the middle of the
+// write pipeline is dead, the client cannot gather all acks and the
+// write fails loudly rather than silently under-replicating.
+func TestWritePipelineFailureSurfaces(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OpTimeoutMS = 4000 // keep the expected failure quick
+	c, _, dns, cl := testFS(t, 3, cfg)
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	cid, locs, err := cl.AddChunk("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 2 {
+		t.Fatalf("locs: %v", locs)
+	}
+	// Kill the SECOND pipeline stage: the first stores and acks, the
+	// forward dies.
+	c.Kill(locs[1])
+	err = cl.WriteChunk(cid, locs, "0123456789abcdef")
+	if err == nil {
+		t.Fatal("write succeeded with a dead pipeline stage")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("error kind: %v", err)
+	}
+	// The first stage did store its copy — and by the time the client's
+	// timeout elapsed, the failure detector may already have re-replicated
+	// it to another live node. Either way the dead stage holds nothing and
+	// at least one live copy exists.
+	stored := 0
+	for _, dn := range dns {
+		if dn.Addr == locs[1] && dn.HasChunk(cid) {
+			t.Fatalf("dead node %s holds the chunk", dn.Addr)
+		}
+		if dn.HasChunk(cid) {
+			stored++
+		}
+	}
+	if stored < 1 {
+		t.Fatalf("stored copies: %d", stored)
+	}
+}
+
+// TestWriteRetryAfterPipelineFailure: the client can re-request
+// locations (excluding the dead node once the master notices) and
+// complete the write.
+func TestWriteRetryAfterPipelineFailure(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OpTimeoutMS = 4000
+	c, _, _, cl := testFS(t, 4, cfg)
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	cid, locs, err := cl.AddChunk("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(locs[1])
+	if err := cl.WriteChunk(cid, locs, "0123456789abcdef"); err == nil {
+		t.Fatal("expected first write to fail")
+	}
+	// Wait out the failure detector, then allocate a fresh chunk: the
+	// master now picks live nodes only.
+	cfgRun(t, c, cfg.DNTimeoutMS+2*cfg.HeartbeatMS)
+	cid2, locs2, err := cl.AddChunk("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range locs2 {
+		if l == locs[1] {
+			t.Fatalf("placement reused dead node %s: %v", locs[1], locs2)
+		}
+	}
+	if err := cl.WriteChunk(cid2, locs2, "fedcba9876543210"); err != nil {
+		t.Fatalf("retry write: %v", err)
+	}
+}
+
+// TestLsAfterManyMixedOps: a denser session exercising interleaved
+// mkdir/create/rm/mv against one master, checking the final listing.
+func TestLsAfterManyMixedOps(t *testing.T) {
+	_, m, _, cl := testFS(t, 3, smallConfig())
+	if err := cl.Mkdir("/p"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		if err := cl.Create("/p/" + name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove evens, rename odds.
+	for i := 0; i < 10; i++ {
+		name := string(rune('a' + i))
+		if i%2 == 0 {
+			if err := cl.Rm("/p/" + name); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := cl.Mv("/p/"+name, "/p/"+strings.ToUpper(name)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names, err := cl.Ls("/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, "") != "BDFHJ" {
+		t.Fatalf("ls: %v", names)
+	}
+	if m.FileCount() != 6 { // /p + 5 files
+		t.Fatalf("file count: %d", m.FileCount())
+	}
+	// fqpath view is consistent with the file table (no orphans).
+	rt := m.Runtime()
+	if rt.Table("fqpath").Len() != rt.Table("file").Len() {
+		t.Fatalf("fqpath %d vs file %d:\n%s\n%s",
+			rt.Table("fqpath").Len(), rt.Table("file").Len(),
+			rt.Table("fqpath").Dump(), rt.Table("file").Dump())
+	}
+}

@@ -1,0 +1,166 @@
+package boomfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/paxos"
+	"repro/internal/sim"
+)
+
+func testReplicatedFS(t *testing.T, replicas, dns int) (*sim.Cluster, *ReplicatedMaster, []*DataNode, *Client) {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.OpTimeoutMS = 60_000
+	pcfg := paxos.DefaultConfig()
+	c := sim.NewCluster()
+	rm, err := NewReplicatedMaster(c, "master", replicas, cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*DataNode
+	for i := 0; i < dns; i++ {
+		dn, err := NewReplicatedDataNode(c, fmt.Sprintf("dn:%d", i), rm, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, dn)
+	}
+	cl, err := NewReplicatedClient(c, "client:0", cfg, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RetryMS = 4000
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, rm, nodes, cl
+}
+
+func TestReplicatedBasicOps(t *testing.T) {
+	_, rm, _, cl := testReplicatedFS(t, 3, 3)
+	if err := cl.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := cl.Ls("/a")
+	if err != nil || len(names) != 1 || names[0] != "f" {
+		t.Fatalf("ls: %v %v", names, err)
+	}
+	if rm.DecidedCount() != 2 {
+		t.Fatalf("decided: %d", rm.DecidedCount())
+	}
+}
+
+// TestReplicasConverge: after a batch of writes, every replica's
+// metadata catalog is identical (the state machine actually replicated).
+func TestReplicasConverge(t *testing.T) {
+	c, rm, _, cl := testReplicatedFS(t, 3, 3)
+	if err := cl.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := cl.Create(fmt.Sprintf("/d/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Rm("/d/f3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mv("/d/f4", "/d/g4"); err != nil {
+		t.Fatal(err)
+	}
+	// Allow decided-log anti-entropy to settle.
+	if err := c.Run(c.Now() + 5_000); err != nil {
+		t.Fatal(err)
+	}
+	want := rm.Master(0).rt.Table("fqpath").Dump()
+	for i := 1; i < 3; i++ {
+		got := rm.Master(i).rt.Table("fqpath").Dump()
+		if got != want {
+			t.Fatalf("replica %d diverged:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+	if want == "" {
+		t.Fatal("empty catalog")
+	}
+}
+
+// TestMasterFailover is the paper's availability experiment in
+// miniature: kill the primary mid-workload; clients retry and the
+// backup (elected by the Overlog Paxos rules) continues serving
+// metadata writes.
+func TestMasterFailover(t *testing.T) {
+	c, rm, _, cl := testReplicatedFS(t, 3, 3)
+	if err := cl.Mkdir("/pre"); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(rm.Replicas[0])
+	// The very next write must eventually succeed via the new leader.
+	if err := cl.Mkdir("/post"); err != nil {
+		t.Fatalf("write after primary kill: %v", err)
+	}
+	if rm.LeaderIndex() <= 0 {
+		t.Fatalf("leader index: %d", rm.LeaderIndex())
+	}
+	// Both survivors know both directories.
+	for i := 1; i < 3; i++ {
+		m := rm.Master(i)
+		if _, ok := m.ResolvePath("/post"); !ok {
+			// Allow anti-entropy to catch the lagging replica up.
+			if err := c.Run(c.Now() + 5_000); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := m.ResolvePath("/post"); !ok {
+				t.Fatalf("replica %d missing /post", i)
+			}
+		}
+		if _, ok := m.ResolvePath("/pre"); !ok {
+			t.Fatalf("replica %d missing /pre", i)
+		}
+	}
+}
+
+func TestReplicatedWriteReadFile(t *testing.T) {
+	_, _, _, cl := testReplicatedFS(t, 3, 3)
+	data := "replicated master, plain data path, chunky payload........"
+	if err := cl.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("/f")
+	if err != nil || got != data {
+		t.Fatalf("read: %q %v", got, err)
+	}
+}
+
+func TestFailoverMidFileWrite(t *testing.T) {
+	c, rm, _, cl := testReplicatedFS(t, 3, 4)
+	data := "0123456789abcdef0123456789abcdef0123456789abcdef" // 3 chunks
+	if err := cl.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	// Write one chunk, kill the primary, keep writing.
+	id, locs, err := cl.AddChunk("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteChunk(id, locs, data[:16]); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(rm.Replicas[0])
+	for off := 16; off < len(data); off += 16 {
+		id, locs, err := cl.AddChunk("/f")
+		if err != nil {
+			t.Fatalf("addchunk after failover: %v", err)
+		}
+		if err := cl.WriteChunk(id, locs, data[off:off+16]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.ReadFile("/f")
+	if err != nil || got != data {
+		t.Fatalf("read after mid-write failover: %q %v", got, err)
+	}
+}

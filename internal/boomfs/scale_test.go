@@ -1,0 +1,201 @@
+package boomfs
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/paxos"
+	"repro/internal/sim"
+)
+
+// TestHundredNodeCluster mirrors the paper's EC2 scale: one Overlog
+// master, 100 datanodes, real replication and failure detection. It
+// verifies placement spreads across the fleet and that the system
+// absorbs a batch of datanode failures.
+func TestHundredNodeCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large cluster test")
+	}
+	cfg := DefaultConfig()
+	cfg.ReplicationFactor = 3
+	cfg.ChunkSize = 8 << 10
+	cfg.GCTickMS = 0 // keep the big run focused on placement/replication
+	c := sim.NewCluster(sim.WithClusterSeed(101))
+	m, err := NewMaster(c, "master:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dns []*DataNode
+	for i := 0; i < 100; i++ {
+		dn, err := NewDataNode(c, fmt.Sprintf("dn:%03d", i), m.Addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := NewClient(c, "client:0", cfg, m.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 50); err != nil {
+		t.Fatal(err)
+	}
+	if live := len(m.LiveDataNodes()); live != 100 {
+		t.Fatalf("live datanodes: %d", live)
+	}
+
+	// Write 30 files of 3 chunks each: 90 chunks, 270 replicas.
+	if err := cl.Mkdir("/big"); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 3*cfg.ChunkSize)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+	for i := 0; i < 30; i++ {
+		if err := cl.WriteFile(fmt.Sprintf("/big/f%02d", i), string(payload)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if m.ChunkCount() != 90 {
+		t.Fatalf("chunk count: %d", m.ChunkCount())
+	}
+	// Placement uses a healthy slice of the fleet.
+	holders := 0
+	for _, dn := range dns {
+		if dn.ChunkCount() > 0 {
+			holders++
+		}
+	}
+	if holders < 60 {
+		t.Fatalf("placement too narrow: only %d/100 datanodes hold chunks", holders)
+	}
+
+	// Kill 10 datanodes; every chunk must return to full replication on
+	// the survivors.
+	r := rand.New(rand.NewSource(7))
+	killed := map[int]bool{}
+	for len(killed) < 10 {
+		killed[r.Intn(len(dns))] = true
+	}
+	for idx := range killed {
+		c.Kill(dns[idx].Addr)
+	}
+	chunkIDs := make([]int64, 0, 90)
+	for i := 0; i < 30; i++ {
+		ids, err := cl.Chunks(fmt.Sprintf("/big/f%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunkIDs = append(chunkIDs, ids...)
+	}
+	met, err := c.RunUntil(func() bool {
+		for _, cid := range chunkIDs {
+			n := 0
+			for idx, dn := range dns {
+				if killed[idx] {
+					continue
+				}
+				if dn.HasChunk(cid) {
+					n++
+				}
+			}
+			if n < cfg.ReplicationFactor {
+				return false
+			}
+		}
+		return true
+	}, c.Now()+120_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatal("re-replication incomplete after mass failure")
+	}
+	// And files still read back.
+	got, err := cl.ReadFile("/big/f07")
+	if err != nil || got != string(payload) {
+		t.Fatalf("read after failures: len=%d err=%v", len(got), err)
+	}
+}
+
+// TestReplicatedMasterChaos hammers the replicated master with client
+// writes while replicas die and recover; at the end the survivors'
+// catalogs must agree and contain every acknowledged write.
+func TestReplicatedMasterChaos(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OpTimeoutMS = 120_000
+	pcfg := paxos.DefaultConfig()
+	c := sim.NewCluster(sim.WithClusterSeed(23))
+	rm, err := NewReplicatedMaster(c, "master", 3, cfg, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := NewReplicatedDataNode(c, fmt.Sprintf("dn:%d", i), rm, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := NewReplicatedClient(c, "client:0", cfg, rm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.RetryMS = 3000
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mkdir("/chaos"); err != nil {
+		t.Fatal(err)
+	}
+
+	r := rand.New(rand.NewSource(5))
+	killed := -1
+	var acked []string
+	for i := 0; i < 30; i++ {
+		// Random chaos: kill one replica (never two) or revive it.
+		switch r.Intn(5) {
+		case 0:
+			if killed == -1 {
+				killed = r.Intn(3)
+				c.Kill(rm.Replicas[killed])
+			}
+		case 1:
+			if killed != -1 {
+				c.Revive(rm.Replicas[killed])
+				killed = -1
+			}
+		}
+		path := fmt.Sprintf("/chaos/f%02d", i)
+		if err := cl.Create(path); err == nil {
+			acked = append(acked, path)
+		}
+	}
+	if killed != -1 {
+		c.Revive(rm.Replicas[killed])
+	}
+	// Let anti-entropy settle.
+	if err := c.Run(c.Now() + 15_000); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(acked) < 20 {
+		t.Fatalf("too few acknowledged writes: %d", len(acked))
+	}
+	// Every acknowledged write is present on every live replica.
+	for i := 0; i < 3; i++ {
+		m := rm.Master(i)
+		for _, p := range acked {
+			if _, ok := m.ResolvePath(p); !ok {
+				t.Errorf("replica %d missing acknowledged %s", i, p)
+			}
+		}
+	}
+	// Decided logs agree across replicas (Paxos safety end to end).
+	want := rm.Master(0).Runtime().Table("decided").Dump()
+	for i := 1; i < 3; i++ {
+		if got := rm.Master(i).Runtime().Table("decided").Dump(); got != want {
+			t.Fatalf("replica %d decided log diverged", i)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package boommr
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTrackerJoinsMidJob: a tracker that registers after submission
+// starts receiving tasks — the scheduler's view of the fleet is just
+// the tracker relation, refreshed by heartbeats.
+func TestTrackerJoinsMidJob(t *testing.T) {
+	cfg := DefaultMRConfig()
+	cfg.MapSlots = 1
+	cfg.RedSlots = 1
+	c, jt, _, reg := testMR(t, 1, FIFO, cfg)
+
+	big := make([]string, 8)
+	for i := range big {
+		big[i] = strings.Repeat("lots of words here ", 2500)
+	}
+	job := NewJob(jt.NewJobID(), big, 1, WordCountMap, WordCountReduce)
+	jt.Submit(job)
+	// Let the lone tracker grind for a bit...
+	if err := c.Run(c.Now() + 2000); err != nil {
+		t.Fatal(err)
+	}
+	// ...then a second machine joins the cluster.
+	late, err := NewTaskTracker(c, "tt:late", jt.Addr, cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := jt.Wait(job.ID, 3_600_000)
+	if err != nil || !done {
+		t.Fatalf("job: %v %v", done, err)
+	}
+	if late.MapsRun == 0 {
+		t.Fatal("late-joining tracker never received work")
+	}
+	if job.Output()["words"] != "20000" {
+		t.Fatalf("output: %q", job.Output()["words"])
+	}
+}
+
+// TestTrackerRestartsWithFreshSlots: kill and revive a tracker; its
+// runtime state (slot table, heartbeats) resumes and the scheduler
+// re-engages it.
+func TestTrackerRestartsWithFreshSlots(t *testing.T) {
+	cfg := DefaultMRConfig()
+	c, jt, tts, _ := testMR(t, 2, FIFO, cfg)
+	job1 := NewJob(jt.NewJobID(), corpus(4), 1, WordCountMap, WordCountReduce)
+	jt.Submit(job1)
+	done, err := jt.Wait(job1.ID, 600_000)
+	if err != nil || !done {
+		t.Fatalf("job1: %v %v", done, err)
+	}
+	c.Kill(tts[0].Addr)
+	if err := c.Run(c.Now() + cfg.TrackerTTL + 500); err != nil {
+		t.Fatal(err)
+	}
+	c.Revive(tts[0].Addr)
+	job2 := NewJob(jt.NewJobID(), corpus(6), 1, WordCountMap, WordCountReduce)
+	jt.Submit(job2)
+	done, err = jt.Wait(job2.ID, 600_000)
+	if err != nil || !done {
+		t.Fatalf("job2 after revive: %v %v", done, err)
+	}
+	if tts[0].MapsRun+tts[1].MapsRun < 10 {
+		t.Fatalf("map distribution off: %d + %d", tts[0].MapsRun, tts[1].MapsRun)
+	}
+}

@@ -1,0 +1,86 @@
+package boommr
+
+import (
+	"strings"
+	"testing"
+)
+
+// firstDoneOf returns the earliest task completion time of a job.
+func firstDoneOf(jt *JobTracker, jobID int64) int64 {
+	comps := jt.Completions(jobID)
+	if len(comps) == 0 {
+		return -1
+	}
+	return comps[0].DoneAt
+}
+
+// runTwoJobs submits two equal jobs back to back on a single-slot
+// tracker and returns (job1 done, job2 done, job2's first completion).
+func runTwoJobs(t *testing.T, policy Policy) (int64, int64, int64) {
+	t.Helper()
+	cfg := DefaultMRConfig()
+	cfg.MapSlots = 1
+	cfg.RedSlots = 1
+	_, jt, _, _ := testMR(t, 1, policy, cfg)
+	mk := func() *Job {
+		splits := make([]string, 4)
+		for i := range splits {
+			splits[i] = strings.Repeat("fair share now ", 500)
+		}
+		return NewJob(jt.NewJobID(), splits, 0, WordCountMap, WordCountReduce)
+	}
+	j1, j2 := mk(), mk()
+	jt.Submit(j1)
+	jt.Submit(j2)
+	done, err := jt.Wait(j2.ID, 3_600_000)
+	if err != nil || !done {
+		t.Fatalf("%v jobs: %v %v", policy, done, err)
+	}
+	if done, err := jt.Wait(j1.ID, 3_600_000); err != nil || !done {
+		t.Fatalf("%v job1: %v %v", policy, done, err)
+	}
+	d1, _ := jt.JobDoneAt(j1.ID)
+	d2, _ := jt.JobDoneAt(j2.ID)
+	return d1, d2, firstDoneOf(jt, j2.ID)
+}
+
+// TestFairInterleavesJobs: under FIFO, job2 starts only as job1
+// drains; under FAIR, the two jobs share the single slot and job2's
+// first task completes long before job1 finishes.
+func TestFairInterleavesJobs(t *testing.T) {
+	fifoD1, _, fifoFirst2 := runTwoJobs(t, FIFO)
+	fairD1, fairD2, fairFirst2 := runTwoJobs(t, FAIR)
+
+	// FIFO serializes: job2's first completion lands at/after job1 done
+	// (within one task's slack).
+	if fifoFirst2 < fifoD1-fifoD1/4 {
+		t.Fatalf("FIFO interleaved unexpectedly: first2=%d job1done=%d", fifoFirst2, fifoD1)
+	}
+	// FAIR interleaves: job2 completes a task well before job1 is done.
+	if fairFirst2 >= fairD1 {
+		t.Fatalf("FAIR did not interleave: first2=%d job1done=%d", fairFirst2, fairD1)
+	}
+	// And the two jobs finish close together.
+	gap := fairD2 - fairD1
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap*4 > fairD2 {
+		t.Fatalf("FAIR finish times far apart: %d vs %d", fairD1, fairD2)
+	}
+}
+
+// TestFairSingleJobStillCompletes: with one job FAIR degenerates to
+// FIFO-like behaviour and must not deadlock or starve.
+func TestFairSingleJobStillCompletes(t *testing.T) {
+	_, jt, _, _ := testMR(t, 3, FAIR, DefaultMRConfig())
+	job := NewJob(jt.NewJobID(), corpus(6), 2, WordCountMap, WordCountReduce)
+	jt.Submit(job)
+	done, err := jt.Wait(job.ID, 600_000)
+	if err != nil || !done {
+		t.Fatalf("FAIR single job: %v %v", done, err)
+	}
+	if job.Output()["the"] == "" {
+		t.Fatal("no output")
+	}
+}

@@ -1,0 +1,233 @@
+package boommr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MapFunc consumes one input split and emits key/value pairs.
+type MapFunc func(split string, emit func(k, v string))
+
+// ReduceFunc folds all values for one key and emits output pairs.
+type ReduceFunc func(key string, values []string, emit func(k, v string))
+
+// Job describes one MapReduce job: its dataflow functions, input
+// splits (one map task per split), and reduce-task count. The Overlog
+// JobTracker schedules it; trackers execute the Go dataflow.
+type Job struct {
+	ID     int64
+	Splits []string
+	NumRed int
+	Map    MapFunc
+	Reduce ReduceFunc
+	// SplitLocality optionally names the tracker holding each split
+	// (unused by FIFO/LATE but recorded for extensions).
+	SplitLocality []string
+	// Partitioner overrides the default hash partitioner (e.g. range
+	// partitioning for globally sorted output, as in the classic Hadoop
+	// sort benchmark). It must return a value in [0, NumRed).
+	Partitioner func(key string, numRed int) int
+
+	mu sync.Mutex
+	// intermediate[r][m] is map task m's output for reduce partition r.
+	intermediate []map[int64][]kv
+	output       map[string]string
+}
+
+type kv struct{ k, v string }
+
+// NewJob builds a job; reduce tasks get ids NumSplits..NumSplits+NumRed-1.
+func NewJob(id int64, splits []string, numRed int, m MapFunc, r ReduceFunc) *Job {
+	j := &Job{ID: id, Splits: splits, NumRed: numRed, Map: m, Reduce: r,
+		output: map[string]string{}}
+	j.intermediate = make([]map[int64][]kv, numRed)
+	for i := range j.intermediate {
+		j.intermediate[i] = map[int64][]kv{}
+	}
+	return j
+}
+
+// NumMap returns the number of map tasks.
+func (j *Job) NumMap() int { return len(j.Splits) }
+
+// partition buckets a key into a reduce partition.
+func (j *Job) partition(key string) int {
+	if j.Partitioner != nil {
+		p := j.Partitioner(key, j.NumRed)
+		if p < 0 || p >= j.NumRed {
+			p = 0
+		}
+		return p
+	}
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(j.NumRed))
+}
+
+// RangePartitioner returns a partitioner splitting keys into numRed
+// contiguous first-byte ranges within [lo, hi], so concatenating reduce
+// outputs in partition order yields a globally sorted result — the
+// scheme the Hadoop-era sort benchmark used (with sampled split points;
+// here the key range is declared by the caller).
+func RangePartitioner(lo, hi byte) func(key string, numRed int) int {
+	span := int(hi) - int(lo) + 1
+	if span < 1 {
+		span = 1
+	}
+	return func(key string, numRed int) int {
+		if len(key) == 0 {
+			return 0
+		}
+		b := int(key[0])
+		if b < int(lo) {
+			b = int(lo)
+		}
+		if b > int(hi) {
+			b = int(hi)
+		}
+		return (b - int(lo)) * numRed / span
+	}
+}
+
+// runMap executes map task m (idempotent: speculative attempts simply
+// overwrite with identical results).
+func (j *Job) runMap(m int64) int {
+	emitted := 0
+	if j.NumRed == 0 {
+		// Map-only job: emissions go straight to the output map.
+		j.Map(j.Splits[m], func(k, v string) {
+			j.mu.Lock()
+			j.output[k] = v
+			j.mu.Unlock()
+			emitted++
+		})
+		return emitted
+	}
+	buckets := make([][]kv, j.NumRed)
+	j.Map(j.Splits[m], func(k, v string) {
+		p := j.partition(k)
+		buckets[p] = append(buckets[p], kv{k, v})
+		emitted++
+	})
+	j.mu.Lock()
+	for r := range buckets {
+		j.intermediate[r][m] = buckets[r]
+	}
+	j.mu.Unlock()
+	return emitted
+}
+
+// runReduce executes reduce partition r over all map outputs.
+func (j *Job) runReduce(r int64) int {
+	j.mu.Lock()
+	var all []kv
+	for _, rows := range j.intermediate[r] {
+		all = append(all, rows...)
+	}
+	j.mu.Unlock()
+	sort.Slice(all, func(i, k int) bool { return all[i].k < all[k].k })
+	n := 0
+	i := 0
+	for i < len(all) {
+		k := all[i].k
+		var vals []string
+		for i < len(all) && all[i].k == k {
+			vals = append(vals, all[i].v)
+			i++
+		}
+		j.Reduce(k, vals, func(ok, ov string) {
+			j.mu.Lock()
+			j.output[ok] = ov
+			j.mu.Unlock()
+			n++
+		})
+	}
+	return n
+}
+
+// Output returns the job's result map (after completion).
+func (j *Job) Output() map[string]string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]string, len(j.output))
+	for k, v := range j.output {
+		out[k] = v
+	}
+	return out
+}
+
+// mapBytes returns the input size of map task m (duration modeling).
+func (j *Job) mapBytes(m int64) int { return len(j.Splits[m]) }
+
+// shuffleBytes estimates the bytes a reduce task pulls.
+func (j *Job) shuffleBytes(r int64) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, rows := range j.intermediate[r] {
+		for _, e := range rows {
+			n += len(e.k) + len(e.v)
+		}
+	}
+	return n
+}
+
+// Registry shares job definitions between the submitting harness and
+// the task trackers (standing in for the distributed job artifact
+// distribution that Hadoop does with HDFS-shipped jars).
+type Registry struct {
+	mu   sync.Mutex
+	jobs map[int64]*Job
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{jobs: map[int64]*Job{}} }
+
+// Register adds a job.
+func (r *Registry) Register(j *Job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.jobs[j.ID] = j
+}
+
+// Get fetches a job by id.
+func (r *Registry) Get(id int64) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+// WordCountMap is the canonical example map function.
+func WordCountMap(split string, emit func(k, v string)) {
+	for _, w := range strings.Fields(split) {
+		emit(w, "1")
+	}
+}
+
+// WordCountReduce sums counts per word.
+func WordCountReduce(key string, values []string, emit func(k, v string)) {
+	emit(key, fmt.Sprintf("%d", len(values)))
+}
+
+// GrepMap emits lines containing the pattern; used as a second example
+// workload (the paper's motivating "log crunching" scenarios).
+func GrepMap(pattern string) MapFunc {
+	return func(split string, emit func(k, v string)) {
+		for _, line := range strings.Split(split, "\n") {
+			if strings.Contains(line, pattern) {
+				emit(line, "1")
+			}
+		}
+	}
+}
+
+// IdentityReduce emits each key once.
+func IdentityReduce(key string, values []string, emit func(k, v string)) {
+	emit(key, values[0])
+}

@@ -1,0 +1,216 @@
+package boommr
+
+import (
+	"fmt"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+)
+
+// Policy selects the scheduling rule set installed on the JobTracker.
+type Policy int
+
+// Scheduling policies (the paper's swappable rule sets). FAIR is this
+// reproduction's extension beyond the published FIFO and LATE.
+const (
+	FIFO Policy = iota
+	LATE
+	FAIR
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LATE:
+		return "LATE"
+	case FAIR:
+		return "FAIR"
+	}
+	return "FIFO"
+}
+
+// JobTracker is the BOOM-MR scheduler node. All scheduling behaviour
+// is Overlog: JobTrackerRules (machinery) + the selected policy rules.
+type JobTracker struct {
+	Addr   string
+	Policy Policy
+	cfg    MRConfig
+	rt     *overlog.Runtime
+	reg    *Registry
+	nextID int64
+	c      *sim.Cluster
+}
+
+// NewJobTracker creates the scheduler node.
+func NewJobTracker(c *sim.Cluster, addr string, policy Policy, cfg MRConfig, reg *Registry) (*JobTracker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rt, err := c.AddNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := InstallJobTrackerPrograms(rt, policy, cfg); err != nil {
+		return nil, err
+	}
+	return &JobTracker{Addr: addr, Policy: policy, cfg: cfg, rt: rt, reg: reg, c: c}, nil
+}
+
+// InstallJobTrackerPrograms loads the protocol, machinery and policy
+// rule sets onto a runtime (shared by the simulator constructor and
+// the real-time deployment in internal/rtmr).
+func InstallJobTrackerPrograms(rt *overlog.Runtime, policy Policy, cfg MRConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if err := rt.InstallSource(MRProtocolDecls); err != nil {
+		return err
+	}
+	vars := map[string]string{
+		"SCHEDMS":   fmt.Sprintf("%d", cfg.SchedTickMS),
+		"TTTTL":     fmt.Sprintf("%d", cfg.TrackerTTL),
+		"SLOWFRAC":  fmt.Sprintf("%g", cfg.SlowFrac),
+		"SPECMINMS": fmt.Sprintf("%d", cfg.SpecMinMS),
+		"MAXSPEC":   fmt.Sprintf("%d", cfg.MaxSpec),
+	}
+	if err := rt.InstallSource(expand(JobTrackerRules, vars)); err != nil {
+		return err
+	}
+	switch policy {
+	case FAIR:
+		if err := rt.InstallSource(expand(PolicyFAIR, vars)); err != nil {
+			return err
+		}
+	case LATE:
+		if err := rt.InstallSource(expand(PolicyFIFO, vars)); err != nil {
+			return err
+		}
+		if err := rt.InstallSource(expand(PolicyLATE, vars)); err != nil {
+			return err
+		}
+	default:
+		if err := rt.InstallSource(expand(PolicyFIFO, vars)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runtime exposes the scheduler's runtime.
+func (jt *JobTracker) Runtime() *overlog.Runtime { return jt.rt }
+
+// Submit registers a job and streams its task definitions to the
+// scheduler. Map tasks get ids 0..NumMap-1; reduce tasks follow.
+func (jt *JobTracker) Submit(j *Job) {
+	jt.reg.Register(j)
+	jt.c.Inject(jt.Addr, overlog.NewTuple("job_submit",
+		overlog.Addr(jt.Addr), overlog.Int(j.ID),
+		overlog.Int(int64(j.NumMap())), overlog.Int(int64(j.NumRed))), 0)
+	for t := 0; t < j.NumMap(); t++ {
+		jt.c.Inject(jt.Addr, overlog.NewTuple("task_submit",
+			overlog.Addr(jt.Addr), overlog.Int(j.ID), overlog.Int(int64(t)),
+			overlog.Str("map")), 0)
+	}
+	for t := 0; t < j.NumRed; t++ {
+		jt.c.Inject(jt.Addr, overlog.NewTuple("task_submit",
+			overlog.Addr(jt.Addr), overlog.Int(j.ID), overlog.Int(int64(j.NumMap()+t)),
+			overlog.Str("reduce")), 0)
+	}
+}
+
+// NewJobID allocates a job id.
+func (jt *JobTracker) NewJobID() int64 {
+	jt.nextID++
+	return jt.nextID
+}
+
+// JobState reads the scheduler's view of a job ("running", "done", or
+// "" when unknown).
+func (jt *JobTracker) JobState(jobID int64) string {
+	tp, ok := jt.rt.Table("job").LookupKey(overlog.NewTuple("job",
+		overlog.Int(jobID), overlog.Int(0), overlog.Int(0), overlog.Int(0), overlog.Str("")))
+	if !ok {
+		return ""
+	}
+	return tp.Vals[4].AsString()
+}
+
+// Wait drives the simulation until the job completes or maxMS elapses.
+func (jt *JobTracker) Wait(jobID int64, maxMS int64) (bool, error) {
+	return jt.c.RunUntil(func() bool { return jt.JobState(jobID) == "done" },
+		jt.c.Now()+maxMS)
+}
+
+// TaskCompletion is one task's lifecycle record for CDF plots.
+type TaskCompletion struct {
+	JobID    int64
+	TaskID   int64
+	Type     string
+	Submit   int64 // job submit time
+	DoneAt   int64
+	Duration int64 // DoneAt - Submit: the paper plots time-since-job-start
+}
+
+// Completions returns per-task completion records for a job, sorted by
+// completion time.
+func (jt *JobTracker) Completions(jobID int64) []TaskCompletion {
+	var submit int64
+	if tp, ok := jt.rt.Table("job").LookupKey(overlog.NewTuple("job",
+		overlog.Int(jobID), overlog.Int(0), overlog.Int(0), overlog.Int(0), overlog.Str(""))); ok {
+		submit = tp.Vals[1].AsInt()
+	}
+	var out []TaskCompletion
+	jt.rt.Table("task_done_at").Scan(func(tp overlog.Tuple) bool {
+		if tp.Vals[0].AsInt() != jobID {
+			return true
+		}
+		done := tp.Vals[3].AsInt()
+		out = append(out, TaskCompletion{
+			JobID:    jobID,
+			TaskID:   tp.Vals[1].AsInt(),
+			Type:     tp.Vals[2].AsString(),
+			Submit:   submit,
+			DoneAt:   done,
+			Duration: done - submit,
+		})
+		return true
+	})
+	sortCompletions(out)
+	return out
+}
+
+func sortCompletions(cs []TaskCompletion) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].DoneAt < cs[j-1].DoneAt; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// JobDoneAt returns when the scheduler observed job completion.
+func (jt *JobTracker) JobDoneAt(jobID int64) (int64, bool) {
+	tp, ok := jt.rt.Table("job_done_at").LookupKey(overlog.NewTuple("job_done_at",
+		overlog.Int(jobID), overlog.Int(0)))
+	if !ok {
+		return 0, false
+	}
+	return tp.Vals[1].AsInt(), true
+}
+
+// SpeculativeAttempts counts speculative attempts launched (LATE
+// bookkeeping for the experiments).
+func (jt *JobTracker) SpeculativeAttempts(jobID int64) int {
+	n := 0
+	seen := map[int64]int{}
+	jt.rt.Table("attempt").Scan(func(tp overlog.Tuple) bool {
+		if tp.Vals[0].AsInt() == jobID {
+			seen[tp.Vals[1].AsInt()]++
+		}
+		return true
+	})
+	for _, c := range seen {
+		if c > 1 {
+			n += c - 1
+		}
+	}
+	return n
+}

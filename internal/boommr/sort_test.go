@@ -1,0 +1,91 @@
+package boommr
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDistributedSort runs the classic sort benchmark shape: identity
+// map with a range partitioner; each reduce partition holds a
+// contiguous, non-overlapping key range, so partition-ordered
+// concatenation is globally sorted.
+func TestDistributedSort(t *testing.T) {
+	_, jt, _, _ := testMR(t, 3, FIFO, DefaultMRConfig())
+
+	r := rand.New(rand.NewSource(9))
+	var records []string
+	for i := 0; i < 400; i++ {
+		records = append(records, fmt.Sprintf("%c%06d", 'a'+r.Intn(26), r.Intn(1_000_000)))
+	}
+	splits := make([]string, 4)
+	for i, rec := range records {
+		splits[i%4] += rec + "\n"
+	}
+
+	const numRed = 4
+	partOf := map[string]int{}
+	job := NewJob(jt.NewJobID(), splits, numRed,
+		func(split string, emit func(k, v string)) {
+			for _, line := range strings.Split(split, "\n") {
+				if line != "" {
+					emit(line, "")
+				}
+			}
+		},
+		func(key string, values []string, emit func(k, v string)) {
+			emit(key, fmt.Sprintf("%d", len(values)))
+		})
+	ranged := RangePartitioner('a', 'z')
+	job.Partitioner = func(key string, n int) int {
+		p := ranged(key, n)
+		partOf[key] = p
+		return p
+	}
+	jt.Submit(job)
+	done, err := jt.Wait(job.ID, 1_800_000)
+	if err != nil || !done {
+		t.Fatalf("sort job: %v %v", done, err)
+	}
+
+	// Every record appears in the output.
+	out := job.Output()
+	distinct := map[string]bool{}
+	for _, rec := range records {
+		distinct[rec] = true
+		if out[rec] == "" {
+			t.Fatalf("record %q missing from output", rec)
+		}
+	}
+	if len(out) != len(distinct) {
+		t.Fatalf("output size %d want %d", len(out), len(distinct))
+	}
+	// Range property: the max key of partition p is below the min key of
+	// partition p+1.
+	minOf := map[int]string{}
+	maxOf := map[int]string{}
+	for k, p := range partOf {
+		if minOf[p] == "" || k < minOf[p] {
+			minOf[p] = k
+		}
+		if k > maxOf[p] {
+			maxOf[p] = k
+		}
+	}
+	var parts []int
+	for p := range minOf {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	if len(parts) < 2 {
+		t.Fatalf("keys landed in %d partitions", len(parts))
+	}
+	for i := 1; i < len(parts); i++ {
+		if maxOf[parts[i-1]] >= minOf[parts[i]] {
+			t.Fatalf("ranges overlap: partition %d max %q >= partition %d min %q",
+				parts[i-1], maxOf[parts[i-1]], parts[i], minOf[parts[i]])
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package hadoopfs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/boomfs"
+	"repro/internal/sim"
+)
+
+// testNN builds a cluster around the imperative NameNode; datanodes and
+// clients are the standard BOOM-FS ones — only the master differs.
+func testNN(t *testing.T, n int, cfg boomfs.Config) (*sim.Cluster, *NameNode, []*boomfs.DataNode, *boomfs.Client) {
+	t.Helper()
+	c := sim.NewCluster()
+	nn, err := NewNameNode(c, "master:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dns []*boomfs.DataNode
+	for i := 0; i < n; i++ {
+		dn, err := boomfs.NewDataNode(c, fmt.Sprintf("dn:%d", i), nn.Addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := boomfs.NewClient(c, "client:0", cfg, nn.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, nn, dns, cl
+}
+
+func smallConfig() boomfs.Config {
+	cfg := boomfs.DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ChunkSize = 16
+	return cfg
+}
+
+func TestNameNodeMetadataOps(t *testing.T) {
+	_, nn, _, cl := testNN(t, 3, smallConfig())
+	if err := cl.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Mkdir("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Create("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := cl.Ls("/a")
+	if err != nil || strings.Join(names, ",") != "b,f" {
+		t.Fatalf("ls: %v %v", names, err)
+	}
+	if nn.FileCount() != 3 {
+		t.Fatalf("file count: %d", nn.FileCount())
+	}
+	if err := cl.Mv("/a/f", "/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Rm("/a/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Rm("/a"); err == nil {
+		t.Fatal("rm non-empty must fail")
+	}
+	if err := cl.Mkdir("/a"); err == nil {
+		t.Fatal("duplicate mkdir must fail")
+	}
+	if err := cl.Mkdir("/x/y"); err == nil {
+		t.Fatal("mkdir without parent must fail")
+	}
+}
+
+func TestNameNodeWriteRead(t *testing.T) {
+	_, nn, dns, cl := testNN(t, 3, smallConfig())
+	data := "imperative namenode, declarative datanodes, same protocol!"
+	if err := cl.WriteFile("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("/f")
+	if err != nil || got != data {
+		t.Fatalf("read: %q %v", got, err)
+	}
+	wantChunks := (len(data) + 15) / 16
+	if nn.ChunkCount() != wantChunks {
+		t.Fatalf("chunks: %d want %d", nn.ChunkCount(), wantChunks)
+	}
+	total := 0
+	for _, dn := range dns {
+		total += dn.ChunkCount()
+	}
+	if total != wantChunks*2 {
+		t.Fatalf("replicas: %d", total)
+	}
+}
+
+func TestNameNodeReReplication(t *testing.T) {
+	cfg := smallConfig()
+	c, _, dns, cl := testNN(t, 4, cfg)
+	if err := cl.WriteFile("/f", "0123456789abcdef"); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := cl.Chunks("/f")
+	if err != nil || len(chunks) != 1 {
+		t.Fatalf("chunks: %v %v", chunks, err)
+	}
+	cid := chunks[0]
+	var survivors []*boomfs.DataNode
+	killed := false
+	for _, dn := range dns {
+		if dn.HasChunk(cid) && !killed {
+			c.Kill(dn.Addr)
+			killed = true
+		} else {
+			survivors = append(survivors, dn)
+		}
+	}
+	met, err := c.RunUntil(func() bool {
+		n := 0
+		for _, dn := range survivors {
+			if dn.HasChunk(cid) {
+				n++
+			}
+		}
+		return n >= cfg.ReplicationFactor
+	}, c.Now()+60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !met {
+		t.Fatal("chunk not re-replicated by imperative namenode")
+	}
+}
+
+// TestParityWithBoomFS runs an identical op script against both masters
+// and requires identical outcomes — the two implementations are meant
+// to be behaviourally interchangeable.
+func TestParityWithBoomFS(t *testing.T) {
+	type fsAPI struct {
+		cl *boomfs.Client
+	}
+	script := func(cl *boomfs.Client) []string {
+		var log []string
+		record := func(op string, err error) {
+			if err != nil {
+				// Normalize: keep only the master's message.
+				if oe, ok := err.(*boomfs.OpError); ok {
+					log = append(log, op+":ERR:"+oe.Msg)
+					return
+				}
+				log = append(log, op+":ERR")
+				return
+			}
+			log = append(log, op+":OK")
+		}
+		record("mkdir /a", cl.Mkdir("/a"))
+		record("mkdir /a", cl.Mkdir("/a"))
+		record("mkdir /a/b", cl.Mkdir("/a/b"))
+		record("create /a/f", cl.Create("/a/f"))
+		record("create /missing/f", cl.Create("/missing/f"))
+		names, err := cl.Ls("/a")
+		if err == nil {
+			log = append(log, "ls /a:"+strings.Join(names, ","))
+		} else {
+			log = append(log, "ls /a:ERR")
+		}
+		record("mv /a/f /a/g", cl.Mv("/a/f", "/a/g"))
+		record("mv /a/f /a/h", cl.Mv("/a/f", "/a/h"))
+		record("rm /a", cl.Rm("/a"))
+		record("rm /a/g", cl.Rm("/a/g"))
+		record("write /a/w", cl.WriteFile("/a/w", "hello chunky world.."))
+		data, err := cl.ReadFile("/a/w")
+		if err == nil {
+			log = append(log, "read /a/w:"+data)
+		} else {
+			log = append(log, "read /a/w:ERR")
+		}
+		return log
+	}
+
+	_, _, _, boomCl := newBoomFS(t)
+	_, _, _, nnCl := testNN(t, 3, smallConfig())
+	_ = fsAPI{}
+	boomLog := script(boomCl)
+	nnLog := script(nnCl)
+	if strings.Join(boomLog, "\n") != strings.Join(nnLog, "\n") {
+		t.Fatalf("divergence:\nboom:\n%s\n\nnamenode:\n%s",
+			strings.Join(boomLog, "\n"), strings.Join(nnLog, "\n"))
+	}
+}
+
+func newBoomFS(t *testing.T) (*sim.Cluster, *boomfs.Master, []*boomfs.DataNode, *boomfs.Client) {
+	t.Helper()
+	cfg := smallConfig()
+	c := sim.NewCluster()
+	m, err := boomfs.NewMaster(c, "master:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dns []*boomfs.DataNode
+	for i := 0; i < 3; i++ {
+		dn, err := boomfs.NewDataNode(c, fmt.Sprintf("dn:%d", i), m.Addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := boomfs.NewClient(c, "client:0", cfg, m.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, m, dns, cl
+}

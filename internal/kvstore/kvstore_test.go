@@ -1,0 +1,122 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/paxos"
+	"repro/internal/sim"
+)
+
+func setup(t *testing.T, n int) (*sim.Cluster, *Group, *Client) {
+	t.Helper()
+	c := sim.NewCluster()
+	g, err := NewGroup(c, "kv", n, paxos.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(c, "client:0", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	return c, g, cl
+}
+
+func TestPutGetDelete(t *testing.T) {
+	_, _, cl := setup(t, 3)
+	if err := cl.Put("color", "blue"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.Get("color")
+	if err != nil || !ok || v != "blue" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := cl.Put("color", "red"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = cl.Get("color")
+	if !ok || v != "red" {
+		t.Fatalf("overwrite: %q %v", v, ok)
+	}
+	if err := cl.Delete("color"); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err = cl.Get("color")
+	if err != nil || ok {
+		t.Fatalf("get after delete: %v %v", ok, err)
+	}
+	_, ok, _ = cl.Get("never-set")
+	if ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	c, g, cl := setup(t, 3)
+	for i := 0; i < 10; i++ {
+		if err := cl.Put(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.Delete("k03"); err != nil {
+		t.Fatal(err)
+	}
+	// Anti-entropy settles lagging learners.
+	if err := c.Run(c.Now() + 5_000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for k := 0; k < 10; k++ {
+			key := fmt.Sprintf("k%02d", k)
+			v, ok := g.ReplicaValue(i, key)
+			if key == "k03" {
+				if ok {
+					t.Errorf("replica %d still has %s", i, key)
+				}
+				continue
+			}
+			if !ok || v != fmt.Sprintf("v%d", k) {
+				t.Errorf("replica %d: %s=%q ok=%v", i, key, v, ok)
+			}
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c, g, cl := setup(t, 3)
+	if err := cl.Put("before", "1"); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(g.Replicas[0])
+	// The next write retries down the replica list; the elected backup
+	// accepts it.
+	if err := cl.Put("after", "2"); err != nil {
+		t.Fatalf("put after leader kill: %v", err)
+	}
+	v, ok, err := cl.Get("before")
+	if err != nil || !ok || v != "1" {
+		t.Fatalf("pre-failover data lost: %q %v %v", v, ok, err)
+	}
+	v, ok, err = cl.Get("after")
+	if err != nil || !ok || v != "2" {
+		t.Fatalf("post-failover write missing: %q %v %v", v, ok, err)
+	}
+}
+
+func TestSequentialConsistencyPerClient(t *testing.T) {
+	// A single synchronous client must always read its own latest write.
+	_, _, cl := setup(t, 3)
+	for i := 0; i < 20; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if err := cl.Put("x", want); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := cl.Get("x")
+		if err != nil || !ok || got != want {
+			t.Fatalf("iteration %d: read %q want %q (ok=%v err=%v)", i, got, want, ok, err)
+		}
+	}
+}

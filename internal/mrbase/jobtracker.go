@@ -1,0 +1,438 @@
+// Package mrbase is the imperative comparator for BOOM-MR: a Hadoop
+// style JobTracker written as plain Go state and control flow, speaking
+// the same tuple protocol and driving the same TaskTrackers as the
+// Overlog scheduler. It implements FIFO dispatch and Hadoop's classic
+// speculative execution (progress lag below a fixed threshold), so the
+// paper's {Hadoop, BOOM-MR} comparisons hold the execution substrate
+// constant.
+package mrbase
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/boommr"
+	"repro/internal/overlog"
+	"repro/internal/sim"
+)
+
+type taskState struct {
+	jobID, taskID int64
+	typ           string
+	state         string // pending / running / done
+	doneAt        int64
+}
+
+type attemptState struct {
+	id            int64
+	jobID, taskID int64
+	tracker       string
+	progress      float64
+	start         int64
+	running       bool
+	finished      bool // completed successfully
+}
+
+type trackerState struct {
+	addr               string
+	lastHB             int64
+	mapSlots, redSlots int
+	mapUsed, redUsed   int
+}
+
+type jobState struct {
+	id           int64
+	submit       int64
+	nMap, nRed   int
+	doneAt       int64
+	done         bool
+	doneCount    int
+	mapsDone     int
+	specLaunched map[int64]int
+}
+
+// JobTracker is the imperative scheduler node.
+type JobTracker struct {
+	Addr      string
+	Speculate bool // Hadoop-style speculative execution
+	cfg       boommr.MRConfig
+	rt        *overlog.Runtime
+	reg       *boommr.Registry
+	c         *sim.Cluster
+
+	nextID   int64
+	jobs     map[int64]*jobState
+	tasks    map[[2]int64]*taskState
+	attempts map[int64]*attemptState
+	trackers map[string]*trackerState
+}
+
+// NewJobTracker creates the imperative scheduler node.
+func NewJobTracker(c *sim.Cluster, addr string, speculate bool, cfg boommr.MRConfig, reg *boommr.Registry) (*JobTracker, error) {
+	rt, err := c.AddNode(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.InstallSource(boommr.MRProtocolDecls); err != nil {
+		return nil, err
+	}
+	if err := rt.InstallSource(fmt.Sprintf("periodic base_sched_tick interval %d;", cfg.SchedTickMS)); err != nil {
+		return nil, err
+	}
+	jt := &JobTracker{
+		Addr: addr, Speculate: speculate, cfg: cfg, rt: rt, reg: reg, c: c,
+		jobs:     map[int64]*jobState{},
+		tasks:    map[[2]int64]*taskState{},
+		attempts: map[int64]*attemptState{},
+		trackers: map[string]*trackerState{},
+	}
+	if err := c.AttachService(addr, &jtService{jt: jt}); err != nil {
+		return nil, err
+	}
+	return jt, nil
+}
+
+// NewJobID allocates a job id.
+func (jt *JobTracker) NewJobID() int64 {
+	jt.nextID++
+	return jt.nextID
+}
+
+// Submit registers and enqueues a job.
+func (jt *JobTracker) Submit(j *boommr.Job) {
+	jt.reg.Register(j)
+	jt.c.Inject(jt.Addr, overlog.NewTuple("job_submit",
+		overlog.Addr(jt.Addr), overlog.Int(j.ID),
+		overlog.Int(int64(j.NumMap())), overlog.Int(int64(j.NumRed))), 0)
+	for t := 0; t < j.NumMap(); t++ {
+		jt.c.Inject(jt.Addr, overlog.NewTuple("task_submit",
+			overlog.Addr(jt.Addr), overlog.Int(j.ID), overlog.Int(int64(t)), overlog.Str("map")), 0)
+	}
+	for t := 0; t < j.NumRed; t++ {
+		jt.c.Inject(jt.Addr, overlog.NewTuple("task_submit",
+			overlog.Addr(jt.Addr), overlog.Int(j.ID), overlog.Int(int64(j.NumMap()+t)), overlog.Str("reduce")), 0)
+	}
+}
+
+// JobState mirrors boommr.JobTracker.JobState.
+func (jt *JobTracker) JobState(jobID int64) string {
+	j, ok := jt.jobs[jobID]
+	if !ok {
+		return ""
+	}
+	if j.done {
+		return "done"
+	}
+	return "running"
+}
+
+// Wait drives the simulation until job completion or timeout.
+func (jt *JobTracker) Wait(jobID int64, maxMS int64) (bool, error) {
+	return jt.c.RunUntil(func() bool { return jt.JobState(jobID) == "done" }, jt.c.Now()+maxMS)
+}
+
+// JobDoneAt mirrors boommr.JobTracker.JobDoneAt.
+func (jt *JobTracker) JobDoneAt(jobID int64) (int64, bool) {
+	j, ok := jt.jobs[jobID]
+	if !ok || !j.done {
+		return 0, false
+	}
+	return j.doneAt, true
+}
+
+// Completions mirrors boommr.JobTracker.Completions.
+func (jt *JobTracker) Completions(jobID int64) []boommr.TaskCompletion {
+	j, ok := jt.jobs[jobID]
+	if !ok {
+		return nil
+	}
+	var out []boommr.TaskCompletion
+	for _, ts := range jt.tasks {
+		if ts.jobID != jobID || ts.state != "done" {
+			continue
+		}
+		out = append(out, boommr.TaskCompletion{
+			JobID: jobID, TaskID: ts.taskID, Type: ts.typ,
+			Submit: j.submit, DoneAt: ts.doneAt, Duration: ts.doneAt - j.submit,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].DoneAt < out[b].DoneAt })
+	return out
+}
+
+// SpeculativeAttempts counts extra attempts launched for a job.
+func (jt *JobTracker) SpeculativeAttempts(jobID int64) int {
+	per := map[int64]int{}
+	for _, a := range jt.attempts {
+		if a.jobID == jobID {
+			per[a.taskID]++
+		}
+	}
+	n := 0
+	for _, c := range per {
+		if c > 1 {
+			n += c - 1
+		}
+	}
+	return n
+}
+
+// jtService translates protocol events into scheduler actions.
+type jtService struct {
+	jt *JobTracker
+}
+
+func (s *jtService) Tables() []string {
+	return []string{"job_submit", "task_submit", "tt_hb", "attempt_progress",
+		"attempt_done", "assign_reject", "base_sched_tick"}
+}
+
+func (s *jtService) OnEvent(env sim.Env, ev overlog.WatchEvent) []sim.Injection {
+	jt := s.jt
+	v := ev.Tuple.Vals
+	switch ev.Tuple.Table {
+	case "job_submit":
+		jt.jobs[v[1].AsInt()] = &jobState{
+			id: v[1].AsInt(), submit: env.Now(),
+			nMap: int(v[2].AsInt()), nRed: int(v[3].AsInt()),
+			specLaunched: map[int64]int{},
+		}
+	case "task_submit":
+		key := [2]int64{v[1].AsInt(), v[2].AsInt()}
+		jt.tasks[key] = &taskState{jobID: key[0], taskID: key[1],
+			typ: v[3].AsString(), state: "pending"}
+	case "tt_hb":
+		tr := v[1].AsString()
+		jt.trackers[tr] = &trackerState{
+			addr: tr, lastHB: env.Now(),
+			mapSlots: int(v[2].AsInt()), redSlots: int(v[3].AsInt()),
+			mapUsed: int(v[4].AsInt()), redUsed: int(v[5].AsInt()),
+		}
+	case "attempt_progress":
+		if a, ok := jt.attempts[v[3].AsInt()]; ok && a.running {
+			a.progress = v[4].AsFloat()
+		}
+	case "attempt_done":
+		return jt.onAttemptDone(env, v)
+	case "assign_reject":
+		if a, ok := jt.attempts[v[3].AsInt()]; ok {
+			a.running = false
+			key := [2]int64{a.jobID, a.taskID}
+			if ts := jt.tasks[key]; ts != nil && ts.state == "running" {
+				ts.state = "pending"
+			}
+		}
+	case "base_sched_tick":
+		return jt.schedule(env)
+	}
+	return nil
+}
+
+func (jt *JobTracker) onAttemptDone(env sim.Env, v []overlog.Value) []sim.Injection {
+	attemptID := v[3].AsInt()
+	ok := v[5].AsBool()
+	a, known := jt.attempts[attemptID]
+	if known {
+		a.running = false
+		if ok {
+			a.finished = true
+			a.progress = 1.0
+		}
+	}
+	key := [2]int64{v[1].AsInt(), v[2].AsInt()}
+	ts := jt.tasks[key]
+	if ts == nil {
+		return nil
+	}
+	if !ok {
+		if ts.state == "running" {
+			ts.state = "pending"
+		}
+		return nil
+	}
+	if ts.state != "done" {
+		ts.state = "done"
+		ts.doneAt = env.Now()
+		j := jt.jobs[ts.jobID]
+		j.doneCount++
+		if ts.typ == "map" {
+			j.mapsDone++
+		}
+		if j.doneCount == j.nMap+j.nRed && !j.done {
+			j.done = true
+			j.doneAt = env.Now()
+		}
+	}
+	return nil
+}
+
+// schedule is the imperative twin of the FIFO (+speculation) rules.
+func (jt *JobTracker) schedule(env sim.Env) []sim.Injection {
+	now := env.Now()
+	var out []sim.Injection
+
+	freeMap := jt.freeTrackers(now, true)
+	freeRed := jt.freeTrackers(now, false)
+
+	// Detect lost trackers: re-pend their running tasks.
+	for _, a := range jt.attempts {
+		if !a.running {
+			continue
+		}
+		tr, ok := jt.trackers[a.tracker]
+		if ok && tr.lastHB >= now-jt.cfg.TrackerTTL {
+			continue
+		}
+		a.running = false
+		key := [2]int64{a.jobID, a.taskID}
+		if ts := jt.tasks[key]; ts != nil && ts.state == "running" {
+			ts.state = "pending"
+		}
+	}
+
+	// FIFO: pending tasks in (job, task) order onto free trackers.
+	pendingMaps, pendingReds := jt.pendingTasks()
+	for i, ts := range pendingMaps {
+		if i >= len(freeMap) {
+			break
+		}
+		out = append(out, jt.assign(now, ts, freeMap[i], false))
+	}
+	for i, ts := range pendingReds {
+		if i >= len(freeRed) {
+			break
+		}
+		out = append(out, jt.assign(now, ts, freeRed[i], false))
+	}
+
+	// Hadoop-style speculation: a running map whose progress lags the
+	// job average by more than 20% (after a grace period) gets a second
+	// attempt on a free tracker.
+	if jt.Speculate && len(freeMap) > len(pendingMaps) {
+		if inj, ok := jt.speculate(now, freeMap[len(pendingMaps)]); ok {
+			out = append(out, inj)
+		}
+	}
+	return out
+}
+
+func (jt *JobTracker) freeTrackers(now int64, mapSlots bool) []string {
+	var out []string
+	for addr, tr := range jt.trackers {
+		if tr.lastHB < now-jt.cfg.TrackerTTL {
+			continue
+		}
+		if mapSlots && tr.mapSlots > tr.mapUsed {
+			out = append(out, addr)
+		}
+		if !mapSlots && tr.redSlots > tr.redUsed {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (jt *JobTracker) pendingTasks() (maps, reds []*taskState) {
+	var keys [][2]int64
+	for k := range jt.tasks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		ts := jt.tasks[k]
+		if ts.state != "pending" {
+			continue
+		}
+		if ts.typ == "map" {
+			maps = append(maps, ts)
+			continue
+		}
+		j := jt.jobs[ts.jobID]
+		if j != nil && j.mapsDone == j.nMap {
+			reds = append(reds, ts)
+		}
+	}
+	return maps, reds
+}
+
+func (jt *JobTracker) assign(now int64, ts *taskState, tracker string, spec bool) sim.Injection {
+	jt.nextID++
+	attemptID := jt.nextID + 1_000_000 // distinct from job-id space
+	jt.attempts[attemptID] = &attemptState{
+		id: attemptID, jobID: ts.jobID, taskID: ts.taskID,
+		tracker: tracker, start: now, running: true,
+	}
+	if !spec {
+		ts.state = "running"
+	} else {
+		jt.jobs[ts.jobID].specLaunched[ts.taskID]++
+	}
+	// Optimistically consume the slot until the next heartbeat.
+	if tr := jt.trackers[tracker]; tr != nil {
+		if ts.typ == "map" {
+			tr.mapUsed++
+		} else {
+			tr.redUsed++
+		}
+	}
+	return sim.Injection{
+		To: tracker,
+		Tuple: overlog.NewTuple("assign",
+			overlog.Addr(tracker), overlog.Int(ts.jobID), overlog.Int(ts.taskID),
+			overlog.Int(attemptID), overlog.Str(ts.typ), overlog.Bool(spec)),
+	}
+}
+
+// speculate picks the slowest lagging running map attempt, if any.
+func (jt *JobTracker) speculate(now int64, tracker string) (sim.Injection, bool) {
+	// Job-average progress over running and completed map attempts;
+	// completed attempts (progress 1.0) define "normal" so a lone
+	// straggler still looks slow once the rest of the wave is done.
+	sum := map[int64]float64{}
+	cnt := map[int64]int{}
+	for _, a := range jt.attempts {
+		if !a.running && !a.finished {
+			continue
+		}
+		ts := jt.tasks[[2]int64{a.jobID, a.taskID}]
+		if ts == nil || ts.typ != "map" {
+			continue
+		}
+		sum[a.jobID] += a.progress
+		cnt[a.jobID]++
+	}
+	var worst *attemptState
+	for _, a := range jt.attempts {
+		if !a.running || now-a.start < jt.cfg.SpecMinMS {
+			continue
+		}
+		ts := jt.tasks[[2]int64{a.jobID, a.taskID}]
+		if ts == nil || ts.typ != "map" || ts.state != "running" {
+			continue
+		}
+		j := jt.jobs[a.jobID]
+		if j.specLaunched[a.taskID] >= jt.cfg.MaxSpec {
+			continue
+		}
+		if a.tracker == tracker {
+			continue
+		}
+		avg := sum[a.jobID] / float64(cnt[a.jobID])
+		if a.progress < avg-0.2 {
+			if worst == nil || a.progress < worst.progress {
+				worst = a
+			}
+		}
+	}
+	if worst == nil {
+		return sim.Injection{}, false
+	}
+	ts := jt.tasks[[2]int64{worst.jobID, worst.taskID}]
+	return jt.assign(now, ts, tracker, true), true
+}

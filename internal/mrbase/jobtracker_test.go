@@ -1,0 +1,104 @@
+package mrbase
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/boommr"
+	"repro/internal/sim"
+)
+
+func testMR(t *testing.T, n int, speculate bool) (*sim.Cluster, *JobTracker, []*boommr.TaskTracker) {
+	t.Helper()
+	cfg := boommr.DefaultMRConfig()
+	c := sim.NewCluster()
+	reg := boommr.NewRegistry()
+	jt, err := NewJobTracker(c, "jt:0", speculate, cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tts []*boommr.TaskTracker
+	for i := 0; i < n; i++ {
+		tt, err := boommr.NewTaskTracker(c, fmt.Sprintf("tt:%d", i), jt.Addr, cfg, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tts = append(tts, tt)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, jt, tts
+}
+
+func TestImperativeWordCount(t *testing.T) {
+	_, jt, _ := testMR(t, 4, false)
+	splits := make([]string, 8)
+	for i := range splits {
+		splits[i] = strings.Repeat("alpha beta beta ", 50)
+	}
+	job := boommr.NewJob(jt.NewJobID(), splits, 3, boommr.WordCountMap, boommr.WordCountReduce)
+	jt.Submit(job)
+	done, err := jt.Wait(job.ID, 600_000)
+	if err != nil || !done {
+		t.Fatalf("job: %v %v", done, err)
+	}
+	if job.Output()["beta"] != "800" {
+		t.Fatalf("output: %v", job.Output()["beta"])
+	}
+	if len(jt.Completions(job.ID)) != 11 {
+		t.Fatalf("completions: %d", len(jt.Completions(job.ID)))
+	}
+}
+
+func TestImperativeTrackerDeath(t *testing.T) {
+	c, jt, tts := testMR(t, 3, false)
+	big := make([]string, 6)
+	for i := range big {
+		big[i] = strings.Repeat("words here ", 3000)
+	}
+	job := boommr.NewJob(jt.NewJobID(), big, 1, boommr.WordCountMap, boommr.WordCountReduce)
+	jt.Submit(job)
+	if err := c.Run(c.Now() + 300); err != nil {
+		t.Fatal(err)
+	}
+	c.Kill(tts[0].Addr)
+	done, err := jt.Wait(job.ID, 2_000_000)
+	if err != nil || !done {
+		t.Fatalf("job after death: %v %v", done, err)
+	}
+	if job.Output()["words"] != "18000" {
+		t.Fatalf("output: %q", job.Output()["words"])
+	}
+}
+
+func TestImperativeSpeculation(t *testing.T) {
+	run := func(speculate bool) (int64, int) {
+		_, jt, tts := testMR(t, 4, speculate)
+		tts[0].Slowdown = 8.0
+		big := make([]string, 8)
+		for i := range big {
+			big[i] = strings.Repeat("straggle much ", 2000)
+		}
+		job := boommr.NewJob(jt.NewJobID(), big, 1, boommr.WordCountMap, boommr.WordCountReduce)
+		jt.Submit(job)
+		done, err := jt.Wait(job.ID, 3_000_000)
+		if err != nil || !done {
+			t.Fatalf("spec=%v job: %v %v", speculate, done, err)
+		}
+		doneAt, _ := jt.JobDoneAt(job.ID)
+		return doneAt, jt.SpeculativeAttempts(job.ID)
+	}
+	plain, specCountPlain := run(false)
+	spec, specCount := run(true)
+	if specCountPlain != 0 {
+		t.Fatalf("non-speculating scheduler speculated %d times", specCountPlain)
+	}
+	if specCount == 0 {
+		t.Fatal("speculating scheduler never speculated")
+	}
+	if spec >= plain {
+		t.Fatalf("speculation (%dms) not faster than plain (%dms)", spec, plain)
+	}
+}

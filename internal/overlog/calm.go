@@ -1,0 +1,157 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The BOOM Analytics conclusions point at the line of work that became
+// CALM (Consistency And Logical Monotonicity, CIDR 2011): monotone
+// programs are eventually consistent without coordination, and the
+// non-monotone constructs — negation, aggregation, key-replacing
+// updates, deletions — are exactly the program points that need
+// coordination ("points of order"). This analyzer implements that
+// classification for our dialect, as the paper's group later did for
+// Bloom.
+
+// RuleMonotonicity classifies one rule.
+type RuleMonotonicity struct {
+	Rule    string
+	Head    string
+	Reasons []string // empty = monotone
+}
+
+// Monotone reports whether the rule carries no non-monotone construct.
+func (m RuleMonotonicity) Monotone() bool { return len(m.Reasons) == 0 }
+
+// CALMReport is the program-level analysis result.
+type CALMReport struct {
+	Rules []RuleMonotonicity
+	// TaintedTables maps each table to the non-monotone reasons
+	// reachable in its derivation (transitively): a monotone rule whose
+	// body reads a tainted table derives tainted output.
+	TaintedTables map[string][]string
+}
+
+// PointsOfOrder lists the non-monotone rules — the places where, under
+// CALM, a distributed execution needs coordination to stay consistent.
+func (r *CALMReport) PointsOfOrder() []RuleMonotonicity {
+	var out []RuleMonotonicity
+	for _, m := range r.Rules {
+		if !m.Monotone() {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MonotoneFraction returns the share of rules that are monotone.
+func (r *CALMReport) MonotoneFraction() float64 {
+	if len(r.Rules) == 0 {
+		return 1
+	}
+	n := 0
+	for _, m := range r.Rules {
+		if m.Monotone() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Rules))
+}
+
+// AnalyzeCALM classifies every rule of a parsed program and propagates
+// taint through derivations. Declarations are taken from the program
+// itself; tables not declared locally (shared protocol relations) are
+// treated as monotone sources.
+func AnalyzeCALM(prog *Program) *CALMReport {
+	keyed := map[string]bool{} // table -> has a proper primary key (update-in-place)
+	for _, d := range prog.Tables {
+		keyed[d.Name] = !d.Event && len(d.KeyCols) > 0 && len(d.KeyCols) < len(d.Cols)
+	}
+
+	rep := &CALMReport{TaintedTables: map[string][]string{}}
+	deps := map[string][]string{} // head -> body tables (positive)
+	for i, rule := range prog.Rules {
+		name := rule.Name
+		if name == "" {
+			name = fmt.Sprintf("rule#%d", i)
+		}
+		m := RuleMonotonicity{Rule: name, Head: rule.Head.Table}
+		if rule.Delete {
+			m.Reasons = append(m.Reasons, "deletion")
+		}
+		if rule.HasAggregate() {
+			m.Reasons = append(m.Reasons, "aggregation")
+		}
+		if keyed[rule.Head.Table] {
+			m.Reasons = append(m.Reasons, "key-replacing update of "+rule.Head.Table)
+		}
+		for _, be := range rule.Body {
+			switch be.Kind {
+			case BodyNotin:
+				m.Reasons = append(m.Reasons, "negation over "+be.Atom.Table)
+			case BodyAtom:
+				deps[rule.Head.Table] = append(deps[rule.Head.Table], be.Atom.Table)
+			}
+		}
+		rep.Rules = append(rep.Rules, m)
+		if len(m.Reasons) > 0 && !rule.Delete {
+			rep.TaintedTables[rule.Head.Table] = append(
+				rep.TaintedTables[rule.Head.Table],
+				fmt.Sprintf("%s (%s)", name, strings.Join(m.Reasons, ", ")))
+		}
+	}
+
+	// Propagate taint along positive derivations to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for head, bodies := range deps {
+			for _, b := range bodies {
+				if len(rep.TaintedTables[b]) == 0 {
+					continue
+				}
+				marker := "derives from tainted " + b
+				if !containsStr(rep.TaintedTables[head], marker) {
+					rep.TaintedTables[head] = append(rep.TaintedTables[head], marker)
+					changed = true
+				}
+			}
+		}
+	}
+	return rep
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Report renders the analysis for humans.
+func (r *CALMReport) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CALM analysis: %d rules, %.0f%% monotone\n",
+		len(r.Rules), 100*r.MonotoneFraction())
+	poo := r.PointsOfOrder()
+	if len(poo) == 0 {
+		b.WriteString("program is monotone: eventually consistent without coordination\n")
+		return b.String()
+	}
+	b.WriteString("points of order (coordination needed):\n")
+	for _, m := range poo {
+		fmt.Fprintf(&b, "  %-12s -> %-16s %s\n", m.Rule, m.Head, strings.Join(m.Reasons, "; "))
+	}
+	if len(r.TaintedTables) > 0 {
+		var tables []string
+		for t := range r.TaintedTables {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		b.WriteString("tables with non-monotone derivations: " + strings.Join(tables, ", ") + "\n")
+	}
+	return b.String()
+}

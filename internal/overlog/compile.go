@@ -1,0 +1,697 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InstallError reports a semantic error found while installing a
+// program: undeclared tables, arity mismatches, unsafe rules, or
+// unstratifiable negation/aggregation.
+type InstallError struct {
+	Program string
+	Line    int
+	Msg     string
+}
+
+func (e *InstallError) Error() string {
+	if e.Program != "" {
+		return fmt.Sprintf("overlog: install %s: line %d: %s", e.Program, e.Line, e.Msg)
+	}
+	return fmt.Sprintf("overlog: install: line %d: %s", e.Line, e.Msg)
+}
+
+// --- compiled expressions ---
+
+// cexpr is an expression compiled against a rule's variable slots.
+type cexpr interface {
+	eval(env []Value, ee EvalEnv) (Value, error)
+}
+
+type cconst struct{ v Value }
+
+func (c cconst) eval([]Value, EvalEnv) (Value, error) { return c.v, nil }
+
+type cslot struct{ idx int }
+
+func (c cslot) eval(env []Value, _ EvalEnv) (Value, error) { return env[c.idx], nil }
+
+type cneg struct{ e cexpr }
+
+func (c cneg) eval(env []Value, ee EvalEnv) (Value, error) {
+	v, err := c.e.eval(env, ee)
+	if err != nil {
+		return NilValue, err
+	}
+	switch v.Kind() {
+	case KindInt:
+		return Int(-v.AsInt()), nil
+	case KindFloat:
+		return Float(-v.AsFloat()), nil
+	}
+	return NilValue, fmt.Errorf("overlog: unary minus on %s", v.Kind())
+}
+
+type cbin struct {
+	op   BinOp
+	l, r cexpr
+}
+
+func (c cbin) eval(env []Value, ee EvalEnv) (Value, error) {
+	l, err := c.l.eval(env, ee)
+	if err != nil {
+		return NilValue, err
+	}
+	r, err := c.r.eval(env, ee)
+	if err != nil {
+		return NilValue, err
+	}
+	return applyBinOp(c.op, l, r)
+}
+
+func applyBinOp(op BinOp, l, r Value) (Value, error) {
+	switch op {
+	case OpEQ:
+		return Bool(l.Equal(r)), nil
+	case OpNE:
+		return Bool(!l.Equal(r)), nil
+	case OpLT:
+		return Bool(l.Compare(r) < 0), nil
+	case OpLE:
+		return Bool(l.Compare(r) <= 0), nil
+	case OpGT:
+		return Bool(l.Compare(r) > 0), nil
+	case OpGE:
+		return Bool(l.Compare(r) >= 0), nil
+	}
+	// Arithmetic. String + string concatenates.
+	if op == OpAdd && (l.Kind() == KindString || l.Kind() == KindAddr) {
+		if r.Kind() == KindString || r.Kind() == KindAddr || isNumeric(r.Kind()) {
+			return Str(valueToString(l) + valueToString(r)), nil
+		}
+	}
+	if !isNumeric(l.Kind()) || !isNumeric(r.Kind()) {
+		return NilValue, fmt.Errorf("overlog: operator %s needs numeric operands, got %s and %s", op, l.Kind(), r.Kind())
+	}
+	if l.Kind() == KindInt && r.Kind() == KindInt {
+		a, b := l.AsInt(), r.AsInt()
+		switch op {
+		case OpAdd:
+			return Int(a + b), nil
+		case OpSub:
+			return Int(a - b), nil
+		case OpMul:
+			return Int(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return NilValue, fmt.Errorf("overlog: integer division by zero")
+			}
+			return Int(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return NilValue, fmt.Errorf("overlog: integer modulus by zero")
+			}
+			return Int(a % b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case OpAdd:
+		return Float(a + b), nil
+	case OpSub:
+		return Float(a - b), nil
+	case OpMul:
+		return Float(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return NilValue, fmt.Errorf("overlog: float division by zero")
+		}
+		return Float(a / b), nil
+	case OpMod:
+		return NilValue, fmt.Errorf("overlog: %% requires integer operands")
+	}
+	return NilValue, fmt.Errorf("overlog: unhandled operator %s", op)
+}
+
+type ccall struct {
+	b    *Builtin
+	args []cexpr
+}
+
+func (c ccall) eval(env []Value, ee EvalEnv) (Value, error) {
+	vals := make([]Value, len(c.args))
+	for i, a := range c.args {
+		v, err := a.eval(env, ee)
+		if err != nil {
+			return NilValue, err
+		}
+		vals[i] = v
+	}
+	return c.b.Fn(ee, vals)
+}
+
+type clist struct{ elems []cexpr }
+
+func (c clist) eval(env []Value, ee EvalEnv) (Value, error) {
+	vals := make([]Value, len(c.elems))
+	for i, e := range c.elems {
+		v, err := e.eval(env, ee)
+		if err != nil {
+			return NilValue, err
+		}
+		vals[i] = v
+	}
+	return List(vals...), nil
+}
+
+// --- compiled rules ---
+
+// opKind tags compiled body operations.
+type opKind uint8
+
+const (
+	opScan opKind = iota // positive atom: join against table
+	opNotin
+	opCond
+	opAssign
+)
+
+// bodyOp is one compiled body conjunct.
+type bodyOp struct {
+	kind  opKind
+	table string // opScan, opNotin
+
+	// Atom columns are partitioned into:
+	//   bound  — value computable from earlier bindings; probed via index
+	//   bind   — variable's first occurrence; binds a slot
+	//   filter — variable bound earlier in this same atom; post-filter
+	// Wildcards are dropped.
+	boundCols   []int
+	boundExprs  []cexpr
+	bindCols    []int
+	bindSlots   []int
+	filterCols  []int
+	filterSlots []int
+
+	cond       cexpr // opCond
+	assignSlot int   // opAssign
+	assignExpr cexpr // opAssign
+
+	line int
+}
+
+// aggSpec describes one aggregate head position.
+type aggSpec struct {
+	col  int // head column index
+	kind AggKind
+	slot int // slot of aggregated variable; -1 for count<_>
+}
+
+// headOp is the compiled rule head.
+type headOp struct {
+	table  string
+	exprs  []cexpr // nil at aggregate positions
+	aggs   []aggSpec
+	locCol int // column carrying '@', or -1
+}
+
+// compiledRule is a rule ready for evaluation.
+type compiledRule struct {
+	src        *Rule
+	name       string // label or synthesized r<N>
+	program    string
+	nslots     int
+	slotNames  []string
+	body       []*bodyOp
+	head       headOp
+	isAgg      bool
+	isDelete   bool
+	isDeferred bool
+	stratum    int
+	ranOnce    bool
+	// scanPositions indexes body ops that are opScan, for semi-naive
+	// delta placement.
+	scanPositions []int
+	// deltaVariants[i] is this rule recompiled with the i-th scan atom
+	// moved to the front of the body, so delta-driven evaluation probes
+	// the frontier first and index-joins the rest (sideways information
+	// passing). nil when the rule has at most one body element.
+	deltaVariants []*compiledRule
+}
+
+// ruleCompiler tracks variable slot allocation for one rule.
+type ruleCompiler struct {
+	cat   *catalog
+	rule  *Rule
+	prog  string
+	slots map[string]int
+	names []string
+}
+
+func (rc *ruleCompiler) slotOf(name string) (int, bool) {
+	s, ok := rc.slots[name]
+	return s, ok
+}
+
+func (rc *ruleCompiler) newSlot(name string) int {
+	s := len(rc.names)
+	rc.slots[name] = s
+	rc.names = append(rc.names, name)
+	return s
+}
+
+func (rc *ruleCompiler) errf(line int, format string, args ...interface{}) error {
+	return &InstallError{Program: rc.prog, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// compileExpr compiles an expression requiring all variables bound.
+func (rc *ruleCompiler) compileExpr(e Expr, line int) (cexpr, error) {
+	switch x := e.(type) {
+	case *ConstExpr:
+		return cconst{v: x.Val}, nil
+	case *VarExpr:
+		s, ok := rc.slotOf(x.Name)
+		if !ok {
+			return nil, rc.errf(line, "variable %s used before it is bound in rule %s", x.Name, rc.rule.Head.Table)
+		}
+		return cslot{idx: s}, nil
+	case *WildcardExpr:
+		return nil, rc.errf(line, "wildcard _ not allowed in this expression position")
+	case *NegExpr:
+		inner, err := rc.compileExpr(x.E, line)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := inner.(cconst); ok {
+			v, err := cneg{e: c}.eval(nil, nil)
+			if err == nil {
+				return cconst{v: v}, nil
+			}
+		}
+		return cneg{e: inner}, nil
+	case *BinExpr:
+		l, err := rc.compileExpr(x.L, line)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rc.compileExpr(x.R, line)
+		if err != nil {
+			return nil, err
+		}
+		return cbin{op: x.Op, l: l, r: r}, nil
+	case *CallExpr:
+		b, ok := LookupBuiltin(x.Fn)
+		if !ok {
+			return nil, rc.errf(line, "unknown function %q", x.Fn)
+		}
+		if len(x.Args) < b.MinArgs || (b.MaxArgs >= 0 && len(x.Args) > b.MaxArgs) {
+			return nil, rc.errf(line, "function %s: wrong argument count %d", x.Fn, len(x.Args))
+		}
+		args := make([]cexpr, len(x.Args))
+		for i, a := range x.Args {
+			c, err := rc.compileExpr(a, line)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		return ccall{b: b, args: args}, nil
+	case *ListExpr:
+		elems := make([]cexpr, len(x.Elems))
+		for i, el := range x.Elems {
+			c, err := rc.compileExpr(el, line)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = c
+		}
+		return clist{elems: elems}, nil
+	}
+	return nil, rc.errf(line, "unsupported expression %T", e)
+}
+
+// exprFullyBound reports whether all free variables of e are bound.
+func (rc *ruleCompiler) exprFullyBound(e Expr) bool {
+	for _, v := range e.freeVars(nil) {
+		if _, ok := rc.slotOf(v); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// compileAtom compiles a body atom into a scan/notin op.
+func (rc *ruleCompiler) compileAtom(a *Atom, negated bool) (*bodyOp, error) {
+	decl, ok := rc.cat.decl(a.Table)
+	if !ok {
+		return nil, rc.errf(a.Line, "undeclared table %q", a.Table)
+	}
+	if len(a.Terms) != decl.Arity() {
+		return nil, rc.errf(a.Line, "table %s has arity %d, atom supplies %d terms", a.Table, decl.Arity(), len(a.Terms))
+	}
+	op := &bodyOp{kind: opScan, table: a.Table, line: a.Line}
+	if negated {
+		op.kind = opNotin
+	}
+	seenInAtom := map[string]int{}
+	for col, term := range a.Terms {
+		if term.Agg != AggNone {
+			return nil, rc.errf(a.Line, "aggregate in body atom %s", a.Table)
+		}
+		switch x := term.Expr.(type) {
+		case *WildcardExpr:
+			continue
+		case *VarExpr:
+			if slot, boundHere := seenInAtom[x.Name]; boundHere {
+				op.filterCols = append(op.filterCols, col)
+				op.filterSlots = append(op.filterSlots, slot)
+				continue
+			}
+			if slot, ok := rc.slotOf(x.Name); ok {
+				op.boundCols = append(op.boundCols, col)
+				op.boundExprs = append(op.boundExprs, cslot{idx: slot})
+				continue
+			}
+			if negated {
+				return nil, rc.errf(a.Line, "unsafe rule: variable %s in notin %s is not bound by a preceding positive atom", x.Name, a.Table)
+			}
+			slot := rc.newSlot(x.Name)
+			seenInAtom[x.Name] = slot
+			op.bindCols = append(op.bindCols, col)
+			op.bindSlots = append(op.bindSlots, slot)
+		default:
+			if !rc.exprFullyBound(term.Expr) {
+				return nil, rc.errf(a.Line, "unsafe rule: expression %s in atom %s uses unbound variables", term.Expr, a.Table)
+			}
+			ce, err := rc.compileExpr(term.Expr, a.Line)
+			if err != nil {
+				return nil, err
+			}
+			op.boundCols = append(op.boundCols, col)
+			op.boundExprs = append(op.boundExprs, ce)
+		}
+	}
+	return op, nil
+}
+
+// compileRule compiles one rule against the catalog.
+func (rc *ruleCompiler) compileRule(seq int) (*compiledRule, error) {
+	r := rc.rule
+	cr := &compiledRule{
+		src:        r,
+		program:    rc.prog,
+		isDelete:   r.Delete,
+		isDeferred: r.Deferred,
+		isAgg:      r.HasAggregate(),
+	}
+	cr.name = r.Name
+	if cr.name == "" {
+		cr.name = fmt.Sprintf("%s_r%d", rc.prog, seq)
+	}
+
+	// Body, in textual order (the join order, as in P2).
+	for _, be := range r.Body {
+		switch be.Kind {
+		case BodyAtom:
+			// An "atom" whose table is undeclared but names a builtin is a
+			// boolean condition call, e.g. startswith(P, "/x").
+			if _, ok := rc.cat.decl(be.Atom.Table); !ok {
+				if _, isFn := LookupBuiltin(be.Atom.Table); isFn {
+					call := &CallExpr{Fn: be.Atom.Table}
+					for _, t := range be.Atom.Terms {
+						if t.Loc || t.Agg != AggNone {
+							return nil, rc.errf(be.Line, "malformed condition call %s", be.Atom.Table)
+						}
+						call.Args = append(call.Args, t.Expr)
+					}
+					ce, err := rc.compileExpr(call, be.Line)
+					if err != nil {
+						return nil, err
+					}
+					cr.body = append(cr.body, &bodyOp{kind: opCond, cond: ce, line: be.Line})
+					continue
+				}
+			}
+			op, err := rc.compileAtom(be.Atom, false)
+			if err != nil {
+				return nil, err
+			}
+			cr.scanPositions = append(cr.scanPositions, len(cr.body))
+			cr.body = append(cr.body, op)
+		case BodyNotin:
+			op, err := rc.compileAtom(be.Atom, true)
+			if err != nil {
+				return nil, err
+			}
+			cr.body = append(cr.body, op)
+		case BodyCond:
+			if !rc.exprFullyBound(be.Cond) {
+				return nil, rc.errf(be.Line, "unsafe rule: condition %s uses unbound variables", be.Cond)
+			}
+			ce, err := rc.compileExpr(be.Cond, be.Line)
+			if err != nil {
+				return nil, err
+			}
+			cr.body = append(cr.body, &bodyOp{kind: opCond, cond: ce, line: be.Line})
+		case BodyAssign:
+			if _, already := rc.slotOf(be.Assign); already {
+				return nil, rc.errf(be.Line, "variable %s reassigned with := (each variable binds once)", be.Assign)
+			}
+			if !rc.exprFullyBound(be.Expr) {
+				return nil, rc.errf(be.Line, "unsafe rule: assignment to %s uses unbound variables", be.Assign)
+			}
+			ce, err := rc.compileExpr(be.Expr, be.Line)
+			if err != nil {
+				return nil, err
+			}
+			slot := rc.newSlot(be.Assign)
+			cr.body = append(cr.body, &bodyOp{kind: opAssign, assignSlot: slot, assignExpr: ce, line: be.Line})
+		}
+	}
+
+	// Head.
+	hd, ok := rc.cat.decl(r.Head.Table)
+	if !ok {
+		return nil, rc.errf(r.Head.Line, "undeclared head table %q", r.Head.Table)
+	}
+	if len(r.Head.Terms) != hd.Arity() {
+		return nil, rc.errf(r.Head.Line, "head %s has arity %d, rule supplies %d terms", r.Head.Table, hd.Arity(), len(r.Head.Terms))
+	}
+	cr.head = headOp{table: r.Head.Table, locCol: r.Head.LocIndex(), exprs: make([]cexpr, hd.Arity())}
+	for col, term := range r.Head.Terms {
+		if term.Agg != AggNone {
+			spec := aggSpec{col: col, kind: term.Agg, slot: -1}
+			if v, isVar := term.Expr.(*VarExpr); isVar {
+				slot, bound := rc.slotOf(v.Name)
+				if !bound {
+					return nil, rc.errf(r.Head.Line, "aggregate variable %s is not bound in the body", v.Name)
+				}
+				spec.slot = slot
+			} else if term.Agg != AggCount {
+				return nil, rc.errf(r.Head.Line, "aggregate %s requires a variable argument", term.Agg)
+			}
+			cr.head.aggs = append(cr.head.aggs, spec)
+			continue
+		}
+		if _, isWild := term.Expr.(*WildcardExpr); isWild {
+			return nil, rc.errf(r.Head.Line, "wildcard _ not allowed in a rule head")
+		}
+		if !rc.exprFullyBound(term.Expr) {
+			return nil, rc.errf(r.Head.Line, "unsafe rule: head term %s uses unbound variables", term.Expr)
+		}
+		ce, err := rc.compileExpr(term.Expr, r.Head.Line)
+		if err != nil {
+			return nil, err
+		}
+		cr.head.exprs[col] = ce
+	}
+	if cr.isDelete && cr.isAgg {
+		return nil, rc.errf(r.Line, "delete rules may not aggregate")
+	}
+	if cr.isDelete && cr.head.locCol >= 0 {
+		return nil, rc.errf(r.Line, "delete rules may not carry a location specifier (deletions are node-local)")
+	}
+	cr.nslots = len(rc.names)
+	cr.slotNames = rc.names
+	return cr, nil
+}
+
+// buildDeltaVariants compiles one reordered variant per positive body
+// atom: that atom first, remaining elements in original relative order.
+// Relative-order preservation keeps every element's dependencies ahead
+// of it, so safety is unaffected. Variants share the original's name
+// (for rule-firing stats) and flags.
+func buildDeltaVariants(cat *catalog, cr *compiledRule, seq int) error {
+	src := cr.src
+	if len(src.Body) <= 1 || cr.isAgg {
+		return nil
+	}
+	// Identify body-element indexes that compiled to scans, in order.
+	var scanElems []int
+	for i, be := range src.Body {
+		if be.Kind != BodyAtom {
+			continue
+		}
+		// Condition-call atoms (builtins) did not become scans.
+		if _, ok := cat.decl(be.Atom.Table); !ok {
+			continue
+		}
+		scanElems = append(scanElems, i)
+	}
+	if len(scanElems) != len(cr.scanPositions) {
+		return &InstallError{Program: cr.program, Line: src.Line,
+			Msg: "internal: scan position mismatch building delta variants"}
+	}
+	for _, elemIdx := range scanElems {
+		if elemIdx == scanElems[0] && elemIdx == 0 {
+			// Already first; reuse the main compilation.
+			cr.deltaVariants = append(cr.deltaVariants, cr)
+			continue
+		}
+		reordered := make([]*BodyElem, 0, len(src.Body))
+		reordered = append(reordered, src.Body[elemIdx])
+		for i, be := range src.Body {
+			if i != elemIdx {
+				reordered = append(reordered, be)
+			}
+		}
+		variant := &Rule{Name: src.Name, Delete: src.Delete, Deferred: src.Deferred,
+			Head: src.Head, Body: reordered, Line: src.Line}
+		rc := &ruleCompiler{cat: cat, rule: variant, prog: cr.program, slots: map[string]int{}}
+		vcr, err := rc.compileRule(seq)
+		if err != nil {
+			// The reordering is unsafe for this atom (e.g. one of its
+			// argument expressions needs variables bound later); fall
+			// back to original-order evaluation for this delta position.
+			cr.deltaVariants = append(cr.deltaVariants, nil)
+			continue
+		}
+		vcr.name = cr.name
+		cr.deltaVariants = append(cr.deltaVariants, vcr)
+	}
+	return nil
+}
+
+// --- catalog & stratification ---
+
+// catalog holds all installed declarations and compiled rules.
+type catalog struct {
+	decls     map[string]*TableDecl
+	rules     []*compiledRule
+	periodics []*PeriodicDecl
+	watches   map[string]string // table -> modes ("" = both)
+	programs  []string
+	// strata[i] holds the rules of stratum i, aggregates listed first.
+	strata     [][]*compiledRule
+	maxStratum int
+}
+
+func newCatalog() *catalog {
+	return &catalog{
+		decls:   make(map[string]*TableDecl),
+		watches: make(map[string]string),
+	}
+}
+
+func (c *catalog) decl(name string) (*TableDecl, bool) {
+	d, ok := c.decls[name]
+	return d, ok
+}
+
+// stratify assigns a stratum to every table and rule. Positive
+// dependencies impose stratum(head) >= stratum(body); negation and
+// aggregation impose strictly greater. A strict edge inside a cycle is
+// an error (the program is not stratifiable).
+func (c *catalog) stratify() error {
+	// Collect edges: body -> head with weight 0 (positive) or 1 (strict).
+	type edge struct {
+		from, to string
+		strict   bool
+	}
+	var edges []edge
+	tables := map[string]bool{}
+	for n := range c.decls {
+		tables[n] = true
+	}
+	for _, cr := range c.rules {
+		if cr.isDeferred || cr.isDelete {
+			// Deferred heads apply at the next timestep and deletions at
+			// the end of the current one, so neither imposes intra-step
+			// ordering (temporal stratification, as in Dedalus): a
+			// counter may be read and `next`-updated freely, and a rule
+			// may delete from a table its own body negates.
+			continue
+		}
+		head := cr.head.table
+		for _, op := range cr.body {
+			switch op.kind {
+			case opScan:
+				strict := cr.isAgg // aggregation reads its inputs' fixpoint
+				edges = append(edges, edge{from: op.table, to: head, strict: strict})
+			case opNotin:
+				edges = append(edges, edge{from: op.table, to: head, strict: true})
+			}
+		}
+	}
+
+	// Longest-path strata via Bellman-Ford style relaxation; a positive
+	// cycle through a strict edge never converges, so bound iterations.
+	stratum := map[string]int{}
+	for t := range tables {
+		stratum[t] = 0
+	}
+	n := len(tables)
+	for iter := 0; iter <= n+1; iter++ {
+		changed := false
+		for _, e := range edges {
+			need := stratum[e.from]
+			if e.strict {
+				need++
+			}
+			if stratum[e.to] < need {
+				stratum[e.to] = need
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == n+1 {
+			return &InstallError{Msg: "program is not stratifiable: negation or aggregation appears in a recursive cycle"}
+		}
+	}
+
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	c.maxStratum = max
+	c.strata = make([][]*compiledRule, max+1)
+	for _, cr := range c.rules {
+		if cr.isDeferred || cr.isDelete {
+			// Deferred and delete rules evaluate where their inputs are
+			// complete.
+			s := 0
+			for _, op := range cr.body {
+				if op.kind == opScan || op.kind == opNotin {
+					if bs := stratum[op.table]; bs > s {
+						s = bs
+					}
+				}
+			}
+			cr.stratum = s
+		} else {
+			cr.stratum = stratum[cr.head.table]
+		}
+		c.strata[cr.stratum] = append(c.strata[cr.stratum], cr)
+	}
+	// Aggregate rules first within each stratum (they run once at entry).
+	for _, rules := range c.strata {
+		sort.SliceStable(rules, func(i, j int) bool {
+			return rules[i].isAgg && !rules[j].isAgg
+		})
+	}
+	return nil
+}

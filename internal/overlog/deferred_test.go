@@ -1,0 +1,192 @@
+package overlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDeferredCounter: the `next` idiom lets a counter be read and
+// bumped by the same event without an unstratifiable cycle or an
+// intra-step feedback loop.
+func TestDeferredCounter(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table counter(K: string, N: int) keys(0);
+		event bump(K: string);
+		counter("c", 0);
+		r1 next counter(K, N + 1) :- bump(K), counter(K, N);
+	`)
+	rt.Step(1, []Tuple{NewTuple("bump", Str("c"))})
+	// Value unchanged within the step...
+	tp, _ := rt.Table("counter").LookupKey(NewTuple("counter", Str("c"), Int(0)))
+	if tp.Vals[1].AsInt() != 0 {
+		t.Fatalf("counter changed too early: %s", tp)
+	}
+	// ...and the runtime asks to wake to apply it.
+	if rt.NextWake() != 2 {
+		t.Fatalf("next wake: %d", rt.NextWake())
+	}
+	rt.Step(2, nil)
+	tp, _ = rt.Table("counter").LookupKey(tp)
+	if tp.Vals[1].AsInt() != 1 {
+		t.Fatalf("counter not bumped: %s", tp)
+	}
+	// No runaway: a third step leaves it alone (bump event is gone).
+	rt.Step(3, nil)
+	tp, _ = rt.Table("counter").LookupKey(tp)
+	if tp.Vals[1].AsInt() != 1 {
+		t.Fatalf("counter ran away: %s", tp)
+	}
+}
+
+func TestDeferredDoesNotCountAsStrictEdge(t *testing.T) {
+	// Aggregate over a table fed by a next-rule from the same table:
+	// stratifiable because the next edge is temporal.
+	rt := NewRuntime("n1")
+	err := rt.InstallSource(`
+		table log(N: int) keys(0);
+		table logcount(K: string, C: int) keys(0);
+		event append(N: int);
+		r1 next log(N) :- append(N);
+		r2 logcount("k", count<N>) :- log(N);
+	`)
+	if err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	rt.Step(1, []Tuple{NewTuple("append", Int(1))})
+	rt.Step(2, nil)
+	tp, ok := rt.Table("logcount").LookupKey(NewTuple("logcount", Str("k"), Int(0)))
+	if !ok || tp.Vals[1].AsInt() != 1 {
+		t.Fatalf("logcount: %v %v", ok, tp)
+	}
+}
+
+func TestDeleteNextRejected(t *testing.T) {
+	_, err := Parse(`
+		table t(A: int) keys(0);
+		delete next t(A) :- t(A);
+	`)
+	if err == nil {
+		t.Fatal("expected parse error for delete next")
+	}
+}
+
+func TestSetofAggregate(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table child(Dir: string, Name: string) keys(0,1);
+		table listing(Dir: string, Names: list) keys(0);
+		r1 listing(D, setof<N>) :- child(D, N);
+	`)
+	rt.Step(1, []Tuple{
+		NewTuple("child", Str("/"), Str("b")),
+		NewTuple("child", Str("/"), Str("a")),
+		NewTuple("child", Str("/"), Str("c")),
+		NewTuple("child", Str("/x"), Str("z")),
+	})
+	tp, ok := rt.Table("listing").LookupKey(NewTuple("listing", Str("/"), List()))
+	if !ok {
+		t.Fatalf("no listing:\n%s", rt.Table("listing").Dump())
+	}
+	l := tp.Vals[1].AsList()
+	if len(l) != 3 || l[0].AsString() != "a" || l[2].AsString() != "c" {
+		t.Fatalf("setof: %s", tp.Vals[1])
+	}
+}
+
+func TestSetofWithOtherAggregates(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table obs(K: string, V: int) keys(0,1);
+		table summary(K: string, Vals: list, Cnt: int, Mx: int) keys(0);
+		r1 summary(K, setof<V>, count<V>, max<V>) :- obs(K, V);
+	`)
+	rt.Step(1, []Tuple{
+		NewTuple("obs", Str("k"), Int(5)),
+		NewTuple("obs", Str("k"), Int(3)),
+	})
+	tp := rt.Table("summary").Tuples()[0]
+	if len(tp.Vals[1].AsList()) != 2 || tp.Vals[2].AsInt() != 2 || tp.Vals[3].AsInt() != 5 {
+		t.Fatalf("summary: %s", tp)
+	}
+}
+
+func TestPickkDeterministic(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event go(Seed: int);
+		table picked(Seed: int, L: list) keys(0);
+		r1 picked(S, pickk(["a","b","c","d","e"], 3, S)) :- go(S);
+	`)
+	rt.Step(1, []Tuple{NewTuple("go", Int(7))})
+	rt2 := NewRuntime("n2")
+	mustInstall(t, rt2, `
+		event go(Seed: int);
+		table picked(Seed: int, L: list) keys(0);
+		r1 picked(S, pickk(["a","b","c","d","e"], 3, S)) :- go(S);
+	`)
+	rt2.Step(1, []Tuple{NewTuple("go", Int(7))})
+	a := rt.Table("picked").Dump()
+	b := rt2.Table("picked").Dump()
+	if a != b {
+		t.Fatalf("pickk differs across nodes: %q vs %q", a, b)
+	}
+	l := rt.Table("picked").Tuples()[0].Vals[1].AsList()
+	if len(l) != 3 {
+		t.Fatalf("pickk size: %d", len(l))
+	}
+	seen := map[string]bool{}
+	for _, v := range l {
+		if seen[v.AsString()] {
+			t.Fatalf("pickk duplicated: %v", l)
+		}
+		seen[v.AsString()] = true
+	}
+}
+
+func TestNextidMonotone(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event go(N: int);
+		table ids(N: int, Id: int) keys(0);
+		r1 ids(N, nextid()) :- go(N);
+	`)
+	rt.Step(1, []Tuple{NewTuple("go", Int(1)), NewTuple("go", Int(2))})
+	tps := rt.Table("ids").Tuples()
+	if len(tps) != 2 || tps[0].Vals[1].AsInt() == tps[1].Vals[1].AsInt() {
+		t.Fatalf("ids: %v", tps)
+	}
+}
+
+func TestStrjoinAndLsort(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event go(N: int);
+		table out(N: int, S: string) keys(0);
+		r1 out(N, strjoin(lsort(["c","a","b"]), ",")) :- go(N);
+	`)
+	rt.Step(1, []Tuple{NewTuple("go", Int(1))})
+	tp := rt.Table("out").Tuples()[0]
+	if tp.Vals[1].AsString() != "a,b,c" {
+		t.Fatalf("strjoin/lsort: %s", tp)
+	}
+}
+
+func TestDeferredRemoteGoesImmediately(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event go(N: int);
+		event msg(Addr: addr, N: int);
+		r1 next msg(@A, N) :- go(N), A := "n2";
+	`)
+	out, err := rt.Step(1, []Tuple{NewTuple("go", Int(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].To != "n2" {
+		t.Fatalf("remote deferred: %v", out)
+	}
+	if strings.Contains(rt.Table("msg").Dump(), "1") {
+		t.Fatal("msg should not be stored locally")
+	}
+}

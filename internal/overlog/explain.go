@@ -1,0 +1,107 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Explain renders the compiled plan of one installed rule: its stratum,
+// flags, the join order with each atom's bound/bind/filter column
+// partition, and the delta-variant reorderings semi-naive evaluation
+// will use. This is a debugging aid in the spirit of the paper's
+// metaprogrammed introspection — the catalog knows everything about the
+// program, so exposing the physical plan is a formatting exercise.
+func (r *Runtime) Explain(ruleName string) (string, error) {
+	var cr *compiledRule
+	for _, c := range r.cat.rules {
+		if c.name == ruleName {
+			cr = c
+			break
+		}
+	}
+	if cr == nil {
+		return "", fmt.Errorf("overlog: Explain: no rule named %q", ruleName)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "rule %s (program %s)\n", cr.name, cr.program)
+	fmt.Fprintf(&b, "  source:  %s\n", cr.src)
+	flags := []string{fmt.Sprintf("stratum=%d", cr.stratum)}
+	if cr.isAgg {
+		flags = append(flags, "aggregate")
+	}
+	if cr.isDelete {
+		flags = append(flags, "delete")
+	}
+	if cr.isDeferred {
+		flags = append(flags, "deferred(next)")
+	}
+	fmt.Fprintf(&b, "  flags:   %s\n", strings.Join(flags, ", "))
+	fmt.Fprintf(&b, "  head:    %s", cr.head.table)
+	if cr.head.locCol >= 0 {
+		fmt.Fprintf(&b, " (location column %d)", cr.head.locCol)
+	}
+	if len(cr.head.aggs) > 0 {
+		var aggs []string
+		for _, a := range cr.head.aggs {
+			aggs = append(aggs, fmt.Sprintf("%s@col%d", a.kind, a.col))
+		}
+		fmt.Fprintf(&b, " aggregates [%s]", strings.Join(aggs, ", "))
+	}
+	b.WriteString("\n  plan (textual join order):\n")
+	explainOps(&b, cr, "    ")
+	if n := len(cr.deltaVariants); n > 0 {
+		fmt.Fprintf(&b, "  delta variants (frontier-first reorderings): %d of %d scans\n",
+			countNonNil(cr.deltaVariants), n)
+	}
+	return b.String(), nil
+}
+
+func countNonNil(vs []*compiledRule) int {
+	n := 0
+	for _, v := range vs {
+		if v != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func explainOps(b *strings.Builder, cr *compiledRule, indent string) {
+	for i, op := range cr.body {
+		switch op.kind {
+		case opScan, opNotin:
+			kind := "scan "
+			if op.kind == opNotin {
+				kind = "notin"
+			}
+			fmt.Fprintf(b, "%s%d. %s %-18s bound=%v bind=%v filter=%v\n",
+				indent, i, kind, op.table, op.boundCols, op.bindCols, op.filterCols)
+		case opCond:
+			fmt.Fprintf(b, "%s%d. cond\n", indent, i)
+		case opAssign:
+			fmt.Fprintf(b, "%s%d. assign slot %d\n", indent, i, op.assignSlot)
+		}
+	}
+}
+
+// ExplainAll renders every installed rule's plan, grouped by stratum —
+// the full physical program.
+func (r *Runtime) ExplainAll() string {
+	byStratum := map[int][]string{}
+	for _, cr := range r.cat.rules {
+		byStratum[cr.stratum] = append(byStratum[cr.stratum], cr.name)
+	}
+	var strata []int
+	for s := range byStratum {
+		strata = append(strata, s)
+	}
+	sort.Ints(strata)
+	var b strings.Builder
+	for _, s := range strata {
+		names := byStratum[s]
+		sort.Strings(names)
+		fmt.Fprintf(&b, "stratum %d: %s\n", s, strings.Join(names, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package overlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainRule(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		table cnt(K: string, N: int) keys(0);
+		event del_req(A: int);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+		r3 cnt("n", count<B>) :- reach(_, B);
+		r4 delete edge(A, B) :- del_req(A), edge(A, B);
+	`)
+	out, err := rt.Explain("r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"rule r2", "stratum=0", "head:    reach",
+		"scan  edge", "scan  reach", "delta variants"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain(r2) missing %q:\n%s", frag, out)
+		}
+	}
+	out, err = rt.Explain("r3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "aggregate") || !strings.Contains(out, "count@col1") {
+		t.Errorf("Explain(r3):\n%s", out)
+	}
+	out, err = rt.Explain("r4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "delete") {
+		t.Errorf("Explain(r4):\n%s", out)
+	}
+	if _, err := rt.Explain("nope"); err == nil {
+		t.Fatal("expected error for unknown rule")
+	}
+}
+
+func TestExplainAllStrata(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table a(X: int) keys(0);
+		table b(X: int) keys(0);
+		table c(K: string, N: int) keys(0);
+		r1 b(X) :- a(X);
+		r2 c("n", count<X>) :- b(X);
+	`)
+	out := rt.ExplainAll()
+	if !strings.Contains(out, "stratum 0: r1") || !strings.Contains(out, "stratum 1: r2") {
+		t.Fatalf("ExplainAll:\n%s", out)
+	}
+}

@@ -1,0 +1,187 @@
+package overlog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Journal complements Snapshot the way HDFS's EditLog complements its
+// FsImage: a watcher appends every insert and delete on the selected
+// tables to a writer, and Replay applies a journal stream onto a fresh
+// runtime (typically after RestoreSnapshot of an older checkpoint).
+// Because mutations are just tuples, the log format is the same value
+// framing the snapshot uses, plus an op byte.
+type Journal struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	tables map[string]bool // nil = all persistent user tables
+	err    error
+	writes int64
+}
+
+const (
+	journalInsert byte = 1
+	journalDelete byte = 2
+)
+
+// NewJournal creates a journal writing to w. With no tables listed it
+// records every persistent, non-sys table.
+func NewJournal(w io.Writer, tables ...string) *Journal {
+	j := &Journal{w: bufio.NewWriter(w)}
+	if len(tables) > 0 {
+		j.tables = map[string]bool{}
+		for _, t := range tables {
+			j.tables[t] = true
+		}
+	}
+	return j
+}
+
+// Attach subscribes the journal to a runtime's watch stream. The
+// runtime must have the journal's tables watched; with no explicit
+// table list, attach to a runtime built with WithWatchAll (or AddWatch
+// the tables of interest first).
+func (j *Journal) Attach(rt *Runtime) error {
+	for t := range j.tables {
+		if err := rt.AddWatch(t, ""); err != nil {
+			return err
+		}
+	}
+	rt.RegisterWatcher(func(ev WatchEvent) {
+		j.record(rt, ev)
+	})
+	return nil
+}
+
+func (j *Journal) record(rt *Runtime, ev WatchEvent) {
+	if j.tables != nil && !j.tables[ev.Tuple.Table] {
+		return
+	}
+	if j.tables == nil {
+		if isSysTable(ev.Tuple.Table) {
+			return
+		}
+		if d := rt.Table(ev.Tuple.Table); d == nil || d.Decl().Event {
+			return
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	op := journalInsert
+	if !ev.Insert {
+		op = journalDelete
+	}
+	if err := j.w.WriteByte(op); err != nil {
+		j.err = err
+		return
+	}
+	if err := writeString(j.w, ev.Tuple.Table); err != nil {
+		j.err = err
+		return
+	}
+	if err := writeUvarint(j.w, uint64(len(ev.Tuple.Vals))); err != nil {
+		j.err = err
+		return
+	}
+	for _, v := range ev.Tuple.Vals {
+		data, err := v.MarshalBinary()
+		if err != nil {
+			j.err = fmt.Errorf("overlog: journal %s: %w", ev.Tuple.Table, err)
+			return
+		}
+		if err := writeBytes(j.w, data); err != nil {
+			j.err = err
+			return
+		}
+	}
+	j.writes++
+}
+
+// Flush pushes buffered records to the underlying writer and reports
+// any recording error encountered so far.
+func (j *Journal) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// Records returns how many events were journaled.
+func (j *Journal) Records() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.writes
+}
+
+// ReplayJournal applies a journal stream onto a runtime: inserts go
+// through the normal insertion path (seeding deltas, like a restore);
+// deletes remove matching tuples. Truncated trailing records — the
+// normal shape of a crash — end replay cleanly; corruption mid-stream
+// is an error. Returns the number of records applied.
+func ReplayJournal(rt *Runtime, r io.Reader) (int64, error) {
+	br := bufio.NewReader(r)
+	var applied int64
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		if op != journalInsert && op != journalDelete {
+			return applied, fmt.Errorf("overlog: journal: bad op %d", op)
+		}
+		table, err := readString(br)
+		if err != nil {
+			return applied, truncatedOK(applied, err)
+		}
+		arity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return applied, truncatedOK(applied, err)
+		}
+		vals := make([]Value, arity)
+		for c := uint64(0); c < arity; c++ {
+			data, err := readBytes(br)
+			if err != nil {
+				return applied, truncatedOK(applied, err)
+			}
+			if err := vals[c].UnmarshalBinary(data); err != nil {
+				return applied, err
+			}
+		}
+		tp := NewTuple(table, vals...)
+		tbl := rt.Table(table)
+		if tbl == nil {
+			return applied, fmt.Errorf("overlog: journal: table %q not declared", table)
+		}
+		if op == journalInsert {
+			if _, err := rt.insertLocal(tp, "journal"); err != nil {
+				return applied, err
+			}
+		} else {
+			if err := rt.deleteLocal(tp); err != nil {
+				return applied, err
+			}
+		}
+		applied++
+	}
+}
+
+// truncatedOK converts an unexpected-EOF inside a record into a clean
+// end of replay (a torn final record after a crash), passing through
+// other errors.
+func truncatedOK(applied int64, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil
+	}
+	return err
+}

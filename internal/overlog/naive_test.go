@@ -1,0 +1,71 @@
+package overlog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropNaiveAndSemiNaiveAgree differentially tests the evaluator:
+// the naive ablation path and the semi-naive path must compute the
+// same fixpoint on random positive programs with aggregates.
+func TestPropNaiveAndSemiNaiveAgree(t *testing.T) {
+	const src = `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		table fanout(A: int, N: int) keys(0);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+		r3 fanout(A, count<B>) :- reach(A, B);
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var facts []Tuple
+		n := 3 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			facts = append(facts, NewTuple("edge", Int(r.Int63n(6)), Int(r.Int63n(6))))
+		}
+		run := func(opts ...Option) (string, string) {
+			rt := NewRuntime("n1", opts...)
+			if err := rt.InstallSource(src); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Step(1, facts); err != nil {
+				t.Fatal(err)
+			}
+			return rt.Table("reach").Dump(), rt.Table("fanout").Dump()
+		}
+		sr, sf := run()
+		nr, nf := run(WithNaiveEval())
+		return sr == nr && sf == nf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNaiveEvalEventsAndDeletes exercises the naive path's handling of
+// events, negation, and delete rules on a realistic mini-protocol.
+func TestNaiveEvalEventsAndDeletes(t *testing.T) {
+	rt := NewRuntime("n1", WithNaiveEval())
+	mustInstall(t, rt, `
+		table kv(K: string, V: int) keys(0);
+		table missing(K: string) keys(0);
+		event put(K: string, V: int);
+		event del(K: string);
+		event probe(K: string);
+		r1 kv(K, V) :- put(K, V);
+		r2 delete kv(K, V) :- del(K), kv(K, V);
+		r3 missing(K) :- probe(K), notin kv(K, _);
+	`)
+	rt.Step(1, []Tuple{NewTuple("put", Str("a"), Int(1)), NewTuple("put", Str("b"), Int(2))})
+	rt.Step(2, []Tuple{NewTuple("del", Str("a"))})
+	rt.Step(3, []Tuple{NewTuple("probe", Str("a")), NewTuple("probe", Str("b"))})
+	if rt.Table("kv").Len() != 1 {
+		t.Fatalf("kv: %s", rt.Table("kv").Dump())
+	}
+	got := rt.Table("missing").Dump()
+	if got != `missing("a")` {
+		t.Fatalf("missing: %q", got)
+	}
+}

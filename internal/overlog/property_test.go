@@ -1,0 +1,268 @@
+package overlog
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue produces a random value of depth <= 2.
+func genValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(7)
+	if depth > 0 && k == 6 {
+		n := r.Intn(3)
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i] = genValue(r, depth-1)
+		}
+		return List(elems...)
+	}
+	switch k {
+	case 0:
+		return NilValue
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(1000) - 500)
+	case 3:
+		return Float(r.Float64()*100 - 50)
+	case 4:
+		return Str(randString(r))
+	case 5:
+		return Addr("node:" + randString(r))
+	default:
+		return Int(r.Int63n(10))
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + r.Intn(26))
+	}
+	return string(b)
+}
+
+// valueBox adapts genValue to testing/quick.
+type valueBox struct{ V Value }
+
+func (valueBox) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valueBox{V: genValue(r, 2)})
+}
+
+func TestPropCompareReflexiveAndAntisymmetric(t *testing.T) {
+	f := func(a, b valueBox) bool {
+		if a.V.Compare(a.V) != 0 {
+			return false
+		}
+		ab, ba := a.V.Compare(b.V), b.V.Compare(a.V)
+		return ab == -ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEqualImpliesSameEncoding(t *testing.T) {
+	f := func(a, b valueBox) bool {
+		ea := string(a.V.encode(nil))
+		eb := string(b.V.encode(nil))
+		if a.V.Equal(b.V) {
+			// Int/float cross-equality is the one sanctioned exception:
+			// encodings differ but tables normalize per declared type.
+			if isNumeric(a.V.Kind()) && isNumeric(b.V.Kind()) && a.V.Kind() != b.V.Kind() {
+				return true
+			}
+			return ea == eb
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropEncodingInjectiveForDistinct(t *testing.T) {
+	f := func(a, b valueBox) bool {
+		if a.V.Equal(b.V) {
+			return true
+		}
+		// Distinct values of the same "hash family" must encode apart.
+		if isNumeric(a.V.Kind()) && isNumeric(b.V.Kind()) && a.V.AsFloat() == b.V.AsFloat() {
+			return true
+		}
+		return string(a.V.encode(nil)) != string(b.V.encode(nil))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropCompareTransitivity(t *testing.T) {
+	f := func(a, b, c valueBox) bool {
+		// if a<=b and b<=c then a<=c
+		if a.V.Compare(b.V) <= 0 && b.V.Compare(c.V) <= 0 {
+			return a.V.Compare(c.V) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropMonotonicity: in a positive (negation/aggregation-free)
+// program, adding more base facts never removes derived tuples.
+func TestPropMonotonicity(t *testing.T) {
+	const src = `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(15)
+		var facts []Tuple
+		for i := 0; i < n; i++ {
+			facts = append(facts, NewTuple("edge", Int(r.Int63n(6)), Int(r.Int63n(6))))
+		}
+		extra := NewTuple("edge", Int(r.Int63n(6)), Int(r.Int63n(6)))
+
+		run := func(fs []Tuple) map[string]bool {
+			rt := NewRuntime("n1")
+			if err := rt.InstallSource(src); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.Step(1, fs); err != nil {
+				t.Fatal(err)
+			}
+			out := map[string]bool{}
+			rt.Table("reach").Scan(func(tp Tuple) bool {
+				out[tp.String()] = true
+				return true
+			})
+			return out
+		}
+		small := run(facts)
+		big := run(append(append([]Tuple{}, facts...), extra))
+		for k := range small {
+			if !big[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropFixpointOrderIndependence: the fixpoint of a positive program
+// is independent of the order facts are delivered (single step vs.
+// spread over many steps).
+func TestPropFixpointOrderIndependence(t *testing.T) {
+	const src = `
+		table edge(A: int, B: int) keys(0,1);
+		table reach(A: int, B: int) keys(0,1);
+		r1 reach(A, B) :- edge(A, B);
+		r2 reach(A, C) :- edge(A, B), reach(B, C);
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(12)
+		var facts []Tuple
+		for i := 0; i < n; i++ {
+			facts = append(facts, NewTuple("edge", Int(r.Int63n(5)), Int(r.Int63n(5))))
+		}
+		oneShot := NewRuntime("a")
+		if err := oneShot.InstallSource(src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oneShot.Step(1, facts); err != nil {
+			t.Fatal(err)
+		}
+		incremental := NewRuntime("b")
+		if err := incremental.InstallSource(src); err != nil {
+			t.Fatal(err)
+		}
+		perm := r.Perm(len(facts))
+		for i, idx := range perm {
+			if _, err := incremental.Step(int64(i+1), []Tuple{facts[idx]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return oneShot.Table("reach").Dump() == incremental.Table("reach").Dump()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropAggregatesMatchOracle: count/sum/min/max computed by rules
+// agree with a direct Go computation.
+func TestPropAggregatesMatchOracle(t *testing.T) {
+	const src = `
+		table obs(K: int, V: int) keys(0,1);
+		table agg(K: int, C: int, S: int, Mn: int, Mx: int) keys(0);
+		r1 agg(K, count<V>, sum<V>, min<V>, max<V>) :- obs(K, V);
+	`
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		type stat struct {
+			c, s, mn, mx int64
+		}
+		oracle := map[int64]*stat{}
+		var facts []Tuple
+		n := 1 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			k, v := r.Int63n(4), r.Int63n(100)-50
+			dup := false
+			for _, f := range facts {
+				if f.Vals[0].AsInt() == k && f.Vals[1].AsInt() == v {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			facts = append(facts, NewTuple("obs", Int(k), Int(v)))
+			st, ok := oracle[k]
+			if !ok {
+				st = &stat{mn: v, mx: v}
+				oracle[k] = st
+			} else {
+				if v < st.mn {
+					st.mn = v
+				}
+				if v > st.mx {
+					st.mx = v
+				}
+			}
+			st.c++
+			st.s += v
+		}
+		rt := NewRuntime("n1")
+		if err := rt.InstallSource(src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Step(1, facts); err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		rt.Table("agg").Scan(func(tp Tuple) bool {
+			st := oracle[tp.Vals[0].AsInt()]
+			if st == nil || st.c != tp.Vals[1].AsInt() || st.s != tp.Vals[2].AsInt() ||
+				st.mn != tp.Vals[3].AsInt() || st.mx != tp.Vals[4].AsInt() {
+				ok = false
+			}
+			return true
+		})
+		return ok && rt.Table("agg").Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package overlog
+
+import (
+	"testing"
+)
+
+func queryFixture(t *testing.T) *Runtime {
+	t.Helper()
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table emp(Name: string, Dept: string, Salary: int) keys(0);
+		table dept(Name: string, Floor: int) keys(0);
+		emp("ann", "eng", 120); emp("bob", "eng", 100);
+		emp("cat", "ops", 90);
+		dept("eng", 3); dept("ops", 1);
+	`)
+	stepN(t, rt, 1)
+	return rt
+}
+
+func TestQueryJoin(t *testing.T) {
+	rt := queryFixture(t)
+	bs, err := rt.Query(`emp(N, D, S), dept(D, F), F == 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("bindings: %d", len(bs))
+	}
+	if bs[0]["N"].AsString() != "ann" || bs[1]["N"].AsString() != "bob" {
+		t.Fatalf("order: %v", bs)
+	}
+	if bs[0]["S"].AsInt() != 120 {
+		t.Fatalf("salary: %v", bs[0])
+	}
+}
+
+func TestQueryNegationAndAssign(t *testing.T) {
+	rt := queryFixture(t)
+	bs, err := rt.Query(`emp(N, D, S), notin dept(D, 3), Double := S * 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0]["N"].AsString() != "cat" || bs[0]["Double"].AsInt() != 180 {
+		t.Fatalf("bindings: %v", bs)
+	}
+}
+
+func TestQueryGroundProbe(t *testing.T) {
+	rt := queryFixture(t)
+	bs, err := rt.Query(`emp("ann", "eng", 120)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 {
+		t.Fatalf("ground probe: %v", bs)
+	}
+	bs, err = rt.Query(`emp("zed", _, _)`)
+	if err != nil || len(bs) != 0 {
+		t.Fatalf("missing probe: %v %v", bs, err)
+	}
+}
+
+func TestQueryOne(t *testing.T) {
+	rt := queryFixture(t)
+	b, ok, err := rt.QueryOne(`dept(D, 1)`)
+	if err != nil || !ok || b["D"].AsString() != "ops" {
+		t.Fatalf("QueryOne: %v %v %v", b, ok, err)
+	}
+	_, ok, err = rt.QueryOne(`dept(D, 99)`)
+	if err != nil || ok {
+		t.Fatalf("QueryOne miss: %v %v", ok, err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	rt := queryFixture(t)
+	if _, err := rt.Query(`nosuch(X)`); err == nil {
+		t.Fatal("expected undeclared-table error")
+	}
+	if _, err := rt.Query(`emp(N, D, S), notin dept(Q, _)`); err == nil {
+		t.Fatal("expected unsafe-negation error")
+	}
+	if _, err := rt.Query(`emp(N,`); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestQueryDoesNotMutate(t *testing.T) {
+	rt := queryFixture(t)
+	before := rt.Table("emp").Dump()
+	if _, err := rt.Query(`emp(N, _, _)`); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Table("emp").Dump() != before {
+		t.Fatal("query mutated state")
+	}
+	// And the synthetic decl does not leak.
+	if _, ok := rt.cat.decl("q__result"); ok {
+		t.Fatal("query decl leaked into catalog")
+	}
+}
+
+// TestPropQueryMatchesTableScan: a bare-atom query returns exactly the
+// table's contents, for random table states.
+func TestPropQueryMatchesTableScan(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `table t(A: int, B: int) keys(0,1);`)
+	var facts []Tuple
+	for i := int64(0); i < 50; i++ {
+		facts = append(facts, NewTuple("t", Int(i%7), Int(i*i%13)))
+	}
+	rt.Step(1, facts)
+	bs, err := rt.Query(`t(A, B)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != rt.Table("t").Len() {
+		t.Fatalf("query %d vs table %d", len(bs), rt.Table("t").Len())
+	}
+	for _, b := range bs {
+		if !rt.Table("t").Contains(NewTuple("t", b["A"], b["B"])) {
+			t.Fatalf("phantom binding %v", b)
+		}
+	}
+}

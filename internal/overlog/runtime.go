@@ -1,0 +1,996 @@
+package overlog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Envelope is a derived tuple addressed to another node. The driver
+// (simulator or network transport) is responsible for delivery; the
+// destination runtime receives it as an external tuple on a later step.
+type Envelope struct {
+	To    string
+	Tuple Tuple
+}
+
+// WatchEvent is a trace record emitted for watched tables.
+type WatchEvent struct {
+	Node   string
+	Time   int64
+	Insert bool   // false = deletion
+	Rule   string // deriving rule name; "" for external/fact inserts
+	Tuple  Tuple
+}
+
+func (e WatchEvent) String() string {
+	op := "+"
+	if !e.Insert {
+		op = "-"
+	}
+	via := e.Rule
+	if via == "" {
+		via = "external"
+	}
+	return fmt.Sprintf("[%s t=%d] %s%s via %s", e.Node, e.Time, op, e.Tuple, via)
+}
+
+// Watcher receives trace events for watched tables.
+type Watcher func(WatchEvent)
+
+// periodicState tracks one periodic event source.
+type periodicState struct {
+	decl     *PeriodicDecl
+	nextFire int64
+	ord      int64
+}
+
+// Runtime executes Overlog programs for a single logical node.
+//
+// A Runtime is passive and single-threaded: the driver calls Step with
+// a monotonically nondecreasing clock and the external tuples that
+// arrived since the previous step; Step runs one full timestep and
+// returns the tuples destined for other nodes.
+type Runtime struct {
+	addr string
+	cat  *catalog
+
+	tables map[string]*Table
+	period []*periodicState
+
+	rng       *rand.Rand
+	idCounter int64
+	now       int64
+	stepCount int64
+
+	// Per-step evaluation state.
+	stepDeltas map[string][]Tuple // all tuples newly inserted this step, per table
+	outbox     []Envelope
+	pendDel    []Tuple
+	// deferredIns holds `next`-rule heads awaiting the following step.
+	deferredIns []Tuple
+	// dirty marks tables that lost tuples (deletion or key replacement)
+	// at the end of the previous step, forcing aggregate recomputation;
+	// nextDirty collects marks during the current step.
+	dirty     map[string]bool
+	nextDirty map[string]bool
+
+	watchers []Watcher
+	watchAll bool // trace every table regardless of watch declarations
+
+	maxIterations int
+	naiveEval     bool
+
+	ruleFires map[string]int64
+	derivedCt int64 // total tuples derived (including duplicates suppressed)
+	insertCt  int64 // tuples actually inserted (post-dedup)
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithSeed fixes the deterministic RNG seed (default derives from the
+// node address so distinct nodes make distinct placement choices).
+func WithSeed(seed int64) Option {
+	return func(r *Runtime) { r.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithWatchAll traces every table (used by the monitoring harness).
+func WithWatchAll() Option {
+	return func(r *Runtime) { r.watchAll = true }
+}
+
+// WithMaxIterations overrides the runaway-fixpoint guard.
+func WithMaxIterations(n int) Option {
+	return func(r *Runtime) { r.maxIterations = n }
+}
+
+// WithNaiveEval disables semi-naive evaluation: every fixpoint
+// iteration re-derives from full table contents. Provided only for the
+// ablation benchmarks (it is dramatically slower on recursive rules)
+// and for differential testing of the semi-naive implementation.
+func WithNaiveEval() Option {
+	return func(r *Runtime) { r.naiveEval = true }
+}
+
+// NewRuntime creates an empty runtime for a node with the given address.
+func NewRuntime(addr string, opts ...Option) *Runtime {
+	r := &Runtime{
+		addr:          addr,
+		cat:           newCatalog(),
+		tables:        make(map[string]*Table),
+		stepDeltas:    make(map[string][]Tuple),
+		ruleFires:     make(map[string]int64),
+		dirty:         make(map[string]bool),
+		nextDirty:     make(map[string]bool),
+		maxIterations: 1 << 20,
+	}
+	r.rng = rand.New(rand.NewSource(int64(hashValue(Str(addr)))))
+	for _, o := range opts {
+		o(r)
+	}
+	r.declareSysTables()
+	return r
+}
+
+// LocalAddr implements EvalEnv.
+func (r *Runtime) LocalAddr() string { return r.addr }
+
+// NowMS implements EvalEnv.
+func (r *Runtime) NowMS() int64 { return r.now }
+
+// Rand implements EvalEnv.
+func (r *Runtime) Rand() *rand.Rand { return r.rng }
+
+// NextID implements EvalEnv.
+func (r *Runtime) NextID() int64 {
+	r.idCounter++
+	return r.idCounter
+}
+
+// StepCount returns the number of completed timesteps.
+func (r *Runtime) StepCount() int64 { return r.stepCount }
+
+// DerivationCount returns the total number of rule head derivations
+// attempted (a rough work metric used by the monitoring experiment).
+func (r *Runtime) DerivationCount() int64 { return r.derivedCt }
+
+// RegisterWatcher adds a trace sink.
+func (r *Runtime) RegisterWatcher(w Watcher) { r.watchers = append(r.watchers, w) }
+
+// AddWatch subscribes a table to trace events programmatically, as if
+// the program contained a watch declaration. Modes: "i" inserts, "d"
+// deletes, "" both.
+func (r *Runtime) AddWatch(table, modes string) error {
+	if _, ok := r.cat.decls[table]; !ok {
+		return fmt.Errorf("overlog: AddWatch: undeclared table %q", table)
+	}
+	if prev, ok := r.cat.watches[table]; ok && prev != modes {
+		modes = ""
+	}
+	r.cat.watches[table] = modes
+	return nil
+}
+
+// RuleStats returns a copy of per-rule firing counts.
+func (r *Runtime) RuleStats() map[string]int64 {
+	out := make(map[string]int64, len(r.ruleFires))
+	for k, v := range r.ruleFires {
+		out[k] = v
+	}
+	return out
+}
+
+// Table returns the storage for a declared table, or nil.
+func (r *Runtime) Table(name string) *Table { return r.tables[name] }
+
+// TableNames lists declared tables in sorted order.
+func (r *Runtime) TableNames() []string {
+	out := make([]string, 0, len(r.tables))
+	for n := range r.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// declareSysTables installs the metaprogramming catalog relations.
+func (r *Runtime) declareSysTables() {
+	sys := []*TableDecl{
+		{Name: "sys::table", Cols: []ColDecl{
+			{Name: "Name", Type: KindString},
+			{Name: "Arity", Type: KindInt},
+			{Name: "Event", Type: KindBool},
+		}, KeyCols: []int{0}},
+		{Name: "sys::rule", Cols: []ColDecl{
+			{Name: "Name", Type: KindString},
+			{Name: "Program", Type: KindString},
+			{Name: "Head", Type: KindString},
+			{Name: "Stratum", Type: KindInt},
+			{Name: "IsDelete", Type: KindBool},
+			{Name: "IsAgg", Type: KindBool},
+		}, KeyCols: []int{0}},
+		{Name: "sys::fire", Cols: []ColDecl{
+			{Name: "Rule", Type: KindString},
+			{Name: "Count", Type: KindInt},
+		}, KeyCols: []int{0}},
+	}
+	for _, d := range sys {
+		r.cat.decls[d.Name] = d
+		r.tables[d.Name] = NewTable(d)
+	}
+}
+
+// Install adds a parsed program to the runtime: declarations, rules,
+// watches, periodics, and facts. Multiple programs may be installed;
+// all rules are recompiled and restratified together.
+func (r *Runtime) Install(prog *Program) error {
+	// Declarations first.
+	for _, d := range prog.Tables {
+		if existing, ok := r.cat.decls[d.Name]; ok {
+			if existing.String() != d.String() {
+				return &InstallError{Program: prog.Name, Line: d.Line,
+					Msg: fmt.Sprintf("table %s redeclared with a different shape", d.Name)}
+			}
+			continue
+		}
+		r.cat.decls[d.Name] = d
+		r.tables[d.Name] = NewTable(d)
+	}
+	for _, pd := range prog.Periodics {
+		if d, ok := r.cat.decls[pd.Table]; ok {
+			if !d.Event {
+				return &InstallError{Program: prog.Name, Line: pd.Line,
+					Msg: fmt.Sprintf("periodic %s must name an event table", pd.Table)}
+			}
+		} else {
+			d := &TableDecl{Name: pd.Table, Event: true, Cols: []ColDecl{
+				{Name: "Ord", Type: KindInt},
+				{Name: "Time", Type: KindInt},
+			}, Line: pd.Line}
+			r.cat.decls[d.Name] = d
+			r.tables[d.Name] = NewTable(d)
+		}
+		r.period = append(r.period, &periodicState{decl: pd, nextFire: 0})
+	}
+	for _, w := range prog.Watches {
+		if _, ok := r.cat.decls[w.Table]; !ok {
+			return &InstallError{Program: prog.Name, Line: w.Line,
+				Msg: fmt.Sprintf("watch names undeclared table %s", w.Table)}
+		}
+		modes := w.Modes
+		if prev, ok := r.cat.watches[w.Table]; ok && prev != modes {
+			modes = "" // union of modes = both
+		}
+		r.cat.watches[w.Table] = modes
+	}
+
+	// Compile this program's rules and append.
+	base := len(r.cat.rules)
+	for i, rule := range prog.Rules {
+		rc := &ruleCompiler{cat: r.cat, rule: rule, prog: progName(prog), slots: map[string]int{}}
+		cr, err := rc.compileRule(base + i)
+		if err != nil {
+			return err
+		}
+		if err := buildDeltaVariants(r.cat, cr, base+i); err != nil {
+			return err
+		}
+		r.cat.rules = append(r.cat.rules, cr)
+	}
+	r.cat.programs = append(r.cat.programs, progName(prog))
+	if err := r.cat.stratify(); err != nil {
+		return err
+	}
+
+	// Facts: ground tuples loaded immediately (and seeded as deltas so
+	// the first Step joins against them semi-naively).
+	for _, f := range prog.Facts {
+		tp, err := r.groundFact(f)
+		if err != nil {
+			return err
+		}
+		if _, err := r.insertLocal(tp, ""); err != nil {
+			return err
+		}
+	}
+	r.refreshSysCatalog()
+	return nil
+}
+
+// InstallSource parses and installs Overlog source text.
+func (r *Runtime) InstallSource(src string) error {
+	prog, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	return r.Install(prog)
+}
+
+func progName(p *Program) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return "anon"
+}
+
+func (r *Runtime) groundFact(f *Fact) (Tuple, error) {
+	rc := &ruleCompiler{cat: r.cat, prog: "fact", slots: map[string]int{}, rule: &Rule{Head: f.Atom}}
+	vals := make([]Value, len(f.Atom.Terms))
+	for i, term := range f.Atom.Terms {
+		if term.Agg != AggNone {
+			return Tuple{}, &InstallError{Line: f.Line, Msg: "facts may not aggregate"}
+		}
+		ce, err := rc.compileExpr(term.Expr, f.Line)
+		if err != nil {
+			return Tuple{}, err
+		}
+		v, err := ce.eval(nil, r)
+		if err != nil {
+			return Tuple{}, &InstallError{Line: f.Line, Msg: "fact argument is not ground: " + err.Error()}
+		}
+		vals[i] = v
+	}
+	if _, ok := r.cat.decl(f.Atom.Table); !ok {
+		return Tuple{}, &InstallError{Line: f.Line, Msg: "fact for undeclared table " + f.Atom.Table}
+	}
+	return NewTuple(f.Atom.Table, vals...), nil
+}
+
+// refreshSysCatalog rebuilds the sys::table and sys::rule relations.
+func (r *Runtime) refreshSysCatalog() {
+	st := r.tables["sys::table"]
+	st.Clear()
+	for name, d := range r.cat.decls {
+		_, _, _ = st.Insert(NewTuple("sys::table", Str(name), Int(int64(d.Arity())), Bool(d.Event)))
+	}
+	sr := r.tables["sys::rule"]
+	sr.Clear()
+	for _, cr := range r.cat.rules {
+		_, _, _ = sr.Insert(NewTuple("sys::rule",
+			Str(cr.name), Str(cr.program), Str(cr.head.table),
+			Int(int64(cr.stratum)), Bool(cr.isDelete), Bool(cr.isAgg)))
+	}
+}
+
+// Rules returns the names of installed rules in order.
+func (r *Runtime) Rules() []string {
+	out := make([]string, len(r.cat.rules))
+	for i, cr := range r.cat.rules {
+		out[i] = cr.name
+	}
+	return out
+}
+
+// NextWake returns the earliest time the runtime needs a step: the
+// next periodic firing, or now+1 when deferred (`next`) tuples are
+// pending. Returns -1 when no wake is needed.
+func (r *Runtime) NextWake() int64 {
+	next := int64(-1)
+	if len(r.deferredIns) > 0 {
+		next = r.now + 1
+	}
+	for _, p := range r.period {
+		if next == -1 || p.nextFire < next {
+			next = p.nextFire
+		}
+	}
+	return next
+}
+
+// Step runs one timestep at clock value now with the given external
+// tuples, returning envelopes destined to other nodes. The clock must
+// not move backwards across calls.
+func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
+	if now < r.now {
+		return nil, fmt.Errorf("overlog: %s: clock moved backwards (%d < %d)", r.addr, now, r.now)
+	}
+	r.now = now
+	r.outbox = nil
+	r.pendDel = nil
+	// stepDeltas is NOT reset here: tuples inserted since the previous
+	// step (facts and state loaded by Install) must seed this step's
+	// semi-naive frontier. It is cleared at the end of the step.
+	r.dirty = r.nextDirty
+	r.nextDirty = make(map[string]bool)
+
+	// Deferred heads from the previous step arrive as external inserts.
+	if len(r.deferredIns) > 0 {
+		external = append(append([]Tuple{}, r.deferredIns...), external...)
+		r.deferredIns = nil
+	}
+
+	// Fire due periodics.
+	for _, p := range r.period {
+		for p.nextFire <= now {
+			external = append(external, NewTuple(p.decl.Table, Int(p.ord), Int(now)))
+			p.ord++
+			if p.nextFire <= 0 {
+				p.nextFire = now + p.decl.IntervalMS
+			} else {
+				p.nextFire += p.decl.IntervalMS
+			}
+		}
+	}
+
+	// External tuples seed the deltas.
+	for _, tp := range external {
+		if _, err := r.insertLocal(tp, ""); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stratified semi-naive fixpoint.
+	for s := 0; s <= r.cat.maxStratum; s++ {
+		if err := r.runStratum(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deferred deletions.
+	for _, tp := range r.pendDel {
+		if err := r.deleteLocal(tp); err != nil {
+			return nil, err
+		}
+	}
+
+	// Event tables live one step.
+	for name, d := range r.cat.decls {
+		if d.Event {
+			r.tables[name].Clear()
+		}
+	}
+
+	r.stepCount++
+	// Clear this step's deltas first: fire-stat rows recorded below go
+	// through insertLocal so they seed the NEXT step's frontier (rules
+	// reading sys::fire see updates one step later).
+	r.stepDeltas = make(map[string][]Tuple)
+	if err := r.maintainFireStats(); err != nil {
+		return nil, err
+	}
+	out := r.outbox
+	r.outbox = nil
+	return out, nil
+}
+
+// maintainFireStats refreshes sys::fire when any rule reads it.
+func (r *Runtime) maintainFireStats() error {
+	needed := false
+	for _, cr := range r.cat.rules {
+		for _, op := range cr.body {
+			if (op.kind == opScan || op.kind == opNotin) && op.table == "sys::fire" {
+				needed = true
+			}
+		}
+	}
+	if !needed {
+		return nil
+	}
+	for name, count := range r.ruleFires {
+		if _, err := r.insertLocal(NewTuple("sys::fire", Str(name), Int(count)), "sys"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertLocal stores a tuple, records it in the step deltas when new,
+// and emits watch events. viaRule is "" for external inserts.
+func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
+	tbl, ok := r.tables[tp.Table]
+	if !ok {
+		return false, fmt.Errorf("overlog: %s: insert into undeclared table %q", r.addr, tp.Table)
+	}
+	inserted, displaced, err := tbl.Insert(tp)
+	if err != nil {
+		return false, err
+	}
+	if !inserted {
+		return false, nil
+	}
+	r.insertCt++
+	norm, _ := tbl.LookupKey(tp)
+	r.stepDeltas[tp.Table] = append(r.stepDeltas[tp.Table], norm)
+	if displaced != nil {
+		r.nextDirty[tp.Table] = true
+		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: viaRule, Tuple: *displaced})
+	}
+	r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Rule: viaRule, Tuple: norm})
+	return true, nil
+}
+
+func (r *Runtime) deleteLocal(tp Tuple) error {
+	tbl, ok := r.tables[tp.Table]
+	if !ok {
+		return fmt.Errorf("overlog: %s: delete from undeclared table %q", r.addr, tp.Table)
+	}
+	removed, err := tbl.Delete(tp)
+	if err != nil {
+		return err
+	}
+	if removed {
+		r.nextDirty[tp.Table] = true
+		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: "delete", Tuple: tp})
+	}
+	return nil
+}
+
+func (r *Runtime) emitWatch(ev WatchEvent) {
+	if len(r.watchers) == 0 {
+		return
+	}
+	modes, watched := r.cat.watches[ev.Tuple.Table]
+	if !watched && !r.watchAll {
+		return
+	}
+	if watched && modes != "" {
+		want := byte('i')
+		if !ev.Insert {
+			want = 'd'
+		}
+		found := false
+		for i := 0; i < len(modes); i++ {
+			if modes[i] == want {
+				found = true
+			}
+		}
+		if !found && !r.watchAll {
+			return
+		}
+	}
+	for _, w := range r.watchers {
+		w(ev)
+	}
+}
+
+// runStratum evaluates one stratum: aggregate (and scan-free) rules
+// once at entry, then a semi-naive loop over the rest.
+func (r *Runtime) runStratum(s int) error {
+	rules := r.cat.strata[s]
+	if len(rules) == 0 {
+		return nil
+	}
+	if r.naiveEval {
+		return r.runStratumNaive(rules)
+	}
+
+	var loopRules []*compiledRule
+	for _, cr := range rules {
+		if cr.isAgg || len(cr.scanPositions) == 0 {
+			// Full recomputation is only needed when an input table
+			// changed (insert this step, or deletion/replacement at the
+			// end of the previous step) or the rule has never run.
+			if cr.ranOnce && !r.ruleInputsChanged(cr) {
+				continue
+			}
+			if err := r.evalRuleFull(cr); err != nil {
+				return err
+			}
+			cr.ranOnce = true
+			continue
+		}
+		loopRules = append(loopRules, cr)
+	}
+	if len(loopRules) == 0 {
+		return nil
+	}
+
+	// consumed[t] = how many of stepDeltas[t] this stratum has already
+	// used as frontier.
+	consumed := map[string]int{}
+	for iter := 0; ; iter++ {
+		if iter > r.maxIterations {
+			return fmt.Errorf("overlog: %s: fixpoint did not converge after %d iterations in stratum %d", r.addr, iter, s)
+		}
+		// Snapshot the frontier window per table.
+		window := map[string][2]int{}
+		progress := false
+		for t, delta := range r.stepDeltas {
+			lo := consumed[t]
+			hi := len(delta)
+			if hi > lo {
+				window[t] = [2]int{lo, hi}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+		for t, w := range window {
+			consumed[t] = w[1]
+		}
+		for _, cr := range loopRules {
+			for _, pos := range cr.scanPositions {
+				tbl := cr.body[pos].table
+				w, ok := window[tbl]
+				if !ok {
+					continue
+				}
+				frontier := r.stepDeltas[tbl][w[0]:w[1]]
+				if err := r.evalRuleDelta(cr, pos, frontier); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// ruleInputsChanged reports whether any body table of cr received
+// inserts this step or was dirtied (deleted from / key-replaced) at the
+// end of the previous step.
+func (r *Runtime) ruleInputsChanged(cr *compiledRule) bool {
+	for _, op := range cr.body {
+		if op.kind != opScan && op.kind != opNotin {
+			continue
+		}
+		if len(r.stepDeltas[op.table]) > 0 || r.dirty[op.table] {
+			return true
+		}
+	}
+	return false
+}
+
+// runStratumNaive is the ablation path: iterate full re-derivation of
+// every rule until no new tuples appear.
+func (r *Runtime) runStratumNaive(rules []*compiledRule) error {
+	for iter := 0; ; iter++ {
+		if iter > r.maxIterations {
+			return fmt.Errorf("overlog: %s: naive fixpoint did not converge", r.addr)
+		}
+		before := r.insertCt
+		for _, cr := range rules {
+			if err := r.evalRuleFull(cr); err != nil {
+				return err
+			}
+			cr.ranOnce = true
+		}
+		if r.insertCt == before {
+			return nil
+		}
+	}
+}
+
+// evalRuleFull evaluates a rule against full table contents: used for
+// aggregate rules (recomputed once per step) and scan-free rules.
+func (r *Runtime) evalRuleFull(cr *compiledRule) error {
+	env := make([]Value, cr.nslots)
+	if cr.isAgg {
+		agg := newAggCollector(cr, r)
+		if err := r.execOps(cr, 0, -1, nil, env, agg.collect); err != nil {
+			return err
+		}
+		return agg.emit(r)
+	}
+	return r.execOps(cr, 0, -1, nil, env, func(env []Value) error {
+		return r.emitHead(cr, env)
+	})
+}
+
+// evalRuleDelta evaluates a rule with one scan position restricted to
+// the frontier tuples. When a reordered variant exists for that
+// position (the common case), it runs with the frontier scan first so
+// the remaining atoms are index-probed with bound values.
+func (r *Runtime) evalRuleDelta(cr *compiledRule, deltaPos int, frontier []Tuple) error {
+	if cr.isAgg {
+		return nil // aggregates are recomputed via evalRuleFull only
+	}
+	run := cr
+	pos := deltaPos
+	if len(cr.deltaVariants) == len(cr.scanPositions) {
+		for i, p := range cr.scanPositions {
+			if p == deltaPos {
+				if v := cr.deltaVariants[i]; v != nil {
+					run = v
+					pos = run.scanPositions[0]
+				}
+				break
+			}
+		}
+	}
+	env := make([]Value, run.nslots)
+	return r.execOps(run, 0, pos, frontier, env, func(env []Value) error {
+		return r.emitHead(run, env)
+	})
+}
+
+// execOps recursively executes the body operations from opIdx on.
+func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tuple, env []Value, emit func([]Value) error) error {
+	if opIdx == len(cr.body) {
+		return emit(env)
+	}
+	op := cr.body[opIdx]
+	switch op.kind {
+	case opCond:
+		v, err := op.cond.eval(env, r)
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", cr.name, err)
+		}
+		if v.Kind() != KindBool {
+			return fmt.Errorf("overlog: rule %s: condition %s evaluated to %s, want bool", cr.name, op.cond, v.Kind())
+		}
+		if !v.AsBool() {
+			return nil
+		}
+		return r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
+
+	case opAssign:
+		v, err := op.assignExpr.eval(env, r)
+		if err != nil {
+			return fmt.Errorf("rule %s: %w", cr.name, err)
+		}
+		env[op.assignSlot] = v
+		return r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
+
+	case opNotin:
+		vals := make([]Value, len(op.boundExprs))
+		for i, ce := range op.boundExprs {
+			v, err := ce.eval(env, r)
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", cr.name, err)
+			}
+			vals[i] = v
+		}
+		tbl := r.tables[op.table]
+		for _, cand := range tbl.Match(op.boundCols, vals) {
+			if r.passesFilters(op, cand, env) {
+				return nil // a matching tuple exists; notin fails
+			}
+		}
+		return r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
+
+	case opScan:
+		vals := make([]Value, len(op.boundExprs))
+		for i, ce := range op.boundExprs {
+			v, err := ce.eval(env, r)
+			if err != nil {
+				return fmt.Errorf("rule %s: %w", cr.name, err)
+			}
+			vals[i] = v
+		}
+		var candidates []Tuple
+		if opIdx == deltaPos {
+			candidates = frontier
+		} else {
+			candidates = r.tables[op.table].Match(op.boundCols, vals)
+		}
+		for _, cand := range candidates {
+			if opIdx == deltaPos {
+				// Frontier tuples are unfiltered: check bound columns.
+				ok := true
+				for i, col := range op.boundCols {
+					if !cand.Vals[col].Equal(vals[i]) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+			}
+			if !r.passesFilters(op, cand, env) {
+				continue
+			}
+			for i, col := range op.bindCols {
+				env[op.bindSlots[i]] = cand.Vals[col]
+			}
+			if err := r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("overlog: rule %s: unknown op kind", cr.name)
+}
+
+// passesFilters checks repeated-variable columns within one atom.
+// Filter slots referencing bind slots of the same atom must be checked
+// after binding; since binds happen left-to-right within the atom and
+// filters always reference earlier columns, checking against the
+// candidate tuple's own columns is equivalent and simpler.
+func (r *Runtime) passesFilters(op *bodyOp, cand Tuple, env []Value) bool {
+	for i, col := range op.filterCols {
+		slot := op.filterSlots[i]
+		// The slot may have been bound by an earlier column of this very
+		// candidate; bind order guarantees the earlier bindCols position
+		// for that slot appears before col, so compare candidate columns.
+		bound := false
+		var want Value
+		for j, bc := range op.bindCols {
+			if op.bindSlots[j] == slot && bc < col {
+				want = cand.Vals[bc]
+				bound = true
+				break
+			}
+		}
+		if !bound {
+			want = env[slot]
+		}
+		if !cand.Vals[col].Equal(want) {
+			return false
+		}
+	}
+	return true
+}
+
+// emitHead materializes the head for one satisfied body binding.
+func (r *Runtime) emitHead(cr *compiledRule, env []Value) error {
+	r.ruleFires[cr.name]++
+	r.derivedCt++
+	vals := make([]Value, len(cr.head.exprs))
+	for i, ce := range cr.head.exprs {
+		v, err := ce.eval(env, r)
+		if err != nil {
+			return fmt.Errorf("rule %s head: %w", cr.name, err)
+		}
+		vals[i] = v
+	}
+	tp := NewTuple(cr.head.table, vals...)
+	return r.routeHead(cr, tp)
+}
+
+// routeHead delivers a derived head tuple: deletion list, remote
+// outbox, or local insertion.
+func (r *Runtime) routeHead(cr *compiledRule, tp Tuple) error {
+	if cr.isDelete {
+		r.pendDel = append(r.pendDel, tp)
+		return nil
+	}
+	if cr.head.locCol >= 0 {
+		loc := tp.Vals[cr.head.locCol]
+		if loc.Kind() != KindAddr && loc.Kind() != KindString {
+			return fmt.Errorf("overlog: rule %s: location specifier must be addr, got %s", cr.name, loc.Kind())
+		}
+		if loc.AsString() != r.addr {
+			// Remote sends are never deferred further: network delivery
+			// already lands on a later step of the destination.
+			r.outbox = append(r.outbox, Envelope{To: loc.AsString(), Tuple: tp})
+			return nil
+		}
+	}
+	if cr.isDeferred {
+		r.deferredIns = append(r.deferredIns, tp)
+		return nil
+	}
+	_, err := r.insertLocal(tp, cr.name)
+	return err
+}
+
+// --- aggregation ---
+
+// accumulator is the running state for one aggregate position.
+type accumulator struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	sawFloat bool
+	min, max Value
+	minSet   bool
+	maxSet   bool
+	setSeen  map[string]bool
+	setVals  []Value
+}
+
+type aggGroup struct {
+	groupVals []Value
+	accs      []accumulator
+}
+
+type aggCollector struct {
+	cr     *compiledRule
+	rt     *Runtime
+	groups map[string]*aggGroup
+	order  []string
+}
+
+func newAggCollector(cr *compiledRule, rt *Runtime) *aggCollector {
+	return &aggCollector{cr: cr, rt: rt, groups: make(map[string]*aggGroup)}
+}
+
+// collect records one body binding into its group.
+func (a *aggCollector) collect(env []Value) error {
+	cr := a.cr
+	// Group key = evaluated non-aggregate head columns.
+	groupVals := make([]Value, 0, len(cr.head.exprs))
+	for i, ce := range cr.head.exprs {
+		if ce == nil {
+			continue // aggregate position
+		}
+		_ = i
+		v, err := ce.eval(env, a.rt)
+		if err != nil {
+			return fmt.Errorf("rule %s aggregate group column: %w", cr.name, err)
+		}
+		groupVals = append(groupVals, v)
+	}
+	key := Tuple{Vals: groupVals}.Identity()
+	g, ok := a.groups[key]
+	if !ok {
+		g = &aggGroup{groupVals: groupVals, accs: make([]accumulator, len(cr.head.aggs))}
+		a.groups[key] = g
+		a.order = append(a.order, key)
+	}
+	for i, spec := range cr.head.aggs {
+		acc := &g.accs[i]
+		acc.count++
+		if spec.slot < 0 {
+			continue // count<_>
+		}
+		v := env[spec.slot]
+		switch spec.kind {
+		case AggSum, AggAvg:
+			if v.Kind() == KindFloat {
+				acc.sawFloat = true
+				acc.sumF += v.AsFloat()
+			} else {
+				acc.sumI += v.AsInt()
+				acc.sumF += v.AsFloat()
+			}
+		case AggMin:
+			if !acc.minSet || v.Compare(acc.min) < 0 {
+				acc.min = v
+				acc.minSet = true
+			}
+		case AggMax:
+			if !acc.maxSet || v.Compare(acc.max) > 0 {
+				acc.max = v
+				acc.maxSet = true
+			}
+		case AggSet:
+			if acc.setSeen == nil {
+				acc.setSeen = make(map[string]bool)
+			}
+			k := string(v.encode(nil))
+			if !acc.setSeen[k] {
+				acc.setSeen[k] = true
+				acc.setVals = append(acc.setVals, v)
+			}
+		}
+	}
+	return nil
+}
+
+// emit materializes one head tuple per group.
+func (a *aggCollector) emit(r *Runtime) error {
+	cr := a.cr
+	for _, key := range a.order {
+		g := a.groups[key]
+		vals := make([]Value, len(cr.head.exprs))
+		gi := 0
+		for i, ce := range cr.head.exprs {
+			if ce != nil {
+				vals[i] = g.groupVals[gi]
+				gi++
+			}
+		}
+		for i, spec := range cr.head.aggs {
+			acc := &g.accs[i]
+			switch spec.kind {
+			case AggCount:
+				vals[spec.col] = Int(acc.count)
+			case AggSum:
+				if acc.sawFloat {
+					vals[spec.col] = Float(acc.sumF)
+				} else {
+					vals[spec.col] = Int(acc.sumI)
+				}
+			case AggAvg:
+				vals[spec.col] = Float(acc.sumF / float64(acc.count))
+			case AggMin:
+				vals[spec.col] = acc.min
+			case AggMax:
+				vals[spec.col] = acc.max
+			case AggSet:
+				sorted := append([]Value(nil), acc.setVals...)
+				sort.Slice(sorted, func(x, y int) bool { return sorted[x].Compare(sorted[y]) < 0 })
+				vals[spec.col] = List(sorted...)
+			}
+		}
+		r.ruleFires[cr.name]++
+		r.derivedCt++
+		if err := r.routeHead(cr, NewTuple(cr.head.table, vals...)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

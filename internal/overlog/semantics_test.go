@@ -1,0 +1,185 @@
+package overlog
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWatchDeleteOnlyMode: a "d" watch sees deletions but not inserts.
+func TestWatchDeleteOnlyMode(t *testing.T) {
+	rt := NewRuntime("n1")
+	var events []WatchEvent
+	rt.RegisterWatcher(func(e WatchEvent) { events = append(events, e) })
+	mustInstall(t, rt, `
+		table kv(K: string, V: int) keys(0);
+		event del(K: string);
+		watch(kv, "d");
+		d1 delete kv(K, V) :- del(K), kv(K, V);
+	`)
+	rt.Step(1, []Tuple{NewTuple("kv", Str("x"), Int(1))})
+	rt.Step(2, []Tuple{NewTuple("del", Str("x"))})
+	if len(events) != 1 || events[0].Insert {
+		t.Fatalf("expected exactly one delete event, got %v", events)
+	}
+}
+
+// TestAddWatchUnionsModes: programmatic AddWatch("") widens an existing
+// insert-only watch to both directions.
+func TestAddWatchUnionsModes(t *testing.T) {
+	rt := NewRuntime("n1")
+	var events []WatchEvent
+	rt.RegisterWatcher(func(e WatchEvent) { events = append(events, e) })
+	mustInstall(t, rt, `
+		table kv(K: string, V: int) keys(0);
+		event del(K: string);
+		watch(kv, "i");
+		d1 delete kv(K, V) :- del(K), kv(K, V);
+	`)
+	if err := rt.AddWatch("kv", "d"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(1, []Tuple{NewTuple("kv", Str("x"), Int(1))})
+	rt.Step(2, []Tuple{NewTuple("del", Str("x"))})
+	if len(events) != 2 {
+		t.Fatalf("expected insert+delete, got %v", events)
+	}
+}
+
+// TestKeyReplacementWithinStep: two different values for one key
+// arriving in the same step leave exactly one row and emit a
+// displacement delete for the loser.
+func TestKeyReplacementWithinStep(t *testing.T) {
+	rt := NewRuntime("n1")
+	var deletes int
+	rt.RegisterWatcher(func(e WatchEvent) {
+		if !e.Insert {
+			deletes++
+		}
+	})
+	mustInstall(t, rt, `
+		table kv(K: string, V: int) keys(0);
+		watch(kv);
+	`)
+	rt.Step(1, []Tuple{
+		NewTuple("kv", Str("x"), Int(1)),
+		NewTuple("kv", Str("x"), Int(2)),
+	})
+	if rt.Table("kv").Len() != 1 {
+		t.Fatalf("rows: %d", rt.Table("kv").Len())
+	}
+	if deletes != 1 {
+		t.Fatalf("displacement deletes: %d", deletes)
+	}
+}
+
+// TestBodyLocationBinds: @X in a body atom just binds the location
+// column; deriving with a different @ target reroutes.
+func TestBodyLocationBinds(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event in(Addr: addr, Payload: string);
+		event fwd(Addr: addr, Origin: addr, Payload: string);
+		r1 fwd(@Next, Me, P) :- in(@Me, P), Next := "n2";
+	`)
+	out, err := rt.Step(1, []Tuple{NewTuple("in", Addr("n1"), Str("hi"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].To != "n2" {
+		t.Fatalf("envelopes: %v", out)
+	}
+	if out[0].Tuple.Vals[1].AsString() != "n1" {
+		t.Fatalf("origin binding: %s", out[0].Tuple)
+	}
+}
+
+// TestEventHeadFromStoredBody: rules may derive events from stored
+// tables; the events clear at step end while the store persists.
+func TestEventHeadFromStoredBody(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table cfg(K: string, V: int) keys(0);
+		event poke(K: string);
+		event reply(K: string, V: int);
+		r1 reply(K, V) :- poke(K), cfg(K, V);
+	`)
+	rt.Step(1, []Tuple{NewTuple("cfg", Str("a"), Int(5))})
+	var sawReply bool
+	rt.RegisterWatcher(func(e WatchEvent) {
+		if e.Tuple.Table == "reply" && e.Insert {
+			sawReply = true
+		}
+	})
+	if err := rt.AddWatch("reply", "i"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(2, []Tuple{NewTuple("poke", Str("a"))})
+	if !sawReply {
+		t.Fatal("reply not derived")
+	}
+	if rt.Table("reply").Len() != 0 {
+		t.Fatal("event not cleared")
+	}
+	if rt.Table("cfg").Len() != 1 {
+		t.Fatal("store vanished")
+	}
+}
+
+// TestAggregateOverDeferredChain: a counter updated via next feeds an
+// aggregate one step later — the composition the FS master relies on.
+func TestAggregateOverDeferredChain(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		table counter(K: string, N: int) keys(0);
+		table maxn(K: string, M: int) keys(0);
+		event bump(K: string);
+		counter("a", 0);
+		counter("b", 0);
+		r1 next counter(K, N + 1) :- bump(K), counter(K, N);
+		r2 maxn("all", max<N>) :- counter(_, N);
+	`)
+	rt.Step(1, []Tuple{NewTuple("bump", Str("a"))})
+	rt.Step(2, nil) // deferred applies; aggregate refreshes
+	tp, ok := rt.Table("maxn").LookupKey(NewTuple("maxn", Str("all"), Int(0)))
+	if !ok || tp.Vals[1].AsInt() != 1 {
+		t.Fatalf("maxn: %v %v", ok, tp)
+	}
+}
+
+// TestDeleteOfAbsentTupleIsNoop: delete rules matching nothing leave
+// state untouched and emit no watch events.
+func TestDeleteOfAbsentTupleIsNoop(t *testing.T) {
+	rt := NewRuntime("n1")
+	var events int
+	rt.RegisterWatcher(func(WatchEvent) { events++ })
+	mustInstall(t, rt, `
+		table kv(K: string, V: int) keys(0);
+		event del(K: string);
+		watch(kv);
+		d1 delete kv(K, 999) :- del(K);
+	`)
+	rt.Step(1, []Tuple{NewTuple("kv", Str("x"), Int(1))})
+	before := events
+	rt.Step(2, []Tuple{NewTuple("del", Str("x"))}) // value mismatch: no-op
+	if rt.Table("kv").Len() != 1 {
+		t.Fatal("mismatched delete removed a row")
+	}
+	if events != before {
+		t.Fatalf("spurious watch events: %d", events-before)
+	}
+}
+
+// TestStringBuiltinChainInHead exercises nested calls in head exprs.
+func TestStringBuiltinChainInHead(t *testing.T) {
+	rt := NewRuntime("n1")
+	mustInstall(t, rt, `
+		event in(P: string);
+		table out(X: string) keys(0);
+		r1 out(concat(basename(dirname(P)), ":", basename(P))) :- in(P);
+	`)
+	rt.Step(1, []Tuple{NewTuple("in", Str("/a/b/c.txt"))})
+	d := rt.Table("out").Dump()
+	if !strings.Contains(d, `"b:c.txt"`) {
+		t.Fatalf("out: %s", d)
+	}
+}

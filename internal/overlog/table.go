@@ -1,0 +1,304 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is the materialized storage for one relation on one node.
+//
+// Persistent tables keep tuples across timesteps, with update-in-place
+// on primary-key collision (JOL/P2 semantics). Event tables hold tuples
+// for the duration of a single timestep only.
+//
+// Storage is a hash map from encoded key columns to the row, plus
+// lazily built secondary indexes on whatever column subsets the
+// evaluator joins on.
+type Table struct {
+	decl *TableDecl
+	keys []int // effective key columns (all columns when unspecified)
+
+	rows map[string]Tuple // key-encoding -> tuple
+
+	// indexes maps an index signature (sorted column list) to a map from
+	// encoded column values to tuple key-encodings.
+	indexes map[string]*index
+
+	// generation increments on every mutation; used by iterators that
+	// must detect concurrent modification during fixpoint bugs.
+	generation uint64
+}
+
+type index struct {
+	cols    []int
+	buckets map[string][]string // encoded col values -> row keys
+}
+
+func indexSig(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// NewTable creates storage for the given declaration.
+func NewTable(decl *TableDecl) *Table {
+	keys := decl.KeyCols
+	if len(keys) == 0 {
+		keys = make([]int, len(decl.Cols))
+		for i := range keys {
+			keys[i] = i
+		}
+	}
+	return &Table{
+		decl:    decl,
+		keys:    keys,
+		rows:    make(map[string]Tuple),
+		indexes: make(map[string]*index),
+	}
+}
+
+// Decl returns the table's declaration.
+func (t *Table) Decl() *TableDecl { return t.decl }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.decl.Name }
+
+// Len returns the current tuple count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// KeyOf encodes a tuple's primary key.
+func (t *Table) KeyOf(tp Tuple) string { return tp.Key(t.keys) }
+
+// checkTuple validates arity and column types. KindAny columns accept
+// anything; addr and string interconvert; int and float do not (silent
+// numeric coercion in storage makes key semantics confusing).
+func (t *Table) checkTuple(tp Tuple) error {
+	if len(tp.Vals) != len(t.decl.Cols) {
+		return fmt.Errorf("overlog: table %s: arity mismatch: got %d values, declared %d",
+			t.decl.Name, len(tp.Vals), len(t.decl.Cols))
+	}
+	for i, v := range tp.Vals {
+		want := t.decl.Cols[i].Type
+		if v.IsNil() || want == KindAny {
+			continue
+		}
+		got := v.Kind()
+		ok := got == want ||
+			(isStringy(want) && isStringy(got)) ||
+			(isNumeric(want) && isNumeric(got))
+		if !ok {
+			return fmt.Errorf("overlog: table %s column %s: want %s, got %s (%s)",
+				t.decl.Name, t.decl.Cols[i].Name, want, got, v)
+		}
+	}
+	return nil
+}
+
+// normalize coerces string values destined for addr columns (and vice
+// versa) so identity hashing is stable regardless of how the tuple was
+// constructed.
+func (t *Table) normalize(tp Tuple) Tuple {
+	for i := range tp.Vals {
+		want := t.decl.Cols[i].Type
+		got := tp.Vals[i].Kind()
+		switch {
+		case want == KindAddr && got == KindString:
+			tp.Vals[i] = Addr(tp.Vals[i].AsString())
+		case want == KindString && got == KindAddr:
+			tp.Vals[i] = Str(tp.Vals[i].AsString())
+		case want == KindInt && got == KindFloat:
+			tp.Vals[i] = Int(tp.Vals[i].AsInt())
+		case want == KindFloat && got == KindInt:
+			tp.Vals[i] = Float(tp.Vals[i].AsFloat())
+		}
+	}
+	return tp
+}
+
+// Insert adds the tuple. The returns are (inserted, displaced):
+// inserted is false when an identical tuple was already stored;
+// displaced holds a tuple evicted by primary-key replacement.
+func (t *Table) Insert(tp Tuple) (bool, *Tuple, error) {
+	if err := t.checkTuple(tp); err != nil {
+		return false, nil, err
+	}
+	tp = t.normalize(tp)
+	key := t.KeyOf(tp)
+	old, exists := t.rows[key]
+	if exists {
+		if old.Equal(tp) {
+			return false, nil, nil
+		}
+		// Same key, different non-key columns: replace.
+		t.removeFromIndexes(key, old)
+		t.rows[key] = tp
+		t.addToIndexes(key, tp)
+		t.generation++
+		displaced := old
+		return true, &displaced, nil
+	}
+	t.rows[key] = tp
+	t.addToIndexes(key, tp)
+	t.generation++
+	return true, nil, nil
+}
+
+// Delete removes the stored tuple matching tp's key columns if the full
+// tuple matches. It returns whether a tuple was removed.
+func (t *Table) Delete(tp Tuple) (bool, error) {
+	if err := t.checkTuple(tp); err != nil {
+		return false, err
+	}
+	tp = t.normalize(tp)
+	key := t.KeyOf(tp)
+	old, exists := t.rows[key]
+	if !exists || !old.Equal(tp) {
+		return false, nil
+	}
+	delete(t.rows, key)
+	t.removeFromIndexes(key, old)
+	t.generation++
+	return true, nil
+}
+
+// DeleteByKey removes whatever tuple is stored under the key columns of
+// tp, ignoring non-key columns. Returns the removed tuple if any.
+func (t *Table) DeleteByKey(tp Tuple) (*Tuple, error) {
+	if len(tp.Vals) != len(t.decl.Cols) {
+		return nil, fmt.Errorf("overlog: table %s: arity mismatch in DeleteByKey", t.decl.Name)
+	}
+	tp = t.normalize(tp)
+	key := t.KeyOf(tp)
+	old, exists := t.rows[key]
+	if !exists {
+		return nil, nil
+	}
+	delete(t.rows, key)
+	t.removeFromIndexes(key, old)
+	t.generation++
+	return &old, nil
+}
+
+// Contains reports whether an identical tuple is stored.
+func (t *Table) Contains(tp Tuple) bool {
+	if len(tp.Vals) != len(t.decl.Cols) {
+		return false
+	}
+	tp = t.normalize(tp)
+	old, exists := t.rows[t.KeyOf(tp)]
+	return exists && old.Equal(tp)
+}
+
+// LookupKey returns the tuple stored under the same primary key as tp.
+func (t *Table) LookupKey(tp Tuple) (Tuple, bool) {
+	tp = t.normalize(tp)
+	old, exists := t.rows[t.KeyOf(tp)]
+	return old, exists
+}
+
+// Scan calls fn for every stored tuple; fn must not mutate the table.
+func (t *Table) Scan(fn func(Tuple) bool) {
+	for _, tp := range t.rows {
+		if !fn(tp) {
+			return
+		}
+	}
+}
+
+// Tuples returns all stored tuples in deterministic order.
+func (t *Table) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(t.rows))
+	for _, tp := range t.rows {
+		out = append(out, tp)
+	}
+	SortTuples(out)
+	return out
+}
+
+// Clear removes all tuples (used for event tables at end of step).
+func (t *Table) Clear() {
+	if len(t.rows) == 0 {
+		return
+	}
+	t.rows = make(map[string]Tuple)
+	for _, ix := range t.indexes {
+		ix.buckets = make(map[string][]string)
+	}
+	t.generation++
+}
+
+// Match returns stored tuples whose columns cols equal vals, using (and
+// lazily building) a secondary index when cols is non-empty.
+func (t *Table) Match(cols []int, vals []Value) []Tuple {
+	if len(cols) == 0 {
+		return t.Tuples()
+	}
+	ix := t.ensureIndex(cols)
+	probe := Tuple{Vals: vals}
+	keyCols := make([]int, len(cols))
+	for i := range cols {
+		keyCols[i] = i
+	}
+	bucket := ix.buckets[probe.Key(keyCols)]
+	out := make([]Tuple, 0, len(bucket))
+	for _, rk := range bucket {
+		if tp, ok := t.rows[rk]; ok {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+func (t *Table) ensureIndex(cols []int) *index {
+	sig := indexSig(cols)
+	if ix, ok := t.indexes[sig]; ok {
+		return ix
+	}
+	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[string][]string)}
+	for key, tp := range t.rows {
+		b := tp.Key(ix.cols)
+		ix.buckets[b] = append(ix.buckets[b], key)
+	}
+	t.indexes[sig] = ix
+	return ix
+}
+
+func (t *Table) addToIndexes(key string, tp Tuple) {
+	for _, ix := range t.indexes {
+		b := tp.Key(ix.cols)
+		ix.buckets[b] = append(ix.buckets[b], key)
+	}
+}
+
+func (t *Table) removeFromIndexes(key string, tp Tuple) {
+	for _, ix := range t.indexes {
+		b := tp.Key(ix.cols)
+		bucket := ix.buckets[b]
+		for i, rk := range bucket {
+			if rk == key {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(ix.buckets, b)
+		} else {
+			ix.buckets[b] = bucket
+		}
+	}
+}
+
+// Dump renders the table contents for debugging, sorted.
+func (t *Table) Dump() string {
+	tuples := t.Tuples()
+	lines := make([]string, len(tuples))
+	for i, tp := range tuples {
+		lines[i] = tp.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

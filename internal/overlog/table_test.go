@@ -1,0 +1,123 @@
+package overlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func testDecl() *TableDecl {
+	return &TableDecl{Name: "t", Cols: []ColDecl{
+		{Name: "K", Type: KindString},
+		{Name: "V", Type: KindInt},
+	}, KeyCols: []int{0}}
+}
+
+func TestTableInsertReplaceDelete(t *testing.T) {
+	tbl := NewTable(testDecl())
+	ins, disp, err := tbl.Insert(NewTuple("t", Str("a"), Int(1)))
+	if err != nil || !ins || disp != nil {
+		t.Fatalf("first insert: %v %v %v", ins, disp, err)
+	}
+	ins, disp, err = tbl.Insert(NewTuple("t", Str("a"), Int(1)))
+	if err != nil || ins || disp != nil {
+		t.Fatalf("duplicate insert: %v %v %v", ins, disp, err)
+	}
+	ins, disp, err = tbl.Insert(NewTuple("t", Str("a"), Int(2)))
+	if err != nil || !ins || disp == nil || disp.Vals[1].AsInt() != 1 {
+		t.Fatalf("replacement: %v %v %v", ins, disp, err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len: %d", tbl.Len())
+	}
+	removed, err := tbl.Delete(NewTuple("t", Str("a"), Int(1)))
+	if err != nil || removed {
+		t.Fatalf("delete stale: %v %v", removed, err)
+	}
+	removed, err = tbl.Delete(NewTuple("t", Str("a"), Int(2)))
+	if err != nil || !removed || tbl.Len() != 0 {
+		t.Fatalf("delete: %v %v len=%d", removed, err, tbl.Len())
+	}
+}
+
+func TestTableDeleteByKey(t *testing.T) {
+	tbl := NewTable(testDecl())
+	tbl.Insert(NewTuple("t", Str("a"), Int(1)))
+	old, err := tbl.DeleteByKey(NewTuple("t", Str("a"), Int(999)))
+	if err != nil || old == nil || old.Vals[1].AsInt() != 1 {
+		t.Fatalf("DeleteByKey: %v %v", old, err)
+	}
+	old, err = tbl.DeleteByKey(NewTuple("t", Str("a"), Int(0)))
+	if err != nil || old != nil {
+		t.Fatalf("DeleteByKey missing: %v %v", old, err)
+	}
+}
+
+func TestTableSecondaryIndex(t *testing.T) {
+	decl := &TableDecl{Name: "t", Cols: []ColDecl{
+		{Name: "A", Type: KindInt},
+		{Name: "B", Type: KindInt},
+	}, KeyCols: []int{0, 1}}
+	tbl := NewTable(decl)
+	for i := int64(0); i < 100; i++ {
+		tbl.Insert(NewTuple("t", Int(i), Int(i%7)))
+	}
+	got := tbl.Match([]int{1}, []Value{Int(3)})
+	if len(got) != 14 { // 3, 10, ..., 94
+		t.Fatalf("match size: %d", len(got))
+	}
+	// Index stays correct under deletion.
+	tbl.Delete(NewTuple("t", Int(3), Int(3)))
+	got = tbl.Match([]int{1}, []Value{Int(3)})
+	if len(got) != 13 {
+		t.Fatalf("after delete: %d", len(got))
+	}
+	// And under insertion through the index path.
+	tbl.Insert(NewTuple("t", Int(200), Int(3)))
+	got = tbl.Match([]int{1}, []Value{Int(3)})
+	if len(got) != 14 {
+		t.Fatalf("after insert: %d", len(got))
+	}
+}
+
+func TestTableTypeErrors(t *testing.T) {
+	tbl := NewTable(testDecl())
+	if _, _, err := tbl.Insert(NewTuple("t", Int(1), Int(1))); err == nil {
+		t.Fatal("expected type error")
+	}
+	if _, _, err := tbl.Insert(NewTuple("t", Str("a"))); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestTableNormalizeAddrString(t *testing.T) {
+	decl := &TableDecl{Name: "n", Cols: []ColDecl{{Name: "A", Type: KindAddr}}, KeyCols: []int{0}}
+	tbl := NewTable(decl)
+	tbl.Insert(NewTuple("n", Str("host:1")))
+	if !tbl.Contains(NewTuple("n", Addr("host:1"))) {
+		t.Fatal("addr/string normalization failed")
+	}
+}
+
+func TestTableDump(t *testing.T) {
+	tbl := NewTable(testDecl())
+	tbl.Insert(NewTuple("t", Str("b"), Int(2)))
+	tbl.Insert(NewTuple("t", Str("a"), Int(1)))
+	d := tbl.Dump()
+	if !strings.HasPrefix(d, `t("a", 1)`) {
+		t.Fatalf("dump order: %q", d)
+	}
+}
+
+func TestEventTableClear(t *testing.T) {
+	decl := &TableDecl{Name: "e", Event: true, Cols: []ColDecl{{Name: "A", Type: KindInt}}}
+	tbl := NewTable(decl)
+	tbl.Insert(NewTuple("e", Int(1)))
+	tbl.Match([]int{0}, []Value{Int(1)}) // build an index
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+	if got := tbl.Match([]int{0}, []Value{Int(1)}); len(got) != 0 {
+		t.Fatalf("index not cleared: %v", got)
+	}
+}

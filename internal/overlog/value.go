@@ -1,0 +1,414 @@
+// Package overlog implements a self-contained runtime for the Overlog
+// declarative language in the style of P2 and JOL, the Java Overlog
+// Library that the BOOM Analytics system (EuroSys 2010) was built on.
+//
+// A Program is a set of table declarations and rules. A Runtime owns the
+// stored state for one logical node and evaluates all rules to fixpoint
+// once per timestep, in the Dedalus-lite operational model: external
+// events (network arrivals, timer ticks, API insertions) are drained
+// into event tables, rules run to a semi-naive fixpoint with stratified
+// negation and aggregation, deferred deletions are applied, tuples whose
+// location specifier names another node are shipped, and event tables
+// are cleared.
+//
+// The Runtime is deliberately passive: it never spawns goroutines and
+// never reads the wall clock. Drivers (a discrete-event simulator for
+// tests and benchmarks, or a real-time loop over TCP for deployment)
+// own scheduling and feed the Runtime explicit timestamps.
+package overlog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types an Overlog value may take.
+type Kind uint8
+
+// Value kinds. KindAny holds an opaque Go value (used for payloads such
+// as chunk bytes or map/reduce function handles); two KindAny values
+// compare equal only if they are the identical interface value.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindAddr
+	KindList
+	KindAny
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindAddr:
+		return "addr"
+	case KindList:
+		return "list"
+	case KindAny:
+		return "any"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// KindByName resolves a type name used in table declarations.
+func KindByName(name string) (Kind, bool) {
+	switch name {
+	case "int":
+		return KindInt, true
+	case "float":
+		return KindFloat, true
+	case "string":
+		return KindString, true
+	case "bool":
+		return KindBool, true
+	case "addr":
+		return KindAddr, true
+	case "list":
+		return KindList, true
+	case "any":
+		return KindAny, true
+	}
+	return KindNil, false
+}
+
+// Value is a dynamically typed Overlog value.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	list []Value
+	any  interface{}
+}
+
+// NilValue is the distinguished null value.
+var NilValue = Value{kind: KindNil}
+
+// Bool wraps a Go bool.
+func Bool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Int wraps an int64.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float wraps a float64.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str wraps a string.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Addr wraps a node address (a location value).
+func Addr(s string) Value { return Value{kind: KindAddr, s: s} }
+
+// List wraps a slice of values. The slice is not copied.
+func List(vals ...Value) Value { return Value{kind: KindList, list: vals} }
+
+// Any wraps an opaque Go value.
+func Any(v interface{}) Value { return Value{kind: KindAny, any: v} }
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is the null value.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// AsBool returns the boolean payload (false for non-bools).
+func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
+
+// AsInt returns the integer payload, coercing floats.
+func (v Value) AsInt() int64 {
+	if v.kind == KindFloat {
+		return int64(v.f)
+	}
+	return v.i
+}
+
+// AsFloat returns the float payload, coercing ints.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string payload for strings and addrs.
+func (v Value) AsString() string { return v.s }
+
+// AsList returns the list payload (nil for non-lists).
+func (v Value) AsList() []Value { return v.list }
+
+// AsAny returns the opaque payload.
+func (v Value) AsAny() interface{} { return v.any }
+
+// Equal reports deep equality. Numeric values compare across int/float.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		if isNumeric(v.kind) && isNumeric(o.kind) {
+			return v.AsFloat() == o.AsFloat()
+		}
+		// Addresses are strings with routing intent; they compare equal.
+		if isStringy(v.kind) && isStringy(o.kind) {
+			return v.s == o.s
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindBool, KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindString, KindAddr:
+		return v.s == o.s
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindAny:
+		return v.any == o.any
+	}
+	return false
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func isStringy(k Kind) bool { return k == KindString || k == KindAddr }
+
+// Compare orders two values: nil < bool < numeric < string/addr < list < any.
+// Within numerics, comparison is by magnitude across int and float.
+// Returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	vr, or := compareRank(v.kind), compareRank(o.kind)
+	if vr != or {
+		if vr < or {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case v.kind == KindNil:
+		return 0
+	case v.kind == KindBool:
+		return cmpInt64(v.i, o.i)
+	case isNumeric(v.kind):
+		a, b := v.AsFloat(), o.AsFloat()
+		if v.kind == KindInt && o.kind == KindInt {
+			return cmpInt64(v.i, o.i)
+		}
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case v.kind == KindString || v.kind == KindAddr:
+		return strings.Compare(v.s, o.s)
+	case v.kind == KindList:
+		n := len(v.list)
+		if len(o.list) < n {
+			n = len(o.list)
+		}
+		for i := 0; i < n; i++ {
+			if c := v.list[i].Compare(o.list[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt64(int64(len(v.list)), int64(len(o.list)))
+	default:
+		// Opaque values are unordered; fall back to formatted identity.
+		return strings.Compare(fmt.Sprintf("%p", v.any), fmt.Sprintf("%p", o.any))
+	}
+}
+
+func compareRank(k Kind) int {
+	switch k {
+	case KindNil:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindString, KindAddr:
+		return 3
+	case KindList:
+		return 4
+	default:
+		return 5
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// encode appends a canonical byte encoding of v, used to build hash-map
+// keys for tuple identity and primary keys.
+func (v Value) encode(b []byte) []byte {
+	// Addr and string compare equal, so they must encode identically.
+	k := v.kind
+	if k == KindAddr {
+		k = KindString
+	}
+	b = append(b, byte(k))
+	switch v.kind {
+	case KindBool, KindInt:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(v.i))
+		b = append(b, tmp[:]...)
+	case KindFloat:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.f))
+		b = append(b, tmp[:]...)
+	case KindString, KindAddr:
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(v.s)))
+		b = append(b, tmp[:]...)
+		b = append(b, v.s...)
+	case KindList:
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(v.list)))
+		b = append(b, tmp[:]...)
+		for _, e := range v.list {
+			b = e.encode(b)
+		}
+	case KindAny:
+		b = append(b, fmt.Sprintf("%p/%T", v.any, v.any)...)
+	}
+	return b
+}
+
+// String renders the value in Overlog literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindAddr:
+		return "@" + v.s
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindAny:
+		return fmt.Sprintf("any(%T)", v.any)
+	}
+	return "?"
+}
+
+// Tuple is a row of values belonging to a named table.
+type Tuple struct {
+	Table string
+	Vals  []Value
+}
+
+// NewTuple builds a tuple for the named table.
+func NewTuple(table string, vals ...Value) Tuple {
+	return Tuple{Table: table, Vals: vals}
+}
+
+// Key encodes the given column subset as a map key.
+func (t Tuple) Key(cols []int) string {
+	b := make([]byte, 0, 16*len(cols))
+	for _, c := range cols {
+		b = t.Vals[c].encode(b)
+	}
+	return string(b)
+}
+
+// Identity encodes all columns as a map key.
+func (t Tuple) Identity() string {
+	b := make([]byte, 0, 16*len(t.Vals))
+	for _, v := range t.Vals {
+		b = v.encode(b)
+	}
+	return string(b)
+}
+
+// Equal reports whether two tuples have the same table and values.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Table != o.Table || len(t.Vals) != len(o.Vals) {
+		return false
+	}
+	for i := range t.Vals {
+		if !t.Vals[i].Equal(o.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "table(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		parts[i] = v.String()
+	}
+	return t.Table + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SortTuples orders tuples deterministically (by table, then columns);
+// used by tests and watch sinks for stable output.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Table != ts[j].Table {
+			return ts[i].Table < ts[j].Table
+		}
+		a, b := ts[i].Vals, ts[j].Vals
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for k := 0; k < n; k++ {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a) < len(b)
+	})
+}

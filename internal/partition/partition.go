@@ -1,0 +1,224 @@
+// Package partition implements the scalability revision of BOOM
+// Analytics: the BOOM-FS master's metadata is hash-partitioned across
+// several independent masters, each running the unmodified Overlog
+// master rules over its shard of the namespace. File operations route
+// by a hash of the path; directory creations broadcast (so every shard
+// can validate parents locally) and listings scatter/gather.
+//
+// The paper reports this revision took "a day" because partitioning is
+// a data-placement decision, orthogonal to the rules; the same holds
+// here — this package contains no new master logic at all.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/boomfs"
+	"repro/internal/sim"
+)
+
+// FS is a client-side view over a set of partitioned masters.
+type FS struct {
+	Masters []string
+	cl      *boomfs.Client
+}
+
+// hashPath buckets a path onto a partition (FNV-1a).
+func hashPath(path string, n int) int {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}
+
+// NewMasters creates n independent BOOM-FS masters named prefix:0..n-1.
+func NewMasters(c *sim.Cluster, prefix string, n int, cfg boomfs.Config) ([]*boomfs.Master, []string, error) {
+	// A shard cannot tell an orphaned chunk from another shard's chunk,
+	// so the GC revision must stay off in partitioned deployments.
+	cfg.GCTickMS = 0
+	var masters []*boomfs.Master
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("%s:%d", prefix, i)
+		m, err := boomfs.NewMaster(c, addr, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		masters = append(masters, m)
+		addrs = append(addrs, addr)
+	}
+	return masters, addrs, nil
+}
+
+// NewFS wraps a client with partition routing.
+func NewFS(cl *boomfs.Client, masters []string) (*FS, error) {
+	if len(masters) == 0 {
+		return nil, fmt.Errorf("partition: need at least one master")
+	}
+	return &FS{Masters: masters, cl: cl}, nil
+}
+
+// MasterFor returns the master owning a path.
+func (f *FS) MasterFor(path string) string {
+	return f.Masters[hashPath(path, len(f.Masters))]
+}
+
+func (f *FS) okTo(master, op, path, arg string) error {
+	resp, err := f.cl.CallTo(master, op, path, arg)
+	if err != nil {
+		return err
+	}
+	if !resp.Ok {
+		return &boomfs.OpError{Op: op, Path: path, Msg: resp.Err}
+	}
+	return nil
+}
+
+// Mkdir creates the directory on every partition, so that any shard
+// can validate it as a parent.
+func (f *FS) Mkdir(path string) error {
+	for _, m := range f.Masters {
+		if err := f.okTo(m, "mkdir", path, ""); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create creates a file on its owning partition.
+func (f *FS) Create(path string) error {
+	return f.okTo(f.MasterFor(path), "create", path, "")
+}
+
+// Exists checks a file on its owning partition.
+func (f *FS) Exists(path string) (bool, error) {
+	resp, err := f.cl.CallTo(f.MasterFor(path), "exists", path, "")
+	if err != nil {
+		return false, err
+	}
+	return resp.Ok, nil
+}
+
+// Rm removes a file from its owning partition. Directories would need
+// a broadcast removal; restricted to files here, as in the paper's
+// partitioned prototype the namespace tree ops stayed simple.
+func (f *FS) Rm(path string) error {
+	return f.okTo(f.MasterFor(path), "rm", path, "")
+}
+
+// Ls scatters to all partitions and merges the name sets.
+func (f *FS) Ls(path string) ([]string, error) {
+	seen := map[string]bool{}
+	found := false
+	for _, m := range f.Masters {
+		resp, err := f.cl.CallTo(m, "ls", path, "")
+		if err != nil {
+			return nil, err
+		}
+		if !resp.Ok {
+			continue
+		}
+		found = true
+		for _, v := range resp.Result {
+			seen[v.AsString()] = true
+		}
+	}
+	if !found {
+		return nil, &boomfs.OpError{Op: "ls", Path: path, Msg: "not found"}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// AddChunk allocates a chunk on the file's owning partition.
+func (f *FS) AddChunk(path string) (int64, []string, error) {
+	resp, err := f.cl.CallTo(f.MasterFor(path), "addchunk", path, "")
+	if err != nil {
+		return 0, nil, err
+	}
+	if !resp.Ok || len(resp.Result) < 1 {
+		return 0, nil, &boomfs.OpError{Op: "addchunk", Path: path, Msg: resp.Err}
+	}
+	id := resp.Result[0].AsInt()
+	var locs []string
+	for _, v := range resp.Result[1:] {
+		locs = append(locs, v.AsString())
+	}
+	return id, locs, nil
+}
+
+// WriteFile writes a file through the owning partition.
+func (f *FS) WriteFile(path, data string, chunkSize int) error {
+	if err := f.Create(path); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		id, locs, err := f.AddChunk(path)
+		if err != nil {
+			return err
+		}
+		if err := f.cl.WriteChunk(id, locs, data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFile reads a file through the owning partition.
+func (f *FS) ReadFile(path string) (string, error) {
+	master := f.MasterFor(path)
+	resp, err := f.cl.CallTo(master, "chunks", path, "")
+	if err != nil {
+		return "", err
+	}
+	if !resp.Ok {
+		return "", &boomfs.OpError{Op: "chunks", Path: path, Msg: resp.Err}
+	}
+	out := ""
+	for _, pair := range resp.Result {
+		l := pair.AsList()
+		if len(l) != 2 {
+			return "", &boomfs.OpError{Op: "chunks", Path: path, Msg: "malformed pair"}
+		}
+		cid := l[1].AsInt()
+		locsResp, err := f.cl.CallTo(master, "chunklocs", "", fmt.Sprintf("%d", cid))
+		if err != nil {
+			return "", err
+		}
+		if !locsResp.Ok {
+			return "", &boomfs.OpError{Op: "chunklocs", Path: path, Msg: locsResp.Err}
+		}
+		var locs []string
+		for _, v := range locsResp.Result {
+			locs = append(locs, v.AsString())
+		}
+		data, err := f.cl.ReadChunk(cid, locs)
+		if err != nil {
+			return "", err
+		}
+		out += data
+	}
+	return out, nil
+}
+
+// SendAsync issues a metadata request without waiting (workload
+// generators multiplexing many clients).
+func (f *FS) SendAsync(op, path, arg string) string {
+	return f.cl.SendTo(f.MasterFor(path), op, path, arg)
+}
+
+// Poll exposes the underlying client's response check.
+func (f *FS) Poll(reqID string) (*boomfs.Response, bool) {
+	return f.cl.Poll(reqID)
+}

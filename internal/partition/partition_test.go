@@ -1,0 +1,228 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/boomfs"
+	"repro/internal/sim"
+)
+
+func testPartitioned(t *testing.T, nMasters, nDNs int) (*sim.Cluster, []*boomfs.Master, *FS) {
+	t.Helper()
+	cfg := boomfs.DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ChunkSize = 16
+	c := sim.NewCluster()
+	masters, addrs, err := NewMasters(c, "master", nMasters, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nDNs; i++ {
+		dn, err := boomfs.NewDataNode(c, fmt.Sprintf("dn:%d", i), addrs[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs[1:] {
+			if err := dn.AddMaster(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl, err := boomfs.NewClient(c, "client:0", cfg, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS(cl, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, masters, fs
+}
+
+func TestPartitionedMetadata(t *testing.T) {
+	_, masters, fs := testPartitioned(t, 3, 3)
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 0; i < n; i++ {
+		if err := fs.Create(fmt.Sprintf("/d/f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Files spread across shards.
+	counts := make([]int, len(masters))
+	for i, m := range masters {
+		counts[i] = m.FileCount() - 1 // minus the broadcast /d
+	}
+	nonEmpty := 0
+	total := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if total != n {
+		t.Fatalf("file total: %d (%v)", total, counts)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("poor distribution: %v", counts)
+	}
+	// Scatter/gather listing sees everything.
+	names, err := fs.Ls("/d")
+	if err != nil || len(names) != n {
+		t.Fatalf("ls: %d names, %v", len(names), err)
+	}
+	// Exists routes correctly.
+	ok, err := fs.Exists("/d/f07")
+	if err != nil || !ok {
+		t.Fatalf("exists: %v %v", ok, err)
+	}
+	if err := fs.Rm("/d/f07"); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ = fs.Exists("/d/f07")
+	if ok {
+		t.Fatal("rm did not take effect")
+	}
+}
+
+func TestPartitionedWriteRead(t *testing.T) {
+	_, _, fs := testPartitioned(t, 2, 3)
+	if err := fs.Mkdir("/data"); err != nil {
+		t.Fatal(err)
+	}
+	payload := "partitioned namespace, shared datanode pool, same chunks"
+	if err := fs.WriteFile("/data/x", payload, 16); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/data/x")
+	if err != nil || got != payload {
+		t.Fatalf("read: %q %v", got, err)
+	}
+}
+
+func TestSinglePartitionDegeneratesToPlainFS(t *testing.T) {
+	_, masters, fs := testPartitioned(t, 1, 2)
+	if err := fs.Mkdir("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a/f"); err != nil {
+		t.Fatal(err)
+	}
+	if masters[0].FileCount() != 2 {
+		t.Fatalf("file count: %d", masters[0].FileCount())
+	}
+}
+
+func TestRoutingDeterministic(t *testing.T) {
+	_, _, fs := testPartitioned(t, 4, 2)
+	if fs.MasterFor("/x/y") != fs.MasterFor("/x/y") {
+		t.Fatal("routing must be deterministic")
+	}
+	spread := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		spread[fs.MasterFor(fmt.Sprintf("/p/%d", i))] = true
+	}
+	if len(spread) < 3 {
+		t.Fatalf("hash spread too narrow: %v", spread)
+	}
+}
+
+// TestPartitionedGCDisabled: NewMasters must force GC off — a shard
+// cannot distinguish an orphan from another shard's chunk, so with GC
+// on it would collect live data. We verify chunks survive long after
+// any would-be GC period.
+func TestPartitionedGCDisabled(t *testing.T) {
+	cfg := boomfs.DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ChunkSize = 16
+	cfg.GCTickMS = 500 // NewMasters must override this to 0
+	c := sim.NewCluster()
+	_, addrs, err := NewMasters(c, "master", 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dns []*boomfs.DataNode
+	for i := 0; i < 3; i++ {
+		dn, err := boomfs.NewDataNode(c, fmt.Sprintf("dn:%d", i), addrs[0], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dn.AddMaster(addrs[1]); err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := boomfs.NewClient(c, "client:0", cfg, addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFS(cl, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/keep", "0123456789abcdef", 16); err != nil {
+		t.Fatal(err)
+	}
+	// Run far beyond many would-be GC periods.
+	if err := c.Run(c.Now() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, dn := range dns {
+		total += dn.ChunkCount()
+	}
+	if total != 2 {
+		t.Fatalf("chunks after idle period: %d (GC leaked into partitioned mode?)", total)
+	}
+	got, err := fs.ReadFile("/d/keep")
+	if err != nil || got != "0123456789abcdef" {
+		t.Fatalf("read: %q %v", got, err)
+	}
+}
+
+// TestPartitionedMvWithinShard: mv works when source and destination
+// hash to the same shard... and since destinations rarely do, the
+// wrapper does not expose Mv; this documents the restriction by
+// checking direct per-shard mv still functions for same-shard paths.
+func TestPartitionedMvWithinShard(t *testing.T) {
+	_, _, fs := testPartitioned(t, 2, 2)
+	if err := fs.Mkdir("/m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/m/src"); err != nil {
+		t.Fatal(err)
+	}
+	// Find a destination on the same shard as the source.
+	owner := fs.MasterFor("/m/src")
+	dst := ""
+	for i := 0; i < 100; i++ {
+		cand := fmt.Sprintf("/m/dst%02d", i)
+		if fs.MasterFor(cand) == owner {
+			dst = cand
+			break
+		}
+	}
+	if dst == "" {
+		t.Skip("no same-shard destination found")
+	}
+	if err := fs.okTo(owner, "mv", "/m/src", dst); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := fs.Exists(dst)
+	if err != nil || !ok {
+		t.Fatalf("dst after mv: %v %v", ok, err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package repl is an interactive Overlog shell: type declarations,
+// facts and rules to install them; `?- body.` to query; dot-commands
+// to step the clock, inspect tables, plans and the CALM analysis. It
+// reads from any io.Reader and writes to any io.Writer, so the whole
+// loop is unit-testable; cmd/boom wires it to the terminal.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+// REPL wraps a runtime with an interactive loop.
+type REPL struct {
+	rt    *overlog.Runtime
+	now   int64
+	out   io.Writer
+	progs []*overlog.Program // everything installed, for .analyze
+	// Echo controls whether watch events stream to the output.
+	Echo bool
+}
+
+// New creates a REPL around a fresh runtime named "repl".
+func New(out io.Writer) *REPL {
+	r := &REPL{rt: overlog.NewRuntime("repl"), out: out, Echo: true}
+	r.rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		if r.Echo {
+			fmt.Fprintf(r.out, "  %s\n", ev)
+		}
+	})
+	return r
+}
+
+// Runtime exposes the underlying runtime.
+func (r *REPL) Runtime() *overlog.Runtime { return r.rt }
+
+const help = `commands:
+  <declarations / facts / rules>;   install program text (may span lines until ';')
+  ?- body;                          run an ad-hoc query
+  .step [n]                         advance the clock n timesteps (default 1)
+  .dump [table]                     print one table, or all non-empty tables
+  .tables                           list declared tables with sizes
+  .rules                            list installed rules
+  .plan <rule>                      show a rule's compiled plan
+  .analyze                          CALM monotonicity analysis of installed rules
+  .help                             this text
+  .quit                             leave
+`
+
+// Run processes input until EOF or .quit.
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Fprint(r.out, "olg> ")
+		} else {
+			fmt.Fprint(r.out, "...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case pending.Len() == 0 && trimmed == "":
+			prompt()
+			continue
+		case pending.Len() == 0 && strings.HasPrefix(trimmed, "."):
+			if quit := r.command(trimmed); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		// Statements complete at a line ending in ';'.
+		if !strings.HasSuffix(trimmed, ";") {
+			prompt()
+			continue
+		}
+		stmt := pending.String()
+		pending.Reset()
+		r.execute(stmt)
+		prompt()
+	}
+	return sc.Err()
+}
+
+func (r *REPL) execute(stmt string) {
+	trimmed := strings.TrimSpace(stmt)
+	if strings.HasPrefix(trimmed, "?-") {
+		body := strings.TrimSuffix(strings.TrimSpace(trimmed[2:]), ";")
+		bindings, err := r.rt.Query(body)
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return
+		}
+		if len(bindings) == 0 {
+			fmt.Fprintln(r.out, "no.")
+			return
+		}
+		for _, b := range bindings {
+			var names []string
+			for n := range b {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			if len(names) == 0 {
+				fmt.Fprintln(r.out, "yes.")
+				continue
+			}
+			parts := make([]string, len(names))
+			for i, n := range names {
+				parts[i] = fmt.Sprintf("%s = %s", n, b[n])
+			}
+			fmt.Fprintf(r.out, "  %s\n", strings.Join(parts, ", "))
+		}
+		fmt.Fprintf(r.out, "%d answer(s).\n", len(bindings))
+		return
+	}
+	prog, err := overlog.Parse(stmt)
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	if err := r.rt.Install(prog); err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	r.progs = append(r.progs, prog)
+	fmt.Fprintln(r.out, "ok.")
+}
+
+// command handles dot-commands; returns true on .quit.
+func (r *REPL) command(line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".q", ".exit":
+		return true
+	case ".help":
+		fmt.Fprint(r.out, help)
+	case ".step":
+		n := 1
+		if len(fields) > 1 {
+			fmt.Sscanf(fields[1], "%d", &n)
+		}
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			r.now++
+			out, err := r.rt.Step(r.now, nil)
+			if err != nil {
+				fmt.Fprintf(r.out, "error: %v\n", err)
+				return false
+			}
+			for _, env := range out {
+				fmt.Fprintf(r.out, "  [send -> %s] %s\n", env.To, env.Tuple)
+			}
+		}
+		fmt.Fprintf(r.out, "t=%d\n", r.now)
+	case ".dump":
+		if len(fields) > 1 {
+			tbl := r.rt.Table(fields[1])
+			if tbl == nil {
+				fmt.Fprintf(r.out, "error: no table %q\n", fields[1])
+				return false
+			}
+			fmt.Fprintln(r.out, tbl.Dump())
+			return false
+		}
+		for _, name := range r.rt.TableNames() {
+			if strings.HasPrefix(name, "sys::") {
+				continue
+			}
+			tbl := r.rt.Table(name)
+			if tbl.Len() == 0 {
+				continue
+			}
+			fmt.Fprintf(r.out, "-- %s (%d)\n%s\n", name, tbl.Len(), tbl.Dump())
+		}
+	case ".tables":
+		for _, name := range r.rt.TableNames() {
+			if strings.HasPrefix(name, "sys::") {
+				continue
+			}
+			fmt.Fprintf(r.out, "  %-24s %d tuples\n", name, r.rt.Table(name).Len())
+		}
+	case ".rules":
+		for _, name := range r.rt.Rules() {
+			fmt.Fprintf(r.out, "  %s\n", name)
+		}
+	case ".plan":
+		if len(fields) < 2 {
+			fmt.Fprintln(r.out, "usage: .plan <rule>")
+			return false
+		}
+		out, err := r.rt.Explain(fields[1])
+		if err != nil {
+			fmt.Fprintf(r.out, "error: %v\n", err)
+			return false
+		}
+		fmt.Fprint(r.out, out)
+	case ".analyze":
+		merged := &overlog.Program{}
+		for _, p := range r.progs {
+			merged.Tables = append(merged.Tables, p.Tables...)
+			merged.Rules = append(merged.Rules, p.Rules...)
+		}
+		fmt.Fprint(r.out, overlog.AnalyzeCALM(merged).Report())
+		fmt.Fprintln(r.out, "strata:")
+		fmt.Fprint(r.out, r.rt.ExplainAll())
+	default:
+		fmt.Fprintf(r.out, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+)
+
+// drive feeds a script to the REPL and returns the output.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	r := New(&out)
+	if err := r.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestInstallStepQuery(t *testing.T) {
+	out := drive(t, `
+table link(A: string, B: string) keys(0,1);
+table reach(A: string, B: string) keys(0,1);
+link("x", "y"); link("y", "z");
+r1 reach(A, B) :- link(A, B);
+r2 reach(A, C) :- link(A, B), reach(B, C);
+.step
+?- reach("x", Z);
+.quit
+`)
+	if !strings.Contains(out, "ok.") {
+		t.Fatalf("no install ack:\n%s", out)
+	}
+	if !strings.Contains(out, `Z = "y"`) || !strings.Contains(out, `Z = "z"`) {
+		t.Fatalf("query answers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "2 answer(s).") {
+		t.Fatalf("answer count:\n%s", out)
+	}
+}
+
+func TestMultilineStatement(t *testing.T) {
+	out := drive(t, `
+table t(A: int)
+  keys(0);
+t(7);
+.step
+?- t(X);
+`)
+	if !strings.Contains(out, "X = 7") {
+		t.Fatalf("multiline install failed:\n%s", out)
+	}
+}
+
+func TestDumpAndTables(t *testing.T) {
+	out := drive(t, `
+table t(A: int) keys(0);
+t(1); t(2);
+.step
+.tables
+.dump t
+`)
+	if !strings.Contains(out, "t ") && !strings.Contains(out, "2 tuples") {
+		t.Fatalf("tables listing:\n%s", out)
+	}
+	if !strings.Contains(out, "t(1)") || !strings.Contains(out, "t(2)") {
+		t.Fatalf("dump:\n%s", out)
+	}
+}
+
+func TestErrorsAreReportedNotFatal(t *testing.T) {
+	out := drive(t, `
+this is not overlog;
+table t(A: int) keys(0);
+?- undeclared(X);
+.plan nope
+.nonsense
+.quit
+`)
+	if got := strings.Count(out, "error:"); got < 3 {
+		t.Fatalf("expected >=3 errors, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, "unknown command") {
+		t.Fatalf("unknown command:\n%s", out)
+	}
+	// The session survived errors: the good install took effect.
+	if !strings.Contains(out, "ok.") {
+		t.Fatalf("good statement failed:\n%s", out)
+	}
+}
+
+func TestPlanAndHelpAndNoAnswer(t *testing.T) {
+	out := drive(t, `
+table a(X: int) keys(0);
+table b(X: int) keys(0);
+rr b(X) :- a(X);
+.plan rr
+.help
+?- b(X);
+`)
+	if !strings.Contains(out, "rule rr") || !strings.Contains(out, "scan") {
+		t.Fatalf("plan output:\n%s", out)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Fatalf("help output:\n%s", out)
+	}
+	if !strings.Contains(out, "no.") {
+		t.Fatalf("empty query:\n%s", out)
+	}
+}
+
+func TestStepN(t *testing.T) {
+	out := drive(t, `
+periodic tick interval 1;
+table ticks(N: int) keys(0);
+r1 ticks(Ord) :- tick(Ord, _);
+.step 5
+?- ticks(N);
+`)
+	if !strings.Contains(out, "t=5") {
+		t.Fatalf("clock:\n%s", out)
+	}
+	if !strings.Contains(out, "5 answer(s).") {
+		t.Fatalf("tick count:\n%s", out)
+	}
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	out := drive(t, `
+table kv(K: string, V: int) keys(0);
+table missing(K: string) keys(0);
+event probe(K: string);
+m1 missing(K) :- probe(K), notin kv(K, _);
+.analyze
+`)
+	if !strings.Contains(out, "CALM analysis") || !strings.Contains(out, "negation over kv") {
+		t.Fatalf("analyze output:\n%s", out)
+	}
+	if !strings.Contains(out, "strata:") {
+		t.Fatalf("strata missing:\n%s", out)
+	}
+}

@@ -1,0 +1,353 @@
+// Package rtfs deploys BOOM-FS on real machines: the same Overlog
+// programs and Go data-plane glue as the simulated deployment, driven
+// by wall-clock nodes over the TCP transport. The boom command is a
+// thin wrapper around this package.
+package rtfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/boomfs"
+	"repro/internal/overlog"
+	"repro/internal/transport"
+)
+
+// Server is one running FS process (master or datanode).
+type Server struct {
+	Addr string
+	Node *transport.Node
+	TCP  *transport.TCP
+}
+
+// Close stops the node and its transport.
+func (s *Server) Close() {
+	s.Node.Stop()
+	s.TCP.Close()
+}
+
+// StartMaster serves a BOOM-FS master at addr (host:port).
+func StartMaster(addr string, cfg boomfs.Config) (*Server, error) {
+	return StartMasterFrom(addr, cfg, "")
+}
+
+// StartMasterFrom serves a master, optionally restoring its metadata
+// catalog from a checkpoint file first (the FsImage equivalent —
+// Runtime.Snapshot output).
+func StartMasterFrom(addr string, cfg boomfs.Config, restorePath string) (*Server, error) {
+	rt := overlog.NewRuntime(addr)
+	if err := rt.InstallSource(boomfs.ProtocolDecls); err != nil {
+		return nil, err
+	}
+	if _, err := boomfs.NewMasterOnRuntime(rt, cfg); err != nil {
+		return nil, err
+	}
+	if restorePath != "" {
+		f, err := os.Open(restorePath)
+		if err != nil {
+			return nil, fmt.Errorf("rtfs: restore: %w", err)
+		}
+		defer f.Close()
+		if err := rt.RestoreSnapshot(f); err != nil {
+			return nil, fmt.Errorf("rtfs: restore: %w", err)
+		}
+	}
+	return serve(rt, addr, nil)
+}
+
+// Checkpoint writes the server's current catalog to path atomically
+// (write to a temp file, then rename).
+func (s *Server) Checkpoint(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var snapErr error
+	s.Node.Runtime(func(rt *overlog.Runtime) {
+		snapErr = rt.Snapshot(f)
+	})
+	if cerr := f.Close(); snapErr == nil {
+		snapErr = cerr
+	}
+	if snapErr != nil {
+		os.Remove(tmp)
+		return snapErr
+	}
+	return os.Rename(tmp, path)
+}
+
+// StartDataNode serves a datanode at addr, heartbeating the master.
+func StartDataNode(addr, master string, cfg boomfs.Config) (*Server, error) {
+	rt := overlog.NewRuntime(addr)
+	_, svc, err := boomfs.NewDataNodeOnRuntime(rt, master, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return serve(rt, addr, func(n *transport.Node) error {
+		return n.AttachService(svc)
+	})
+}
+
+func serve(rt *overlog.Runtime, addr string, setup func(*transport.Node) error) (*Server, error) {
+	var tcp *transport.TCP
+	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
+	if setup != nil {
+		if err := setup(node); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	tcp, err = transport.ListenTCP(node, addr)
+	if err != nil {
+		return nil, err
+	}
+	go node.Run()
+	return &Server{Addr: addr, Node: node, TCP: tcp}, nil
+}
+
+// Client is a real-time FS client: it owns a node (to receive
+// responses) and issues synchronous operations with wall deadlines.
+type Client struct {
+	Addr    string
+	Master  string
+	Timeout time.Duration
+
+	node *transport.Node
+	tcp  *transport.TCP
+	seq  int64
+}
+
+// NewClient starts a client node at addr speaking to master.
+func NewClient(addr, master string, timeout time.Duration) (*Client, error) {
+	rt := overlog.NewRuntime(addr)
+	if err := rt.InstallSource(boomfs.ProtocolDecls); err != nil {
+		return nil, err
+	}
+	if err := rt.InstallSource(boomfs.ClientRules); err != nil {
+		return nil, err
+	}
+	var tcp *transport.TCP
+	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
+	var err error
+	tcp, err = transport.ListenTCP(node, addr)
+	if err != nil {
+		return nil, err
+	}
+	go node.Run()
+	return &Client{Addr: addr, Master: master, Timeout: timeout, node: node, tcp: tcp}, nil
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	c.node.Stop()
+	c.tcp.Close()
+}
+
+func (c *Client) nextReqID() string {
+	c.seq++
+	return fmt.Sprintf("%s-%d", c.Addr, c.seq)
+}
+
+// call issues one metadata op and waits for the response.
+func (c *Client) call(op, path, arg string) (*boomfs.Response, error) {
+	id := c.nextReqID()
+	if err := c.tcp.Send(overlog.Envelope{To: c.Master, Tuple: overlog.NewTuple("request",
+		overlog.Addr(c.Master), overlog.Str(id), overlog.Addr(c.Addr),
+		overlog.Str(op), overlog.Str(path), overlog.Str(arg))}); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.Timeout)
+	for time.Now().Before(deadline) {
+		var resp *boomfs.Response
+		c.node.Runtime(func(rt *overlog.Runtime) {
+			tp, ok := rt.Table("resp_log").LookupKey(overlog.NewTuple("resp_log",
+				overlog.Str(id), overlog.Bool(false), overlog.List(), overlog.Str("")))
+			if ok {
+				resp = &boomfs.Response{Ok: tp.Vals[1].AsBool(),
+					Result: tp.Vals[2].AsList(), Err: tp.Vals[3].AsString()}
+			}
+		})
+		if resp != nil {
+			return resp, nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("rtfs: %s %s: timeout after %v", op, path, c.Timeout)
+}
+
+func (c *Client) callOK(op, path, arg string) (*boomfs.Response, error) {
+	resp, err := c.call(op, path, arg)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Ok {
+		return resp, &boomfs.OpError{Op: op, Path: path, Msg: resp.Err}
+	}
+	return resp, nil
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.callOK("mkdir", path, "")
+	return err
+}
+
+// Create creates an empty file.
+func (c *Client) Create(path string) error {
+	_, err := c.callOK("create", path, "")
+	return err
+}
+
+// Exists reports whether a path resolves.
+func (c *Client) Exists(path string) (bool, error) {
+	resp, err := c.call("exists", path, "")
+	if err != nil {
+		return false, err
+	}
+	return resp.Ok, nil
+}
+
+// Ls lists a directory.
+func (c *Client) Ls(path string) ([]string, error) {
+	resp, err := c.callOK("ls", path, "")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(resp.Result))
+	for i, v := range resp.Result {
+		out[i] = v.AsString()
+	}
+	return out, nil
+}
+
+// Rm removes a file or empty directory.
+func (c *Client) Rm(path string) error {
+	_, err := c.callOK("rm", path, "")
+	return err
+}
+
+// Mv renames a file or empty directory.
+func (c *Client) Mv(oldPath, newPath string) error {
+	_, err := c.callOK("mv", oldPath, newPath)
+	return err
+}
+
+// WriteFile creates path and streams data through the chunk pipeline.
+func (c *Client) WriteFile(path, data string, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 64 << 10
+	}
+	if err := c.Create(path); err != nil {
+		return err
+	}
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		resp, err := c.callOK("addchunk", path, "")
+		if err != nil {
+			return err
+		}
+		if len(resp.Result) < 2 {
+			return errors.New("rtfs: addchunk returned no locations")
+		}
+		cid := resp.Result[0].AsInt()
+		var locs []string
+		for _, v := range resp.Result[1:] {
+			locs = append(locs, v.AsString())
+		}
+		if err := c.writeChunk(cid, locs, data[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) writeChunk(cid int64, locs []string, data string) error {
+	id := c.nextReqID()
+	rest := make([]overlog.Value, 0, len(locs)-1)
+	for _, l := range locs[1:] {
+		rest = append(rest, overlog.Addr(l))
+	}
+	if err := c.tcp.Send(overlog.Envelope{To: locs[0], Tuple: overlog.NewTuple("dn_write",
+		overlog.Addr(locs[0]), overlog.Str(id), overlog.Addr(c.Addr),
+		overlog.Int(cid), overlog.Str(data), overlog.List(rest...))}); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(c.Timeout)
+	for time.Now().Before(deadline) {
+		acks := 0
+		c.node.Runtime(func(rt *overlog.Runtime) {
+			acks = len(rt.Table("ack_log").Match([]int{0}, []overlog.Value{overlog.Str(id)}))
+		})
+		if acks >= len(locs) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("rtfs: writechunk %d: ack timeout", cid)
+}
+
+// ReadFile fetches a file's contents.
+func (c *Client) ReadFile(path string) (string, error) {
+	resp, err := c.callOK("chunks", path, "")
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, pair := range resp.Result {
+		l := pair.AsList()
+		if len(l) != 2 {
+			return "", errors.New("rtfs: malformed chunks response")
+		}
+		cid := l[1].AsInt()
+		locsResp, err := c.callOK("chunklocs", "", fmt.Sprintf("%d", cid))
+		if err != nil {
+			return "", err
+		}
+		data, err := c.readChunk(cid, locsResp.Result)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(data)
+	}
+	return b.String(), nil
+}
+
+func (c *Client) readChunk(cid int64, locs []overlog.Value) (string, error) {
+	for _, loc := range locs {
+		id := c.nextReqID()
+		if err := c.tcp.Send(overlog.Envelope{To: loc.AsString(), Tuple: overlog.NewTuple("dn_read",
+			overlog.Addr(loc.AsString()), overlog.Str(id), overlog.Addr(c.Addr),
+			overlog.Int(cid))}); err != nil {
+			continue
+		}
+		deadline := time.Now().Add(c.Timeout / 2)
+		for time.Now().Before(deadline) {
+			var data string
+			var got, ok bool
+			c.node.Runtime(func(rt *overlog.Runtime) {
+				tp, found := rt.Table("read_log").LookupKey(overlog.NewTuple("read_log",
+					overlog.Str(id), overlog.Int(0), overlog.Str(""), overlog.Bool(false)))
+				if found {
+					got = true
+					data = tp.Vals[2].AsString()
+					ok = tp.Vals[3].AsBool()
+				}
+			})
+			if got {
+				if ok {
+					return data, nil
+				}
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return "", fmt.Errorf("rtfs: readchunk %d: no replica answered", cid)
+}

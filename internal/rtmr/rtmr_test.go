@@ -1,0 +1,89 @@
+package rtmr
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/boommr"
+)
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no localhost networking: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// rtCfg shrinks timers so the wall-clock run is quick.
+func rtCfg() boommr.MRConfig {
+	cfg := boommr.DefaultMRConfig()
+	cfg.HeartbeatMS = 50
+	cfg.SchedTickMS = 20
+	cfg.TrackerTTL = 400
+	cfg.ProgressMS = 50
+	cfg.MapBaseMS = 30
+	cfg.RedBaseMS = 40
+	return cfg
+}
+
+// TestRealTCPWordCount runs the Overlog JobTracker and three trackers
+// over real TCP sockets on the wall clock.
+func TestRealTCPWordCount(t *testing.T) {
+	jt := freeAddr(t)
+	tts := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	cl, err := Start(jt, tts, boommr.FIFO, rtCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	splits := make([]string, 6)
+	for i := range splits {
+		splits[i] = strings.Repeat("real sockets real rules ", 40)
+	}
+	job := boommr.NewJob(cl.NewJobID(), splits, 2,
+		boommr.WordCountMap, boommr.WordCountReduce)
+	cl.Submit(job)
+	done, err := cl.Wait(job.ID, 30*time.Second)
+	if err != nil || !done {
+		t.Fatalf("job: %v %v", done, err)
+	}
+	if job.Output()["real"] != "480" {
+		t.Fatalf("output: %v", job.Output()["real"])
+	}
+}
+
+// TestRealTCPLATE: straggler mitigation also works on the wall clock.
+func TestRealTCPLATE(t *testing.T) {
+	jt := freeAddr(t)
+	tts := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	cfg := rtCfg()
+	cfg.SpecMinMS = 150
+	cl, err := Start(jt, tts, boommr.LATE, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Trackers()[0].Slowdown = 20
+
+	splits := make([]string, 6)
+	for i := range splits {
+		splits[i] = strings.Repeat("slow and steady ", 60)
+	}
+	job := boommr.NewJob(cl.NewJobID(), splits, 1,
+		boommr.WordCountMap, boommr.WordCountReduce)
+	cl.Submit(job)
+	done, err := cl.Wait(job.ID, 60*time.Second)
+	if err != nil || !done {
+		t.Fatalf("job: %v %v", done, err)
+	}
+	if job.Output()["steady"] != "360" {
+		t.Fatalf("output: %v", job.Output()["steady"])
+	}
+}

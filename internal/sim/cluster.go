@@ -1,0 +1,486 @@
+// Package sim provides a deterministic discrete-event simulator that
+// drives a cluster of Overlog runtimes over a configurable network
+// model (per-link latency, message loss, partitions, node failures).
+//
+// The BOOM Analytics evaluation ran on EC2; this simulator is the
+// substitution that preserves the evaluation's relevant behaviour:
+// protocol ordering, queueing, and failure interleavings are all
+// exercised for real, while the wall clock is virtual, so hundred-node
+// experiments run in milliseconds and are perfectly repeatable.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/overlog"
+)
+
+// LatencyModel returns the one-way delay in milliseconds for a message.
+type LatencyModel func(from, to string, r *rand.Rand) int64
+
+// ConstLatency returns a fixed one-way delay.
+func ConstLatency(ms int64) LatencyModel {
+	return func(_, _ string, _ *rand.Rand) int64 { return ms }
+}
+
+// UniformLatency returns delays uniform in [lo, hi].
+func UniformLatency(lo, hi int64) LatencyModel {
+	return func(_, _ string, r *rand.Rand) int64 {
+		if hi <= lo {
+			return lo
+		}
+		return lo + r.Int63n(hi-lo+1)
+	}
+}
+
+// Injection is a tuple a Service wants delivered, after DelayMS of
+// simulated time (local processing or modeled work such as running a
+// map task).
+type Injection struct {
+	To      string
+	Tuple   overlog.Tuple
+	DelayMS int64
+}
+
+// Env is the narrow view of the driver a Service may depend on (the
+// virtual clock here; the wall clock under the real-time driver in
+// internal/transport). Keeping services driver-agnostic lets the same
+// data-plane glue run in simulation and over TCP.
+type Env interface {
+	Now() int64
+}
+
+// Service is imperative glue attached to a node: the data-plane code
+// that the BOOM papers kept in Java (chunk I/O, task execution). It
+// observes watched-table events from its node's runtime and responds by
+// injecting tuples, possibly after simulated work time.
+type Service interface {
+	// Tables lists the tables whose insert events the service observes.
+	Tables() []string
+	// OnEvent handles one insert event and returns injections.
+	OnEvent(env Env, ev overlog.WatchEvent) []Injection
+}
+
+// event is one scheduled delivery in the simulation.
+type event struct {
+	time  int64
+	seq   int64 // tie-break for determinism
+	to    string
+	tuple overlog.Tuple
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// node bundles a runtime with its attached services and event buffer.
+type node struct {
+	addr     string
+	rt       *overlog.Runtime
+	services []Service
+	buffer   []overlog.WatchEvent // events raised during the current step
+	killed   bool
+}
+
+// Cluster is the simulation: a set of nodes, a virtual clock, and a
+// time-ordered delivery queue.
+type Cluster struct {
+	nodes   map[string]*node
+	order   []string // creation order, for deterministic iteration
+	queue   eventHeap
+	now     int64
+	seq     int64
+	rng     *rand.Rand
+	latency LatencyModel
+	// dropRate is applied to inter-node messages (not self-deliveries).
+	dropRate   float64
+	partitions map[[2]string]bool
+
+	// serviceTime, when set, models single-threaded servers: delivering
+	// a tuple to a node occupies it for serviceTime(node, table) ms, and
+	// deliveries queue behind one another (an M/D/1-style model). This
+	// is how master CPU saturation — invisible in pure virtual time —
+	// becomes observable in the scale-up experiment.
+	serviceTime func(node, table string) int64
+	busyUntil   map[string]int64
+
+	// Delivered counts messages by destination table, a cheap built-in
+	// network monitor used by the monitoring experiment.
+	Delivered map[string]int64
+	Dropped   int64
+
+	// MaxSteps guards against livelock in broken protocols.
+	MaxSteps int64
+	steps    int64
+}
+
+// Option configures a Cluster.
+type Option func(*Cluster)
+
+// WithLatency sets the link latency model (default: constant 1ms).
+func WithLatency(m LatencyModel) Option { return func(c *Cluster) { c.latency = m } }
+
+// WithDropRate sets the probability an inter-node message is lost.
+func WithDropRate(p float64) Option { return func(c *Cluster) { c.dropRate = p } }
+
+// WithClusterSeed seeds the simulation RNG.
+func WithClusterSeed(seed int64) Option {
+	return func(c *Cluster) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithServiceTime installs a per-delivery processing-cost model; return
+// 0 for tuples/nodes that should remain free.
+func WithServiceTime(fn func(node, table string) int64) Option {
+	return func(c *Cluster) { c.serviceTime = fn }
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(opts ...Option) *Cluster {
+	c := &Cluster{
+		nodes:      make(map[string]*node),
+		latency:    ConstLatency(1),
+		rng:        rand.New(rand.NewSource(1)),
+		partitions: make(map[[2]string]bool),
+		Delivered:  make(map[string]int64),
+		MaxSteps:   50_000_000,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Now returns the virtual clock in milliseconds.
+func (c *Cluster) Now() int64 { return c.now }
+
+// AddNode creates a runtime for addr and registers it.
+func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime, error) {
+	if _, dup := c.nodes[addr]; dup {
+		return nil, fmt.Errorf("sim: duplicate node %q", addr)
+	}
+	rt := overlog.NewRuntime(addr, opts...)
+	n := &node{addr: addr, rt: rt}
+	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		n.buffer = append(n.buffer, ev)
+	})
+	c.nodes[addr] = n
+	c.order = append(c.order, addr)
+	return rt, nil
+}
+
+// MustAddNode is AddNode panicking on error (tests, examples).
+func (c *Cluster) MustAddNode(addr string, opts ...overlog.Option) *overlog.Runtime {
+	rt, err := c.AddNode(addr, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Node returns the runtime for addr, or nil.
+func (c *Cluster) Node(addr string) *overlog.Runtime {
+	if n, ok := c.nodes[addr]; ok {
+		return n.rt
+	}
+	return nil
+}
+
+// Nodes returns all node addresses in creation order.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.order...) }
+
+// AttachService registers glue code on a node and watches its tables.
+func (c *Cluster) AttachService(addr string, svc Service) error {
+	n, ok := c.nodes[addr]
+	if !ok {
+		return fmt.Errorf("sim: AttachService: unknown node %q", addr)
+	}
+	for _, t := range svc.Tables() {
+		if err := n.rt.AddWatch(t, "i"); err != nil {
+			return err
+		}
+	}
+	n.services = append(n.services, svc)
+	return nil
+}
+
+// Kill marks a node failed: it stops stepping, and messages to or from
+// it are dropped. State is retained (a killed master's successor does
+// not read it; retention only aids post-mortem inspection in tests).
+func (c *Cluster) Kill(addr string) {
+	if n, ok := c.nodes[addr]; ok {
+		n.killed = true
+	}
+}
+
+// Revive clears the failed mark. The node resumes from retained state.
+func (c *Cluster) Revive(addr string) {
+	if n, ok := c.nodes[addr]; ok {
+		n.killed = false
+	}
+}
+
+// Killed reports whether the node is currently failed.
+func (c *Cluster) Killed(addr string) bool {
+	n, ok := c.nodes[addr]
+	return ok && n.killed
+}
+
+// Partition cuts the link between a and b in both directions.
+func (c *Cluster) Partition(a, b string) {
+	c.partitions[[2]string{a, b}] = true
+	c.partitions[[2]string{b, a}] = true
+}
+
+// Heal restores the link between a and b.
+func (c *Cluster) Heal(a, b string) {
+	delete(c.partitions, [2]string{a, b})
+	delete(c.partitions, [2]string{b, a})
+}
+
+// Inject schedules an external tuple delivery after delayMS, applying
+// the service-time queueing model when configured.
+func (c *Cluster) Inject(to string, tp overlog.Tuple, delayMS int64) {
+	if delayMS < 0 {
+		delayMS = 0
+	}
+	when := c.now + delayMS
+	if c.serviceTime != nil {
+		if svc := c.serviceTime(to, tp.Table); svc > 0 {
+			if c.busyUntil == nil {
+				c.busyUntil = make(map[string]int64)
+			}
+			if b := c.busyUntil[to]; b > when {
+				when = b
+			}
+			when += svc
+			c.busyUntil[to] = when
+		}
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{time: when, seq: c.seq, to: to, tuple: tp})
+}
+
+// send routes a runtime-emitted envelope through the network model.
+func (c *Cluster) send(from string, env overlog.Envelope) {
+	if c.partitions[[2]string{from, env.To}] {
+		c.Dropped++
+		return
+	}
+	if from != env.To && c.dropRate > 0 && c.rng.Float64() < c.dropRate {
+		c.Dropped++
+		return
+	}
+	delay := int64(0)
+	if from != env.To {
+		delay = c.latency(from, env.To, c.rng)
+		if delay < 1 {
+			delay = 1
+		}
+	} else {
+		delay = 1
+	}
+	c.Inject(env.To, env.Tuple, delay)
+}
+
+// Step processes the earliest pending work (message deliveries and
+// periodic timer wakes) and returns false when nothing remains.
+func (c *Cluster) Step() (bool, error) {
+	next := int64(-1)
+	if len(c.queue) > 0 {
+		next = c.queue[0].time
+	}
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		if n.killed {
+			continue
+		}
+		w := n.rt.NextWake()
+		if w >= 0 && (next == -1 || w < next) {
+			next = w
+		}
+	}
+	if next < 0 {
+		return false, nil
+	}
+	if next < c.now {
+		next = c.now
+	}
+	c.now = next
+
+	// Group deliveries due now by destination.
+	pending := map[string][]overlog.Tuple{}
+	for len(c.queue) > 0 && c.queue[0].time <= c.now {
+		e := heap.Pop(&c.queue).(*event)
+		dst, ok := c.nodes[e.to]
+		if !ok || dst.killed {
+			c.Dropped++
+			continue
+		}
+		pending[e.to] = append(pending[e.to], e.tuple)
+		c.Delivered[e.tuple.Table]++
+	}
+
+	// Step every node that has deliveries or a due periodic, in
+	// deterministic creation order.
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		if n.killed {
+			continue
+		}
+		in, hasIn := pending[addr]
+		wake := n.rt.NextWake()
+		if !hasIn && (wake < 0 || wake > c.now) {
+			continue
+		}
+		if err := c.stepNode(n, in); err != nil {
+			return false, err
+		}
+	}
+	c.steps++
+	if c.steps > c.MaxSteps {
+		return false, fmt.Errorf("sim: exceeded MaxSteps=%d at t=%dms (livelock?)", c.MaxSteps, c.now)
+	}
+	return true, nil
+}
+
+func (c *Cluster) stepNode(n *node, in []overlog.Tuple) error {
+	n.buffer = n.buffer[:0]
+	out, err := n.rt.Step(c.now, in)
+	if err != nil {
+		return fmt.Errorf("sim: node %s: %w", n.addr, err)
+	}
+	for _, env := range out {
+		c.send(n.addr, env)
+	}
+	// Services observe this step's watch events and inject follow-ups.
+	if len(n.services) > 0 {
+		events := append([]overlog.WatchEvent(nil), n.buffer...)
+		for _, svc := range n.services {
+			for _, ev := range events {
+				if !ev.Insert {
+					continue
+				}
+				for _, inj := range svc.OnEvent(c, ev) {
+					delay := inj.DelayMS
+					if inj.To != n.addr {
+						delay += c.latency(n.addr, inj.To, c.rng)
+					}
+					if delay < 1 {
+						delay = 1
+					}
+					c.Inject(inj.To, inj.Tuple, delay)
+				}
+			}
+		}
+	}
+	n.buffer = n.buffer[:0]
+	return nil
+}
+
+// Run processes events until the queue drains or the clock passes
+// untilMS (exclusive bound on new work, not a hard stop mid-step).
+func (c *Cluster) Run(untilMS int64) error {
+	for {
+		next := c.peekNextTime()
+		if next < 0 || next > untilMS {
+			if untilMS > c.now {
+				c.now = untilMS
+			}
+			return nil
+		}
+		ok, err := c.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// RunUntil runs until cond returns true or the clock passes maxMS.
+// It returns true when the condition was met.
+func (c *Cluster) RunUntil(cond func() bool, maxMS int64) (bool, error) {
+	for {
+		if cond() {
+			return true, nil
+		}
+		next := c.peekNextTime()
+		if next < 0 || next > maxMS {
+			return cond(), nil
+		}
+		ok, err := c.Step()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return cond(), nil
+		}
+	}
+}
+
+func (c *Cluster) peekNextTime() int64 {
+	next := int64(-1)
+	if len(c.queue) > 0 {
+		next = c.queue[0].time
+	}
+	for _, addr := range c.order {
+		n := c.nodes[addr]
+		if n.killed {
+			continue
+		}
+		w := n.rt.NextWake()
+		if w >= 0 && (next == -1 || w < next) {
+			next = w
+		}
+	}
+	return next
+}
+
+// DeliveredTotal sums message deliveries across tables.
+func (c *Cluster) DeliveredTotal() int64 {
+	var total int64
+	for _, v := range c.Delivered {
+		total += v
+	}
+	return total
+}
+
+// DeliveredByTable returns delivery counts sorted by table name.
+func (c *Cluster) DeliveredByTable() []struct {
+	Table string
+	Count int64
+} {
+	keys := make([]string, 0, len(c.Delivered))
+	for k := range c.Delivered {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		Table string
+		Count int64
+	}, len(keys))
+	for i, k := range keys {
+		out[i].Table = k
+		out[i].Count = c.Delivered[k]
+	}
+	return out
+}

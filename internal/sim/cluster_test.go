@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+const pingPong = `
+	program pingpong;
+	event ping(Addr: addr, From: addr, N: int);
+	event pong(Addr: addr, From: addr, N: int);
+	table seen(N: int) keys(0);
+	r1 pong(@From, Me, N) :- ping(@Me, From, N);
+	r2 seen(N) :- pong(@Me, _, N), Me == localaddr();
+`
+
+func TestPingPong(t *testing.T) {
+	c := NewCluster(WithLatency(ConstLatency(5)))
+	a := c.MustAddNode("a")
+	b := c.MustAddNode("b")
+	for _, rt := range []*overlog.Runtime{a, b} {
+		if err := rt.InstallSource(pingPong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(1)), 0)
+	if err := c.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Table("seen").Len() != 1 {
+		t.Fatalf("pong not received:\n%s", a.Table("seen").Dump())
+	}
+	// One hop each way at 5ms.
+	if c.Now() > 1000 || c.Now() < 10 {
+		t.Fatalf("clock: %d", c.Now())
+	}
+	if c.DeliveredTotal() != 2 {
+		t.Fatalf("delivered: %d", c.DeliveredTotal())
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	c := NewCluster()
+	a := c.MustAddNode("a")
+	b := c.MustAddNode("b")
+	for _, rt := range []*overlog.Runtime{a, b} {
+		if err := rt.InstallSource(pingPong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Partition("a", "b")
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(1)), 0)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if a.Table("seen").Len() != 0 {
+		t.Fatal("partition leaked a message")
+	}
+	if c.Dropped == 0 {
+		t.Fatal("expected drop accounting")
+	}
+	// Heal and retry.
+	c.Heal("a", "b")
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(2)), 0)
+	if err := c.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if a.Table("seen").Len() != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestKillStopsNode(t *testing.T) {
+	c := NewCluster()
+	a := c.MustAddNode("a")
+	b := c.MustAddNode("b")
+	for _, rt := range []*overlog.Runtime{a, b} {
+		if err := rt.InstallSource(pingPong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Kill("b")
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(1)), 0)
+	if err := c.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if a.Table("seen").Len() != 0 {
+		t.Fatal("killed node replied")
+	}
+}
+
+func TestPeriodicDrivesSimulation(t *testing.T) {
+	c := NewCluster()
+	a := c.MustAddNode("a")
+	if err := a.InstallSource(`
+		periodic tick interval 50;
+		table ticks(Ord: int) keys(0);
+		r1 ticks(Ord) :- tick(Ord, _);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	// Fires at t=0 (first step) then every 50ms through t=500.
+	n := a.Table("ticks").Len()
+	if n < 10 || n > 12 {
+		t.Fatalf("tick count: %d", n)
+	}
+}
+
+type echoService struct {
+	got []string
+}
+
+func (s *echoService) Tables() []string { return []string{"seen"} }
+func (s *echoService) OnEvent(_ Env, ev overlog.WatchEvent) []Injection {
+	s.got = append(s.got, ev.Tuple.String())
+	return []Injection{{
+		To:      "b",
+		Tuple:   overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(ev.Tuple.Vals[0].AsInt()+1)),
+		DelayMS: 2,
+	}}
+}
+
+func TestServiceInjection(t *testing.T) {
+	c := NewCluster()
+	a := c.MustAddNode("a")
+	b := c.MustAddNode("b")
+	for _, rt := range []*overlog.Runtime{a, b} {
+		if err := rt.InstallSource(pingPong); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := &echoService{}
+	if err := c.AttachService("a", svc); err != nil {
+		t.Fatal(err)
+	}
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(1)), 0)
+	// Each pong triggers the service to ping again; bounded by time.
+	if _, err := c.RunUntil(func() bool { return len(svc.got) >= 5 }, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.got) < 5 {
+		t.Fatalf("service events: %v", svc.got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		c := NewCluster(WithClusterSeed(42), WithLatency(UniformLatency(1, 20)), WithDropRate(0.2))
+		a := c.MustAddNode("a")
+		b := c.MustAddNode("b")
+		for _, rt := range []*overlog.Runtime{a, b} {
+			if err := rt.InstallSource(pingPong); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(int64(i))), int64(i))
+		}
+		if err := c.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return int64(a.Table("seen").Len()), c.Dropped
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", s1, d1, s2, d2)
+	}
+	if d1 == 0 {
+		t.Fatal("expected some drops at 20% loss")
+	}
+	if s1 == 0 {
+		t.Fatal("expected some successes")
+	}
+}
+
+func TestDuplicateNodeRejected(t *testing.T) {
+	c := NewCluster()
+	c.MustAddNode("a")
+	if _, err := c.AddNode("a"); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestRunUntilTimeBound(t *testing.T) {
+	c := NewCluster()
+	a := c.MustAddNode("a")
+	if err := a.InstallSource(`
+		periodic tick interval 10;
+		table ticks(Ord: int) keys(0);
+		r1 ticks(Ord) :- tick(Ord, _);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	met, err := c.RunUntil(func() bool { return a.Table("ticks").Len() >= 1000 }, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met {
+		t.Fatal("condition cannot be met in 500ms")
+	}
+	if c.Now() > 600 {
+		t.Fatalf("ran too long: %d", c.Now())
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+// TestServiceTimeQueueing: with a 10ms service time per request at one
+// node, 5 simultaneous deliveries serialize — the last completes no
+// earlier than 50ms, while without the model they land together.
+func TestServiceTimeQueueing(t *testing.T) {
+	build := func(opts ...Option) *Cluster {
+		c := NewCluster(opts...)
+		rt := c.MustAddNode("server")
+		if err := rt.InstallSource(`
+			event req(N: int);
+			table handled(N: int, At: int) keys(0);
+			r1 handled(N, now()) :- req(N);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			c.Inject("server", overlog.NewTuple("req", overlog.Int(int64(i))), 0)
+		}
+		if err := c.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	lastAt := func(c *Cluster) int64 {
+		var max int64
+		c.Node("server").Table("handled").Scan(func(tp overlog.Tuple) bool {
+			if at := tp.Vals[1].AsInt(); at > max {
+				max = at
+			}
+			return true
+		})
+		return max
+	}
+
+	plain := build()
+	if got := lastAt(plain); got > 5 {
+		t.Fatalf("without service time, requests should land immediately: %d", got)
+	}
+	queued := build(WithServiceTime(func(node, table string) int64 {
+		if table == "req" {
+			return 10
+		}
+		return 0
+	}))
+	if got := lastAt(queued); got < 50 {
+		t.Fatalf("queueing model ineffective: last handled at %dms", got)
+	}
+	if n := queued.Node("server").Table("handled").Len(); n != 5 {
+		t.Fatalf("handled: %d", n)
+	}
+}
+
+// TestServiceTimeSelective: tables returning 0 are unaffected.
+func TestServiceTimeSelective(t *testing.T) {
+	c := NewCluster(WithServiceTime(func(node, table string) int64 {
+		if table == "slow" {
+			return 20
+		}
+		return 0
+	}))
+	rt := c.MustAddNode("n")
+	if err := rt.InstallSource(`
+		event slow(N: int);
+		event fast(N: int);
+		table seen(Kind: string, At: int) keys(0);
+		r1 seen("slow", now()) :- slow(_);
+		r2 seen("fast", now()) :- fast(_);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	c.Inject("n", overlog.NewTuple("slow", overlog.Int(1)), 0)
+	c.Inject("n", overlog.NewTuple("fast", overlog.Int(1)), 0)
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	fastAt, _ := rt.Table("seen").LookupKey(overlog.NewTuple("seen", overlog.Str("fast"), overlog.Int(0)))
+	slowAt, _ := rt.Table("seen").LookupKey(overlog.NewTuple("seen", overlog.Str("slow"), overlog.Int(0)))
+	if fastAt.Vals[1].AsInt() >= slowAt.Vals[1].AsInt() {
+		t.Fatalf("fast (%d) should precede slow (%d)",
+			fastAt.Vals[1].AsInt(), slowAt.Vals[1].AsInt())
+	}
+}

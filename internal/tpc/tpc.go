@@ -1,0 +1,145 @@
+// Package tpc implements two-phase commit in Overlog. The BOOM group's
+// companion work ("I Do Declare: Consensus in a Logic Language", LADIS
+// 2009) used exactly this protocol to argue that classic coordination
+// logic collapses into a handful of rules; we include it both as a
+// second distributed protocol exercising the runtime and as a
+// reusable commit substrate.
+//
+// A coordinator broadcasts prepare requests, tallies votes with a
+// count aggregate, commits when the yes-count equals the participant
+// count, and aborts on any no-vote or on timeout. Participants vote
+// yes unless a local veto(Xact) fact exists.
+package tpc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+func expand(src string, vars map[string]string) string {
+	for k, v := range vars {
+		src = strings.ReplaceAll(src, "{{"+k+"}}", v)
+	}
+	return src
+}
+
+// Config tunes the coordinator's timers (ms).
+type Config struct {
+	TickMS    int64
+	TimeoutMS int64
+}
+
+// DefaultConfig suits the simulator's 1ms links.
+func DefaultConfig() Config { return Config{TickMS: 200, TimeoutMS: 1000} }
+
+// ProtocolDecls is shared by coordinator and participants.
+const ProtocolDecls = `
+	event begin_xact(To: addr, XactId: string);
+	event prepare_req(To: addr, Coord: addr, XactId: string);
+	event vote_msg(To: addr, From: addr, XactId: string, Yes: bool);
+	event decision(To: addr, XactId: string, Commit: bool);
+`
+
+// CoordRules is the complete coordinator. Placeholders: TICK, TIMEOUT.
+const CoordRules = `
+	program tpc_coord;
+
+	table participant(Node: addr) keys(0);
+	table pcount(K: string, N: int) keys(0);
+	table xact(XactId: string, State: string, Started: int) keys(0);
+	table vote_log(XactId: string, From: addr, Vote: bool) keys(0,1);
+
+	periodic tpc_tick interval {{TICK}};
+
+	// Phase 1: record the transaction, ask everyone.
+	c1 xact(X, "prepared", now()) :- begin_xact(@Me, X);
+	c2 prepare_req(@P, Me, X) :- begin_xact(@Me, X), participant(P);
+	v1 vote_log(X, From, V) :- vote_msg(@Me, From, X, V);
+
+	table yes_cnt(XactId: string, N: int) keys(0);
+	y1 yes_cnt(X, count<From>) :- vote_log(X, From, true);
+
+	// Commit when the yes-tally reaches the full membership (note the
+	// shared variable N joining the two counts).
+	c3 next xact(X, "committed", S) :- yes_cnt(X, N), pcount("n", N),
+	        xact(X, "prepared", S);
+	// Abort on any explicit no...
+	c4 next xact(X, "aborted", S) :- vote_log(X, _, false), xact(X, "prepared", S);
+	// ...or on timeout (presumed-abort).
+	c5 next xact(X, "aborted", S) :- tpc_tick(_, _), xact(X, "prepared", S),
+	        now() - S > {{TIMEOUT}};
+
+	// Phase 2: broadcast the decision; re-broadcast each tick so lost
+	// decisions eventually land (participants are idempotent).
+	d1 decision(@P, X, true) :- xact(X, "committed", _), participant(P);
+	d2 decision(@P, X, false) :- xact(X, "aborted", _), participant(P);
+	d3 decision(@P, X, true) :- tpc_tick(_, _), xact(X, "committed", _), participant(P);
+	d4 decision(@P, X, false) :- tpc_tick(_, _), xact(X, "aborted", _), participant(P);
+`
+
+// PartRules is the complete participant.
+const PartRules = `
+	program tpc_part;
+
+	table veto(XactId: string) keys(0);
+	table plog(XactId: string, State: string) keys(0);
+
+	p1 vote_msg(@C, Me, X, true) :- prepare_req(@Me, C, X), notin veto(X);
+	p2 vote_msg(@C, Me, X, false) :- prepare_req(@Me, C, X), veto(X);
+	// Deferred so the prepared record never races a same-step decision
+	// (and to avoid a self-negation guard, which would be unstratifiable).
+	p3 next plog(X, "prepared") :- prepare_req(@Me, _, X);
+	p4 next plog(X, "committed") :- decision(@Me, X, true);
+	p5 next plog(X, "aborted") :- decision(@Me, X, false);
+`
+
+// InstallCoordinator loads the coordinator with its membership.
+func InstallCoordinator(rt *overlog.Runtime, participants []string, cfg Config) error {
+	if err := rt.InstallSource(ProtocolDecls); err != nil {
+		return err
+	}
+	vars := map[string]string{
+		"TICK":    fmt.Sprintf("%d", cfg.TickMS),
+		"TIMEOUT": fmt.Sprintf("%d", cfg.TimeoutMS),
+	}
+	if err := rt.InstallSource(expand(CoordRules, vars)); err != nil {
+		return err
+	}
+	var b strings.Builder
+	for _, p := range participants {
+		fmt.Fprintf(&b, "participant(%q);\n", p)
+	}
+	fmt.Fprintf(&b, `pcount("n", %d);`+"\n", len(participants))
+	return rt.InstallSource(b.String())
+}
+
+// InstallParticipant loads the participant side.
+func InstallParticipant(rt *overlog.Runtime) error {
+	if err := rt.InstallSource(ProtocolDecls); err != nil {
+		return err
+	}
+	return rt.InstallSource(PartRules)
+}
+
+// XactState reads a transaction's state at the coordinator ("" when
+// unknown).
+func XactState(rt *overlog.Runtime, xact string) string {
+	tp, ok := rt.Table("xact").LookupKey(overlog.NewTuple("xact",
+		overlog.Str(xact), overlog.Str(""), overlog.Int(0)))
+	if !ok {
+		return ""
+	}
+	return tp.Vals[1].AsString()
+}
+
+// PartState reads a transaction's state at a participant.
+func PartState(rt *overlog.Runtime, xact string) string {
+	tp, ok := rt.Table("plog").LookupKey(overlog.NewTuple("plog",
+		overlog.Str(xact), overlog.Str("")))
+	if !ok {
+		return ""
+	}
+	return tp.Vals[1].AsString()
+}

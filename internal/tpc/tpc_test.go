@@ -1,0 +1,168 @@
+package tpc
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+)
+
+func setup(t *testing.T, nParts int, opts ...sim.Option) (*sim.Cluster, string, []string) {
+	t.Helper()
+	c := sim.NewCluster(opts...)
+	coord := "coord:0"
+	var parts []string
+	for i := 0; i < nParts; i++ {
+		parts = append(parts, fmt.Sprintf("part:%d", i))
+	}
+	crt := c.MustAddNode(coord)
+	if err := InstallCoordinator(crt, parts, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts {
+		prt := c.MustAddNode(p)
+		if err := InstallParticipant(prt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, coord, parts
+}
+
+func begin(c *sim.Cluster, coord, xact string) {
+	c.Inject(coord, overlog.NewTuple("begin_xact",
+		overlog.Addr(coord), overlog.Str(xact)), 0)
+}
+
+func TestUnanimousCommit(t *testing.T) {
+	c, coord, parts := setup(t, 3)
+	begin(c, coord, "x1")
+	met, err := c.RunUntil(func() bool {
+		if XactState(c.Node(coord), "x1") != "committed" {
+			return false
+		}
+		for _, p := range parts {
+			if PartState(c.Node(p), "x1") != "committed" {
+				return false
+			}
+		}
+		return true
+	}, 10_000)
+	if err != nil || !met {
+		t.Fatalf("commit not reached: %v %v (coord=%q)", met, err,
+			XactState(c.Node(coord), "x1"))
+	}
+}
+
+func TestVetoAborts(t *testing.T) {
+	c, coord, parts := setup(t, 3)
+	// One participant refuses x2.
+	if err := c.Node(parts[1]).InstallSource(`veto("x2");`); err != nil {
+		t.Fatal(err)
+	}
+	begin(c, coord, "x2")
+	met, err := c.RunUntil(func() bool {
+		if XactState(c.Node(coord), "x2") != "aborted" {
+			return false
+		}
+		for _, p := range parts {
+			if PartState(c.Node(p), "x2") != "aborted" {
+				return false
+			}
+		}
+		return true
+	}, 10_000)
+	if err != nil || !met {
+		t.Fatalf("abort not reached: %v %v", met, err)
+	}
+}
+
+func TestDeadParticipantTimesOutToAbort(t *testing.T) {
+	c, coord, parts := setup(t, 3)
+	c.Kill(parts[2])
+	begin(c, coord, "x3")
+	met, err := c.RunUntil(func() bool {
+		return XactState(c.Node(coord), "x3") == "aborted"
+	}, 30_000)
+	if err != nil || !met {
+		t.Fatalf("timeout abort not reached: %v %v state=%q", met, err,
+			XactState(c.Node(coord), "x3"))
+	}
+	// Survivors learn the abort despite having voted yes.
+	met, err = c.RunUntil(func() bool {
+		return PartState(c.Node(parts[0]), "x3") == "aborted" &&
+			PartState(c.Node(parts[1]), "x3") == "aborted"
+	}, 30_000)
+	if err != nil || !met {
+		t.Fatalf("survivors not aborted: %v %v", met, err)
+	}
+}
+
+func TestDecisionSurvivesMessageLoss(t *testing.T) {
+	c, coord, parts := setup(t, 3,
+		sim.WithClusterSeed(3), sim.WithDropRate(0.25),
+		sim.WithLatency(sim.UniformLatency(1, 8)))
+	begin(c, coord, "x4")
+	// With 25% loss the prepare or votes may drop, pushing this to a
+	// timeout-abort; either terminal outcome must reach everyone
+	// identically (atomicity), thanks to the tick re-broadcast.
+	met, err := c.RunUntil(func() bool {
+		st := XactState(c.Node(coord), "x4")
+		if st != "committed" && st != "aborted" {
+			return false
+		}
+		for _, p := range parts {
+			if PartState(c.Node(p), "x4") != st {
+				return false
+			}
+		}
+		return true
+	}, 60_000)
+	if err != nil || !met {
+		t.Fatalf("no uniform terminal state: %v %v", met, err)
+	}
+}
+
+func TestManyTransactionsInterleaved(t *testing.T) {
+	c, coord, parts := setup(t, 3)
+	if err := c.Node(parts[0]).InstallSource(`veto("t-03"); veto("t-07");`); err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		begin(c, coord, fmt.Sprintf("t-%02d", i))
+	}
+	met, err := c.RunUntil(func() bool {
+		for i := 0; i < n; i++ {
+			x := fmt.Sprintf("t-%02d", i)
+			st := XactState(c.Node(coord), x)
+			if st != "committed" && st != "aborted" {
+				return false
+			}
+			for _, p := range parts {
+				if PartState(c.Node(p), x) != st {
+					return false
+				}
+			}
+		}
+		return true
+	}, 60_000)
+	if err != nil || !met {
+		t.Fatalf("transactions unresolved: %v %v", met, err)
+	}
+	for i := 0; i < n; i++ {
+		x := fmt.Sprintf("t-%02d", i)
+		want := "committed"
+		if x == "t-03" || x == "t-07" {
+			want = "aborted"
+		}
+		if st := XactState(c.Node(coord), x); st != want {
+			t.Errorf("%s: coord state %q want %q", x, st, want)
+		}
+		for _, p := range parts {
+			if st := PartState(c.Node(p), x); st != want {
+				t.Errorf("%s: %s state %q want %q", x, p, st, want)
+			}
+		}
+	}
+}

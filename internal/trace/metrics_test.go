@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+func TestCDFPercentiles(t *testing.T) {
+	c := &CDF{}
+	for i := int64(1); i <= 100; i++ {
+		c.Add(i)
+	}
+	if c.Percentile(50) != 50 || c.Percentile(90) != 90 || c.Max() != 100 {
+		t.Fatalf("percentiles: %d %d %d", c.Percentile(50), c.Percentile(90), c.Max())
+	}
+	if c.Mean() != 50.5 {
+		t.Fatalf("mean: %f", c.Mean())
+	}
+	if c.N() != 100 {
+		t.Fatalf("n: %d", c.N())
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := &CDF{}
+	if c.Percentile(50) != 0 || c.Mean() != 0 || len(c.Points(10)) != 0 {
+		t.Fatal("empty CDF should be all zeros")
+	}
+	if c.Summary() != "n=0" {
+		t.Fatalf("summary: %q", c.Summary())
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := &CDF{}
+	c.AddAll([]int64{5, 1, 3, 2, 4})
+	pts := c.Points(0)
+	if len(pts) != 5 || pts[0][0] != 1 || pts[4][0] != 5 || pts[4][1] != 1.0 {
+		t.Fatalf("points: %v", pts)
+	}
+	// Downsampling keeps the last point at fraction 1.
+	big := &CDF{}
+	for i := int64(0); i < 1000; i++ {
+		big.Add(i)
+	}
+	pts = big.Points(10)
+	if len(pts) < 10 || pts[len(pts)-1][1] != 1.0 {
+		t.Fatalf("downsampled: %d points, last %v", len(pts), pts[len(pts)-1])
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s := NewSeries("demo")
+	s.CDF("a").AddAll([]int64{1, 2, 3})
+	s.CDF("b").Add(10)
+	out := s.Table()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("table: %s", out)
+	}
+	// Label order is insertion order.
+	if strings.Index(out, "\na") > strings.Index(out, "\nb") {
+		t.Fatalf("order: %s", out)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table kv(K: string, V: int) keys(0);
+		event bump(K: string);
+		r1 kv(K, 1) :- bump(K);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	if err := col.Attach(rt, "kv", "bump"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(1, []overlog.Tuple{overlog.NewTuple("bump", overlog.Str("x"))})
+	if col.Inserts("kv") != 1 || col.Inserts("bump") != 1 {
+		t.Fatalf("counts: kv=%d bump=%d", col.Inserts("kv"), col.Inserts("bump"))
+	}
+	if col.Total() < 2 {
+		t.Fatalf("total: %d", col.Total())
+	}
+	if !strings.Contains(col.Report(), "kv") {
+		t.Fatalf("report: %s", col.Report())
+	}
+}
+
+func TestInvariantChecker(t *testing.T) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`table v(N: int) keys(0);`); err != nil {
+		t.Fatal(err)
+	}
+	ic := &InvariantChecker{
+		Name:  "positive",
+		Table: "v",
+		Check: func(tp overlog.Tuple) bool { return tp.Vals[0].AsInt() > 0 },
+	}
+	if err := ic.Attach(rt); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(1, []overlog.Tuple{
+		overlog.NewTuple("v", overlog.Int(5)),
+		overlog.NewTuple("v", overlog.Int(-2)),
+	})
+	if ic.ViolationCount() != 1 {
+		t.Fatalf("violations: %d", ic.ViolationCount())
+	}
+}
+
+func TestRuleProfile(t *testing.T) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table a(N: int) keys(0);
+		table b(N: int) keys(0);
+		hot b(N) :- a(N);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(1, []overlog.Tuple{overlog.NewTuple("a", overlog.Int(1)), overlog.NewTuple("a", overlog.Int(2))})
+	out := RuleProfile(rt, 5)
+	if !strings.Contains(out, "hot") {
+		t.Fatalf("profile: %s", out)
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	c := &CDF{}
+	for i := int64(1); i <= 100; i++ {
+		c.Add(i * 10)
+	}
+	out := c.AsciiPlot(40)
+	if !strings.Contains(out, "50%") || !strings.Contains(out, "#") {
+		t.Fatalf("plot:\n%s", out)
+	}
+	empty := &CDF{}
+	if empty.AsciiPlot(10) != "(no samples)" {
+		t.Fatal("empty plot")
+	}
+}
+
+func TestCollectorDeletesTracked(t *testing.T) {
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table kv(K: string, V: int) keys(0);
+		event del(K: string);
+		d1 delete kv(K, V) :- del(K), kv(K, V);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	col := NewCollector()
+	if err := col.Attach(rt, "kv"); err != nil {
+		t.Fatal(err)
+	}
+	rt.Step(1, []overlog.Tuple{overlog.NewTuple("kv", overlog.Str("x"), overlog.Int(1))})
+	rt.Step(2, []overlog.Tuple{overlog.NewTuple("del", overlog.Str("x"))})
+	if !strings.Contains(col.Report(), "kv") {
+		t.Fatal("report missing kv")
+	}
+	if col.Total() != 2 { // one insert + one delete
+		t.Fatalf("total: %d", col.Total())
+	}
+	if len(col.Recent) != 2 {
+		t.Fatalf("recent: %d", len(col.Recent))
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/overlog"
+)
+
+// Collector is a watch sink that records tuple traffic per table — the
+// BOOM monitoring revision's "network trace" and invariant hooks. It
+// attaches to any runtime (masters, trackers, replicas) and counts
+// inserts/deletes without altering program behaviour.
+type Collector struct {
+	mu      sync.Mutex
+	inserts map[string]int64
+	deletes map[string]int64
+	// Keep recent events for debugging/invariant checks.
+	Recent    []overlog.WatchEvent
+	KeepLastN int
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		inserts:   map[string]int64{},
+		deletes:   map[string]int64{},
+		KeepLastN: 256,
+	}
+}
+
+// Attach registers the collector on a runtime and (optionally) widens
+// the watch set to every table, mirroring the paper's metaprogrammed
+// rewrite that added a watch to each rule head.
+func (col *Collector) Attach(rt *overlog.Runtime, tables ...string) error {
+	for _, t := range tables {
+		if err := rt.AddWatch(t, ""); err != nil {
+			return err
+		}
+	}
+	rt.RegisterWatcher(col.observe)
+	return nil
+}
+
+func (col *Collector) observe(ev overlog.WatchEvent) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if ev.Insert {
+		col.inserts[ev.Tuple.Table]++
+	} else {
+		col.deletes[ev.Tuple.Table]++
+	}
+	if col.KeepLastN > 0 {
+		col.Recent = append(col.Recent, ev)
+		if len(col.Recent) > col.KeepLastN {
+			col.Recent = col.Recent[len(col.Recent)-col.KeepLastN:]
+		}
+	}
+}
+
+// Inserts returns the insert count for a table.
+func (col *Collector) Inserts(table string) int64 {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	return col.inserts[table]
+}
+
+// Total returns total observed events.
+func (col *Collector) Total() int64 {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	var n int64
+	for _, v := range col.inserts {
+		n += v
+	}
+	for _, v := range col.deletes {
+		n += v
+	}
+	return n
+}
+
+// Report renders per-table counts sorted by volume.
+func (col *Collector) Report() string {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	type row struct {
+		table string
+		ins   int64
+		del   int64
+	}
+	var rows []row
+	for t, n := range col.inserts {
+		rows = append(rows, row{t, n, col.deletes[t]})
+	}
+	for t, n := range col.deletes {
+		if _, ok := col.inserts[t]; !ok {
+			rows = append(rows, row{t, 0, n})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ins != rows[j].ins {
+			return rows[i].ins > rows[j].ins
+		}
+		return rows[i].table < rows[j].table
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %10s %10s\n", "table", "inserts", "deletes")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %10d %10d\n", r.table, r.ins, r.del)
+	}
+	return b.String()
+}
+
+// RuleProfile summarizes per-rule firing counts from a runtime's sys
+// catalog — the paper's "rule execution profiler" built by querying the
+// program as data.
+func RuleProfile(rt *overlog.Runtime, topN int) string {
+	stats := rt.RuleStats()
+	type row struct {
+		rule  string
+		fires int64
+	}
+	var rows []row
+	for r, n := range stats {
+		rows = append(rows, row{r, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].fires != rows[j].fires {
+			return rows[i].fires > rows[j].fires
+		}
+		return rows[i].rule < rows[j].rule
+	})
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s\n", "rule", "derivations")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %12d\n", r.rule, r.fires)
+	}
+	return b.String()
+}
+
+// InvariantChecker evaluates a user predicate on every insert into a
+// table and records violations — the declarative-assertion use case
+// from the monitoring section (e.g. "no response without a request").
+type InvariantChecker struct {
+	Name       string
+	Table      string
+	Check      func(overlog.Tuple) bool
+	mu         sync.Mutex
+	Violations []overlog.Tuple
+}
+
+// Attach registers the checker on a runtime.
+func (ic *InvariantChecker) Attach(rt *overlog.Runtime) error {
+	if err := rt.AddWatch(ic.Table, "i"); err != nil {
+		return err
+	}
+	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		if !ev.Insert || ev.Tuple.Table != ic.Table {
+			return
+		}
+		if !ic.Check(ev.Tuple) {
+			ic.mu.Lock()
+			ic.Violations = append(ic.Violations, ev.Tuple)
+			ic.mu.Unlock()
+		}
+	})
+	return nil
+}
+
+// ViolationCount returns how many inserts failed the predicate.
+func (ic *InvariantChecker) ViolationCount() int {
+	ic.mu.Lock()
+	defer ic.mu.Unlock()
+	return len(ic.Violations)
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+)
+
+// delayEcho is a sim.Service that, on seeing a "poke" insert, injects a
+// "poked" tuple back into its own node after a wall-clock delay —
+// exercising the real-time service adapter end to end.
+type delayEcho struct{ self string }
+
+func (s *delayEcho) Tables() []string { return []string{"poke"} }
+func (s *delayEcho) OnEvent(env sim.Env, ev overlog.WatchEvent) []sim.Injection {
+	return []sim.Injection{{
+		To: s.self,
+		Tuple: overlog.NewTuple("poked",
+			ev.Tuple.Vals[0], overlog.Int(env.Now())),
+		DelayMS: 20,
+	}}
+}
+
+func TestRealtimeServiceAdapter(t *testing.T) {
+	rt := overlog.NewRuntime("svc-node")
+	if err := rt.InstallSource(`
+		event poke(N: int);
+		table poked(N: int, At: int) keys(0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(rt, func(overlog.Envelope) error { return nil })
+	if err := node.AttachService(&delayEcho{self: "svc-node"}); err != nil {
+		t.Fatal(err)
+	}
+	go node.Run()
+	defer node.Stop()
+
+	node.Deliver(overlog.NewTuple("poke", overlog.Int(7)))
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		var got bool
+		node.Runtime(func(rt *overlog.Runtime) {
+			got = rt.Table("poked").Len() == 1
+		})
+		if got {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service injection never landed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The service observed a plausible wall clock.
+	node.Runtime(func(rt *overlog.Runtime) {
+		tp := rt.Table("poked").Tuples()[0]
+		if tp.Vals[1].AsInt() < 0 {
+			t.Fatalf("service clock: %s", tp)
+		}
+	})
+}
+
+func TestAttachServiceUnknownTable(t *testing.T) {
+	rt := overlog.NewRuntime("n")
+	node := NewNode(rt, func(overlog.Envelope) error { return nil })
+	bad := &delayEcho{self: "n"} // its table "poke" is not declared
+	if err := node.AttachService(bad); err == nil {
+		t.Fatal("expected undeclared-table error")
+	}
+}
+
+// TestPeerReconnect: a peer that dies and comes back at the same
+// address is redialed transparently (the stale connection is dropped on
+// the first failed send).
+func TestPeerReconnect(t *testing.T) {
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	mk := func(addr string) (*Node, *TCP) {
+		rt := overlog.NewRuntime(addr)
+		if err := rt.InstallSource(rtPingPong); err != nil {
+			t.Fatal(err)
+		}
+		var tcp *TCP
+		node := NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
+		var err error
+		tcp, err = ListenTCP(node, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go node.Run()
+		return node, tcp
+	}
+	nodeA, tcpA := mk(addrA)
+	defer func() { nodeA.Stop(); tcpA.Close() }()
+	nodeB, tcpB := mk(addrB)
+
+	ping := func(n int64) {
+		nodeB.Deliver(overlog.NewTuple("ping",
+			overlog.Addr(addrB), overlog.Addr(addrA), overlog.Int(n)))
+	}
+	waitSeen := func(want int) bool {
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			got := 0
+			nodeA.Runtime(func(rt *overlog.Runtime) { got = rt.Table("seen").Len() })
+			if got >= want {
+				return true
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		return false
+	}
+	ping(1)
+	if !waitSeen(1) {
+		t.Fatal("first pong missing")
+	}
+	// Restart B at the same address.
+	nodeB.Stop()
+	tcpB.Close()
+	time.Sleep(20 * time.Millisecond)
+	nodeB2, tcpB2 := mk(addrB)
+	defer func() { nodeB2.Stop(); tcpB2.Close() }()
+
+	// A's cached connection to B is stale; the next send from A would
+	// drop it and redial. Drive traffic B2 -> A -> B2 -> A.
+	nodeB2.Deliver(overlog.NewTuple("ping",
+		overlog.Addr(addrB), overlog.Addr(addrA), overlog.Int(2)))
+	if !waitSeen(2) {
+		t.Fatal("pong after peer restart missing")
+	}
+}

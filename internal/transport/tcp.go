@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/overlog"
+)
+
+// WireMsg is the on-the-wire frame: a destination node address and one
+// tuple. Node addresses double as TCP dial targets (host:port), so the
+// Overlog location specifier is the routing table.
+type WireMsg struct {
+	To    string
+	Table string
+	Vals  []overlog.Value
+}
+
+// TCP is a mesh transport: it listens on the node's own address and
+// lazily dials peers on first send, keeping connections cached.
+type TCP struct {
+	node *Node
+	ln   net.Listener
+
+	mu    sync.Mutex
+	peers map[string]*peerConn
+	done  chan struct{}
+}
+
+type peerConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	mu   sync.Mutex
+}
+
+// ListenTCP starts serving the node at addr (which must equal the
+// runtime's overlog address) and returns the transport. The returned
+// Sender is already wired into node deliveries via Serve.
+func ListenTCP(node *Node, addr string) (*TCP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{node: node, ln: ln, peers: map[string]*peerConn{}, done: make(chan struct{})}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Sender returns the mesh's outbound hook for NewNode.
+func (t *TCP) Sender() Sender { return t.Send }
+
+// Send dials (or reuses) the destination and writes the frame.
+func (t *TCP) Send(env overlog.Envelope) error {
+	pc, err := t.peer(env.To)
+	if err != nil {
+		return err
+	}
+	msg := WireMsg{To: env.To, Table: env.Tuple.Table, Vals: env.Tuple.Vals}
+	pc.mu.Lock()
+	err = pc.enc.Encode(&msg)
+	pc.mu.Unlock()
+	if err != nil {
+		t.dropPeer(env.To)
+		return fmt.Errorf("transport: send to %s: %w", env.To, err)
+	}
+	return nil
+}
+
+func (t *TCP) peer(addr string) (*peerConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.peers[addr]; ok {
+		return pc, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	t.peers[addr] = pc
+	return pc, nil
+}
+
+func (t *TCP) dropPeer(addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.peers[addr]; ok {
+		pc.conn.Close()
+		delete(t.peers, addr)
+	}
+}
+
+func (t *TCP) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				return
+			}
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg WireMsg
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		t.node.Deliver(overlog.Tuple{Table: msg.Table, Vals: msg.Vals})
+	}
+}
+
+// Close shuts down the listener and all peer connections.
+func (t *TCP) Close() {
+	close(t.done)
+	t.ln.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for addr, pc := range t.peers {
+		pc.conn.Close()
+		delete(t.peers, addr)
+	}
+}

@@ -1,0 +1,135 @@
+// Package workload generates the synthetic inputs for the evaluation:
+// wordcount corpora with controllable size and skew (standing in for
+// the paper's EC2 wordcount dataset), metadata operation streams for
+// the partitioned-master scale-up, and straggler assignments for the
+// LATE experiment. Everything is seeded and deterministic.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// vocabulary is a small word list with Zipf-ish sampling, enough to
+// make reduce keys realistic without external data.
+var vocabulary = []string{
+	"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+	"cloud", "data", "datalog", "overlog", "rule", "tuple", "join",
+	"master", "chunk", "node", "paxos", "ballot", "quorum", "slot",
+	"map", "reduce", "shuffle", "task", "tracker", "job", "scheduler",
+	"lattice", "fixpoint", "stratum", "relation", "fact", "derive",
+}
+
+// Corpus generates nSplits input splits of approximately bytesPerSplit
+// bytes each, with Zipf-like word frequencies.
+func Corpus(seed int64, nSplits, bytesPerSplit int) []string {
+	r := rand.New(rand.NewSource(seed))
+	splits := make([]string, nSplits)
+	for i := range splits {
+		var b strings.Builder
+		for b.Len() < bytesPerSplit {
+			// Zipf-ish: favour low-index words quadratically.
+			idx := r.Intn(len(vocabulary))
+			idx = idx * r.Intn(len(vocabulary)) / len(vocabulary)
+			b.WriteString(vocabulary[idx])
+			b.WriteByte(' ')
+		}
+		splits[i] = b.String()
+	}
+	return splits
+}
+
+// SkewedCorpus makes the last split k times larger, producing a
+// natural straggler-ish task mix even without slow nodes.
+func SkewedCorpus(seed int64, nSplits, bytesPerSplit, k int) []string {
+	splits := Corpus(seed, nSplits, bytesPerSplit)
+	if nSplits > 0 && k > 1 {
+		splits[nSplits-1] = strings.Repeat(splits[nSplits-1], k)
+	}
+	return splits
+}
+
+// MetaOp is one metadata operation for the scale-up experiment.
+type MetaOp struct {
+	Op   string // create / exists / ls / rm
+	Path string
+	Arg  string
+}
+
+// MetaMix controls the composition of a metadata stream.
+type MetaMix struct {
+	CreateFrac float64
+	ExistsFrac float64
+	LsFrac     float64
+	// remainder is rm of previously created files
+}
+
+// CreateHeavy mirrors the paper's write-heavy metadata workload.
+func CreateHeavy() MetaMix { return MetaMix{CreateFrac: 0.8, ExistsFrac: 0.1, LsFrac: 0.1} }
+
+// OpenHeavy mirrors the read-heavy variant.
+func OpenHeavy() MetaMix { return MetaMix{CreateFrac: 0.1, ExistsFrac: 0.8, LsFrac: 0.1} }
+
+// MetaStream generates n operations under dir for one logical client.
+// Paths are unique per (seed, client) so concurrent streams do not
+// collide.
+func MetaStream(seed int64, client string, dir string, n int, mix MetaMix) []MetaOp {
+	r := rand.New(rand.NewSource(seed ^ int64(len(client))*7919))
+	var created []string
+	ops := make([]MetaOp, 0, n)
+	next := 0
+	for len(ops) < n {
+		x := r.Float64()
+		switch {
+		case x < mix.CreateFrac || len(created) == 0:
+			p := fmt.Sprintf("%s/%s-f%05d", dir, client, next)
+			next++
+			created = append(created, p)
+			ops = append(ops, MetaOp{Op: "create", Path: p})
+		case x < mix.CreateFrac+mix.ExistsFrac:
+			ops = append(ops, MetaOp{Op: "exists", Path: created[r.Intn(len(created))]})
+		case x < mix.CreateFrac+mix.ExistsFrac+mix.LsFrac:
+			ops = append(ops, MetaOp{Op: "ls", Path: dir})
+		default:
+			idx := r.Intn(len(created))
+			ops = append(ops, MetaOp{Op: "rm", Path: created[idx]})
+			created = append(created[:idx], created[idx+1:]...)
+		}
+	}
+	return ops
+}
+
+// StragglerPlan marks which of n trackers run slow, and by how much.
+type StragglerPlan struct {
+	SlowIdx  []int
+	Slowdown float64
+}
+
+// OneStraggler contaminates a single node (the paper's LATE setup).
+func OneStraggler(slowdown float64) StragglerPlan {
+	return StragglerPlan{SlowIdx: []int{0}, Slowdown: slowdown}
+}
+
+// FractionStragglers contaminates frac of n nodes.
+func FractionStragglers(n int, frac, slowdown float64) StragglerPlan {
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return StragglerPlan{SlowIdx: idx, Slowdown: slowdown}
+}
+
+// IsSlow reports whether tracker i is contaminated.
+func (p StragglerPlan) IsSlow(i int) bool {
+	for _, s := range p.SlowIdx {
+		if s == i {
+			return true
+		}
+	}
+	return false
+}

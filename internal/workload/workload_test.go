@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Corpus(1, 4, 1000)
+	b := Corpus(1, 4, 1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+	c := Corpus(2, 4, 1000)
+	if a[0] == c[0] {
+		t.Fatal("different seeds should differ")
+	}
+	for _, s := range a {
+		if len(s) < 1000 {
+			t.Fatalf("split too small: %d", len(s))
+		}
+	}
+}
+
+func TestCorpusSkewFavoursCommonWords(t *testing.T) {
+	words := strings.Fields(strings.Join(Corpus(3, 2, 20_000), " "))
+	counts := map[string]int{}
+	for _, w := range words {
+		counts[w]++
+	}
+	if counts["the"] <= counts["derive"] {
+		t.Fatalf("expected skew: the=%d derive=%d", counts["the"], counts["derive"])
+	}
+}
+
+func TestSkewedCorpus(t *testing.T) {
+	splits := SkewedCorpus(1, 4, 1000, 5)
+	if len(splits[3]) < 4*len(splits[0]) {
+		t.Fatalf("last split not enlarged: %d vs %d", len(splits[3]), len(splits[0]))
+	}
+}
+
+func TestMetaStreamComposition(t *testing.T) {
+	ops := MetaStream(1, "c0", "/bench", 1000, CreateHeavy())
+	if len(ops) != 1000 {
+		t.Fatalf("ops: %d", len(ops))
+	}
+	byOp := map[string]int{}
+	for _, op := range ops {
+		byOp[op.Op]++
+		if op.Op != "ls" && !strings.HasPrefix(op.Path, "/bench/c0-") {
+			t.Fatalf("path escapes namespace: %+v", op)
+		}
+	}
+	if byOp["create"] < 700 || byOp["exists"] < 30 {
+		t.Fatalf("mix off: %v", byOp)
+	}
+	// rm only targets created files, never double-removes.
+	live := map[string]bool{}
+	for _, op := range ops {
+		switch op.Op {
+		case "create":
+			if live[op.Path] {
+				t.Fatalf("double create %s", op.Path)
+			}
+			live[op.Path] = true
+		case "rm":
+			if !live[op.Path] {
+				t.Fatalf("rm of non-live %s", op.Path)
+			}
+			delete(live, op.Path)
+		}
+	}
+}
+
+func TestMetaStreamClientsDisjoint(t *testing.T) {
+	a := MetaStream(1, "c0", "/d", 100, CreateHeavy())
+	b := MetaStream(1, "c1", "/d", 100, CreateHeavy())
+	seen := map[string]bool{}
+	for _, op := range a {
+		if op.Op == "create" {
+			seen[op.Path] = true
+		}
+	}
+	for _, op := range b {
+		if op.Op == "create" && seen[op.Path] {
+			t.Fatalf("clients collide on %s", op.Path)
+		}
+	}
+}
+
+func TestStragglerPlans(t *testing.T) {
+	p := OneStraggler(8)
+	if !p.IsSlow(0) || p.IsSlow(1) {
+		t.Fatal("one-straggler plan wrong")
+	}
+	q := FractionStragglers(8, 0.25, 4)
+	slow := 0
+	for i := 0; i < 8; i++ {
+		if q.IsSlow(i) {
+			slow++
+		}
+	}
+	if slow != 2 {
+		t.Fatalf("fraction stragglers: %d", slow)
+	}
+}
