@@ -2,16 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-paper examples experiments clean
+.PHONY: all build test check race bench bench-paper examples experiments clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
-	$(GO) vet ./...
+test: check
 	$(GO) test ./...
+
+# check: static analysis plus a race pass over the concurrency-heavy
+# packages (telemetry registry/journal, wall-clock transport, trace).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
 
 race:
 	$(GO) test -race ./...

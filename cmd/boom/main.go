@@ -79,16 +79,17 @@ func usage() {
 	fmt.Fprint(os.Stderr, `boom — BOOM-FS over real TCP, plus a local Overlog runner.
 
 subcommands:
-  master   -listen ADDR [-restore F] [-checkpoint F]   serve a BOOM-FS master
-  datanode -listen ADDR -master ADDR          serve a datanode
-  fs       -master ADDR OP [ARGS...]          client operations:
+  master   -listen ADDR [-status ADDR] [-restore F] [-checkpoint F]
+                                               serve a BOOM-FS master
+  datanode -listen ADDR -master ADDR [-status ADDR]   serve a datanode
+  fs       -master ADDR [-trace] OP [ARGS...]  client operations:
              mkdir|create|rm|exists PATH
              ls PATH
              mv OLD NEW
              put PATH DATA
              get PATH
   olg      FILE [-steps N] [-analyze]         run or analyze an Overlog file
-  mr-demo  [-trackers N]                       wordcount over real TCP sockets
+  mr-demo  [-trackers N] [-status ADDR]        wordcount over real TCP sockets
   repl                                         interactive Overlog shell
   rules    [name]                              print a shipped rule set
            (fs-master, fs-datanode, fs-gc, gateway, mr-jobtracker,
@@ -110,6 +111,7 @@ func runMaster(args []string) error {
 	restore := fs.String("restore", "", "checkpoint file to restore the catalog from")
 	ckptPath := fs.String("checkpoint", "", "write periodic checkpoints to this file")
 	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint period")
+	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
 	fs.Parse(args)
 	cfg := boomfs.DefaultConfig()
 	cfg.ReplicationFactor = *repl
@@ -118,6 +120,9 @@ func runMaster(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	if err := serveStatus(srv, *status); err != nil {
+		return err
+	}
 	if *ckptPath != "" {
 		ticker := time.NewTicker(*ckptEvery)
 		defer ticker.Stop()
@@ -140,13 +145,30 @@ func runDataNode(args []string) error {
 	fs := flag.NewFlagSet("datanode", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:7071", "address to serve")
 	master := fs.String("master", "127.0.0.1:7070", "master address")
+	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
 	fs.Parse(args)
 	srv, err := rtfs.StartDataNode(*listen, *master, boomfs.DefaultConfig())
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if err := serveStatus(srv, *status); err != nil {
+		return err
+	}
 	waitForInterrupt(fmt.Sprintf("boom-fs datanode at %s (master %s)", *listen, *master))
+	return nil
+}
+
+// serveStatus starts a node's observability endpoint when requested.
+func serveStatus(srv *rtfs.Server, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	if err := srv.ServeStatus(addr); err != nil {
+		return err
+	}
+	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace}\n",
+		srv.Status.URL())
 	return nil
 }
 
@@ -155,6 +177,7 @@ func runFS(args []string) error {
 	master := fs.String("master", "127.0.0.1:7070", "master address")
 	listen := fs.String("listen", "127.0.0.1:0", "client callback address")
 	timeout := fs.Duration("timeout", 15*time.Second, "operation timeout")
+	traceFlag := fs.Bool("trace", false, "print this op's trace spans (IDs usable against /debug/trace?id=)")
 	fs.Parse(args)
 	rest := fs.Args()
 	if len(rest) < 1 {
@@ -174,6 +197,17 @@ func runFS(args []string) error {
 		return err
 	}
 	defer cl.Close()
+	if *traceFlag {
+		defer func() {
+			fmt.Fprintln(os.Stderr, "trace spans (query any node's /debug/trace?id=<trace_id>):")
+			for _, ev := range cl.Journal.Events() {
+				if ev.TraceID == "" {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "  %-5s %-14s id=%s %s\n", ev.Kind, ev.Table, ev.TraceID, ev.Detail)
+			}
+		}()
+	}
 
 	op := rest[0]
 	need := func(n int) error {
@@ -261,6 +295,7 @@ func runMRDemo(args []string) error {
 	fs := flag.NewFlagSet("mr-demo", flag.ExitOnError)
 	trackers := fs.Int("trackers", 3, "task trackers to start")
 	policy := fs.String("policy", "fifo", "scheduling policy: fifo, late, fair")
+	status := fs.String("status", "", "serve the jobtracker's status endpoint at this address (trackers pick ephemeral ports)")
 	fs.Parse(args)
 
 	var pol boommr.Policy
@@ -295,6 +330,19 @@ func runMRDemo(args []string) error {
 	}
 	defer cluster.Close()
 	fmt.Printf("jobtracker %s (%s policy), %d trackers on real TCP\n", jtAddr, pol, *trackers)
+	if *status != "" {
+		urls, err := cluster.ServeStatus(*status)
+		if err != nil {
+			return err
+		}
+		for i, u := range urls {
+			role := "tasktracker"
+			if i == 0 {
+				role = "jobtracker"
+			}
+			fmt.Printf("status %-11s %s/metrics\n", role, u)
+		}
+	}
 
 	splits := workload.Corpus(1, 2**trackers, 8<<10)
 	job := boommr.NewJob(cluster.NewJobID(), splits, 2,

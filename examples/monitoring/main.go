@@ -3,8 +3,9 @@
 // In Overlog a program is data: the sys:: catalog relations describe
 // the installed rules and tables, watches stream every tuple event to
 // collectors, and invariants are just predicates over watched tables.
-// This example runs a short BOOM-FS workload with full tracing and
-// prints (a) a network/tuple-traffic report, (b) a per-rule execution
+// This example runs a short BOOM-FS workload with full instrumentation
+// and prints (a) the node's telemetry registry — the same numbers a
+// live deployment serves on /metrics, (b) a per-rule execution
 // profile, (c) an invariant check, and (d) a rule written *against the
 // catalog itself*. Run with:
 //
@@ -14,19 +15,25 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/boomfs"
 	"repro/internal/overlog"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 func main() {
-	c := sim.NewCluster()
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+	c := sim.NewCluster(sim.WithTelemetry(reg, journal))
 	cfg := boomfs.DefaultConfig()
 
-	// The master is created with watch-all so every relation is traced.
-	rt, err := c.AddNode("master:0", overlog.WithWatchAll())
+	// The cluster's telemetry option attaches step-hook metrics to every
+	// node it creates; protocol-level series come from targeted watches
+	// below — no watch-all needed.
+	rt, err := c.AddNode("master:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,9 +45,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// (a) tuple-traffic collector — the "network monitor".
-	col := trace.NewCollector()
-	if err := col.Attach(rt); err != nil {
+	// (a) FS-protocol metrics on the shared registry (the step-level
+	// series were attached by the cluster when the node was created).
+	if err := boomfs.InstrumentMaster(reg, "master:0", rt); err != nil {
 		log.Fatal(err)
 	}
 
@@ -98,14 +105,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("(a) tuple traffic at the master (top of the watch stream):")
-	fmt.Println(indent(firstLines(col.Report(), 12)))
+	fmt.Println("(a) master telemetry registry (what /metrics would serve):")
+	fmt.Println(indent(firstLines(masterSamples(reg), 14)))
 
 	fmt.Println("(b) hottest rules by derivation count:")
 	fmt.Println(indent(firstLines(trace.RuleProfile(rt, 8), 10)))
 
-	fmt.Printf("(c) invariant %q: %d violations across %d trace events\n\n",
-		inv.Name, inv.ViolationCount(), col.Total())
+	fmt.Printf("(c) invariant %q: %d violations across %d journal events\n\n",
+		inv.Name, inv.ViolationCount(), journal.Total())
 
 	fmt.Println("(d) rule census computed by a rule over sys::rule:")
 	for _, tp := range rt.Table("rule_census").Tuples() {
@@ -113,6 +120,18 @@ func main() {
 			fmt.Printf("    %-16s %d rules derive it\n", tp.Vals[0].AsString(), tp.Vals[1].AsInt())
 		}
 	}
+}
+
+// masterSamples renders the master's non-bucket registry samples.
+func masterSamples(reg *telemetry.Registry) string {
+	var b strings.Builder
+	for _, s := range reg.Snapshot() {
+		if strings.Contains(s.Name, "_bucket") || !strings.Contains(s.Name, "master:0") {
+			continue
+		}
+		fmt.Fprintf(&b, "%-56s %g\n", s.Name, s.Value)
+	}
+	return b.String()
 }
 
 func firstLines(s string, n int) string {

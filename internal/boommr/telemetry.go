@@ -1,0 +1,112 @@
+package boommr
+
+import (
+	"repro/internal/overlog"
+	"repro/internal/telemetry"
+)
+
+// MR protocol tuples carry job/task identity rather than a string
+// request ID; trace correlation for MR uses the scheduler journal and
+// per-table counters instead.
+
+// InstrumentJobTracker attaches watch-based scheduler metrics to a
+// JobTracker runtime: submissions, heartbeats, assignments (split into
+// speculative and regular — the LATE counters), rejections, and
+// attempt outcomes. Call before the node starts stepping.
+func InstrumentJobTracker(reg *telemetry.Registry, node string, rt *overlog.Runtime) error {
+	for _, t := range []string{"job_submit", "task_submit", "tt_hb", "do_assign",
+		"assign_reject", "attempt_done"} {
+		if err := rt.AddWatch(t, "i"); err != nil {
+			return err
+		}
+	}
+	lbl := func(name string, kv ...string) string {
+		if node != "" {
+			kv = append(kv, "node", node)
+		}
+		return telemetry.L(name, kv...)
+	}
+	jobs := reg.Counter(lbl("boommr_jobs_submitted_total"), "jobs submitted")
+	tasks := reg.Counter(lbl("boommr_tasks_submitted_total"), "tasks submitted")
+	hbs := reg.Counter(lbl("boommr_tracker_heartbeats_total"), "tasktracker heartbeats received")
+	assigns := reg.Counter(lbl("boommr_assigns_total"), "task attempts assigned")
+	specs := reg.Counter(lbl("boommr_speculative_assigns_total"), "speculative (LATE) attempts assigned")
+	rejects := reg.Counter(lbl("boommr_assign_rejects_total"), "assignments rejected by trackers")
+	doneOK := reg.Counter(lbl("boommr_attempts_done_total", "outcome", "ok"), "attempt completions by outcome")
+	doneFail := reg.Counter(lbl("boommr_attempts_done_total", "outcome", "fail"), "attempt completions by outcome")
+	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		if !ev.Insert {
+			return
+		}
+		switch ev.Tuple.Table {
+		case "job_submit":
+			jobs.Inc()
+		case "task_submit":
+			tasks.Inc()
+		case "tt_hb":
+			hbs.Inc()
+		case "do_assign":
+			assigns.Inc()
+			if ev.Tuple.Vals[5].AsBool() {
+				specs.Inc()
+			}
+		case "assign_reject":
+			rejects.Inc()
+		case "attempt_done":
+			if ev.Tuple.Vals[5].AsBool() {
+				doneOK.Inc()
+			} else {
+				doneFail.Inc()
+			}
+		}
+	})
+	return nil
+}
+
+// InstrumentJobTrackerGauges registers scrape-time task/job state
+// gauges over a serialized runtime accessor (the real-time driver's
+// Node.Runtime, or a direct closure for single-threaded simulations).
+func InstrumentJobTrackerGauges(reg *telemetry.Registry, node string, access func(func(*overlog.Runtime))) {
+	lbl := func(name string, kv ...string) string {
+		if node != "" {
+			kv = append(kv, "node", node)
+		}
+		return telemetry.L(name, kv...)
+	}
+	countWhere := func(table string, col int, want string) float64 {
+		var n int
+		access(func(rt *overlog.Runtime) {
+			tbl := rt.Table(table)
+			if tbl == nil {
+				return
+			}
+			tbl.Scan(func(tp overlog.Tuple) bool {
+				if tp.Vals[col].AsString() == want {
+					n++
+				}
+				return true
+			})
+		})
+		return float64(n)
+	}
+	for _, state := range []string{"pending", "running", "done"} {
+		state := state
+		reg.GaugeFunc(lbl("boommr_tasks", "state", state), "tasks by scheduler state",
+			func() float64 { return countWhere("task", 3, state) })
+	}
+	for _, state := range []string{"running", "done"} {
+		state := state
+		reg.GaugeFunc(lbl("boommr_jobs", "state", state), "jobs by scheduler state",
+			func() float64 { return countWhere("job", 4, state) })
+	}
+	reg.GaugeFunc(lbl("boommr_trackers"), "tasktrackers known to the scheduler",
+		func() float64 {
+			var n int
+			access(func(rt *overlog.Runtime) {
+				if tbl := rt.Table("tracker"); tbl != nil {
+					n = tbl.Len()
+				}
+			})
+			return float64(n)
+		})
+}

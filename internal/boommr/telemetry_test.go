@@ -1,0 +1,74 @@
+package boommr
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestInstrumentJobTracker runs a small wordcount on an instrumented
+// scheduler and checks the counters and state gauges agree with the
+// job's outcome.
+func TestInstrumentJobTracker(t *testing.T) {
+	cfg := DefaultMRConfig()
+	c := sim.NewCluster()
+	mreg := NewRegistry()
+	jt, err := NewJobTracker(c, "jt:0", FIFO, cfg, mreg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instrumentation attaches before the first Run so every event is
+	// counted.
+	reg := telemetry.NewRegistry()
+	if err := InstrumentJobTracker(reg, "", c.Node("jt:0")); err != nil {
+		t.Fatal(err)
+	}
+	InstrumentJobTrackerGauges(reg, "", func(fn func(*overlog.Runtime)) {
+		fn(c.Node("jt:0"))
+	})
+	const trackers = 3
+	for i := 0; i < trackers; i++ {
+		if _, err := NewTaskTracker(c, fmt.Sprintf("tt:%d", i), jt.Addr, cfg, mreg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+
+	job := NewJob(jt.NewJobID(), corpus(4), 2, WordCountMap, WordCountReduce)
+	jt.Submit(job)
+	done, err := jt.Wait(job.ID, 600_000)
+	if err != nil || !done {
+		t.Fatalf("job: done=%v err=%v", done, err)
+	}
+
+	if got := reg.Get("boommr_jobs_submitted_total"); got != 1 {
+		t.Fatalf("jobs submitted: %g", got)
+	}
+	if got := reg.Get("boommr_tasks_submitted_total"); got != 6 { // 4 map + 2 reduce
+		t.Fatalf("tasks submitted: %g", got)
+	}
+	if got := reg.Get("boommr_assigns_total"); got < 6 {
+		t.Fatalf("assigns: %g", got)
+	}
+	if got := reg.Get(telemetry.L("boommr_attempts_done_total", "outcome", "ok")); got < 6 {
+		t.Fatalf("ok attempts: %g", got)
+	}
+	if reg.Get("boommr_tracker_heartbeats_total") == 0 {
+		t.Fatal("no heartbeats counted")
+	}
+	// State gauges read the live scheduler tables.
+	if got := reg.Get(telemetry.L("boommr_tasks", "state", "done")); got != 6 {
+		t.Fatalf("done tasks gauge: %g", got)
+	}
+	if got := reg.Get(telemetry.L("boommr_jobs", "state", "done")); got != 1 {
+		t.Fatalf("done jobs gauge: %g", got)
+	}
+	if got := reg.Get("boommr_trackers"); got != trackers {
+		t.Fatalf("trackers gauge: %g", got)
+	}
+}

@@ -129,16 +129,33 @@ func TestMonitoringShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Runs) != 2 {
+	if len(res.Runs) != 3 {
 		t.Fatalf("runs: %d", len(res.Runs))
 	}
-	off, on := res.Runs[0], res.Runs[1]
-	// Tracing must not change protocol behaviour (simulated time equal).
-	if off.TotalMS != on.TotalMS {
-		t.Fatalf("tracing altered simulated behaviour: %d vs %d ms", off.TotalMS, on.TotalMS)
+	off, on, reg := res.Runs[0], res.Runs[1], res.Runs[2]
+	// Instrumentation must not change protocol behaviour (simulated
+	// time equal in every configuration).
+	if off.TotalMS != on.TotalMS || off.TotalMS != reg.TotalMS {
+		t.Fatalf("instrumentation altered simulated behaviour: %d / %d / %d ms",
+			off.TotalMS, on.TotalMS, reg.TotalMS)
 	}
 	if on.TraceEvents == 0 || off.TraceEvents != 0 {
 		t.Fatalf("trace events: off=%d on=%d", off.TraceEvents, on.TraceEvents)
+	}
+	// The registry run journals network events and snapshots the
+	// metrics a live node would serve on /metrics.
+	if reg.TraceEvents == 0 || len(reg.Samples) == 0 {
+		t.Fatalf("registry run: %d journal events, %d samples",
+			reg.TraceEvents, len(reg.Samples))
+	}
+	found := false
+	for _, s := range reg.Samples {
+		if s.Name == `boomfs_requests_total{op="create",node="master:0"}` && s.Value == 30 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot missing create counter:\n%s", res.Report())
 	}
 }
 

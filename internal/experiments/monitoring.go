@@ -9,6 +9,7 @@ import (
 	"repro/internal/boomfs"
 	"repro/internal/overlog"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -24,10 +25,19 @@ func DefaultMonitoringParams() MonitoringParams {
 	return MonitoringParams{DataNodes: 3, Ops: 1000, Seed: 3}
 }
 
+// monMode selects one T2 configuration.
+type monMode int
+
+const (
+	monOff      monMode = iota // no instrumentation at all
+	monWatch                   // metaprogrammed watch-all tuple tracing
+	monRegistry                // production telemetry registry + journal
+)
+
 // MonitoringRun is one configuration's outcome. Simulated time is
-// identical by construction (tracing does not alter the protocol), so
-// the overhead shows up in WallNS — the real CPU cost of evaluating the
-// same workload with every relation watched.
+// identical by construction (instrumentation does not alter the
+// protocol), so the overhead shows up in WallNS — the real CPU cost of
+// evaluating the same workload with the hooks attached.
 type MonitoringRun struct {
 	Label       string
 	TotalMS     int64 // simulated
@@ -35,6 +45,10 @@ type MonitoringRun struct {
 	OpP50       int64
 	Derivations int64
 	TraceEvents int64
+
+	// Samples is the telemetry registry snapshot after the run
+	// (registry configuration only) — the numbers /metrics would serve.
+	Samples []telemetry.Sample
 }
 
 // MonitoringResult is the T2 table.
@@ -44,47 +58,62 @@ type MonitoringResult struct {
 }
 
 // RunMonitoring reproduces the monitoring-revision table: the same
-// metadata workload with tracing off, and with the metaprogrammed
+// metadata workload with instrumentation off, with the metaprogrammed
 // full-table watch rewrite on (every insert and delete on every
-// relation streamed to a collector). The paper's point: because the
-// tracing hooks are just more rules/watchers over the same dataflow,
-// the overhead is modest and the information is complete.
+// relation streamed to a collector), and with the production telemetry
+// registry attached (step hooks + per-node metrics + event journal).
+// The paper's point: because the tracing hooks are just more
+// rules/watchers over the same dataflow, the overhead is modest and
+// the information is complete.
 func RunMonitoring(p MonitoringParams) (*MonitoringResult, error) {
 	// Simulated results are deterministic, but the wall-clock cost — the
 	// quantity T2 reports — is noisy at millisecond scale. Run the
-	// off/on pair interleaved several times and keep the pair with the
-	// median overhead ratio.
+	// configurations interleaved several times and keep the triple with
+	// the median registry overhead ratio.
 	const reps = 5
-	type pair struct {
-		off, on *MonitoringRun
-		ratio   float64
+	type triple struct {
+		off, watch, reg *MonitoringRun
+		regRatio        float64
 	}
-	var pairs []pair
+	var triples []triple
 	for rep := 0; rep < reps; rep++ {
-		off, err := runMonitoring(p, false)
+		off, err := runMonitoring(p, monOff)
 		if err != nil {
 			return nil, err
 		}
-		on, err := runMonitoring(p, true)
+		watch, err := runMonitoring(p, monWatch)
+		if err != nil {
+			return nil, err
+		}
+		reg, err := runMonitoring(p, monRegistry)
 		if err != nil {
 			return nil, err
 		}
 		r := 0.0
 		if off.WallNS > 0 {
-			r = float64(on.WallNS) / float64(off.WallNS)
+			r = float64(reg.WallNS) / float64(off.WallNS)
 		}
-		pairs = append(pairs, pair{off, on, r})
+		triples = append(triples, triple{off, watch, reg, r})
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].ratio < pairs[j].ratio })
-	med := pairs[len(pairs)/2]
-	return &MonitoringResult{Params: p, Runs: []MonitoringRun{*med.off, *med.on}}, nil
+	sort.Slice(triples, func(i, j int) bool { return triples[i].regRatio < triples[j].regRatio })
+	med := triples[len(triples)/2]
+	return &MonitoringResult{Params: p,
+		Runs: []MonitoringRun{*med.off, *med.watch, *med.reg}}, nil
 }
 
-func runMonitoring(p MonitoringParams, traced bool) (*MonitoringRun, error) {
+func runMonitoring(p MonitoringParams, mode monMode) (*MonitoringRun, error) {
 	cfg := boomfs.DefaultConfig()
-	c := sim.NewCluster(sim.WithClusterSeed(p.Seed))
+	clusterOpts := []sim.Option{sim.WithClusterSeed(p.Seed)}
+	var reg *telemetry.Registry
+	var journal *telemetry.Journal
+	if mode == monRegistry {
+		reg = telemetry.NewRegistry()
+		journal = telemetry.NewJournal(0)
+		clusterOpts = append(clusterOpts, sim.WithTelemetry(reg, journal))
+	}
+	c := sim.NewCluster(clusterOpts...)
 	var opts []overlog.Option
-	if traced {
+	if mode == monWatch {
 		opts = append(opts, overlog.WithWatchAll())
 	}
 	rt, err := c.AddNode("master:0", opts...)
@@ -99,8 +128,13 @@ func runMonitoring(p MonitoringParams, traced bool) (*MonitoringRun, error) {
 	}
 	col := trace.NewCollector()
 	col.KeepLastN = 0
-	if traced {
+	if mode == monWatch {
 		if err := col.Attach(rt); err != nil {
+			return nil, err
+		}
+	}
+	if mode == monRegistry {
+		if err := boomfs.InstrumentMaster(reg, "master:0", rt); err != nil {
 			return nil, err
 		}
 	}
@@ -120,9 +154,14 @@ func runMonitoring(p MonitoringParams, traced bool) (*MonitoringRun, error) {
 		return nil, err
 	}
 
-	run := &MonitoringRun{Label: "tracing off"}
-	if traced {
+	run := &MonitoringRun{}
+	switch mode {
+	case monOff:
+		run.Label = "instrumentation off"
+	case monWatch:
 		run.Label = "tracing on (watch all)"
+	case monRegistry:
+		run.Label = "registry on (telemetry)"
 	}
 	cdf := &trace.CDF{}
 	start := c.Now()
@@ -138,14 +177,22 @@ func runMonitoring(p MonitoringParams, traced bool) (*MonitoringRun, error) {
 	run.TotalMS = c.Now() - start
 	run.OpP50 = cdf.Percentile(50)
 	run.Derivations = rt.DerivationCount()
-	run.TraceEvents = col.Total()
+	switch mode {
+	case monWatch:
+		run.TraceEvents = col.Total()
+	case monRegistry:
+		run.TraceEvents = journal.Total()
+		run.Samples = reg.Snapshot()
+	}
 	return run, nil
 }
 
-// Report renders the comparison.
+// Report renders the comparison plus the registry snapshot — the same
+// numbers a live node serves on /metrics, proving the bench and the
+// endpoint read one source of truth.
 func (r *MonitoringResult) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "== T2: metaprogrammed tracing overhead ==\n")
+	fmt.Fprintf(&b, "== T2: instrumentation overhead ==\n")
 	fmt.Fprintf(&b, "   (%d metadata creates against one master, %d datanodes)\n\n",
 		r.Params.Ops, r.Params.DataNodes)
 	fmt.Fprintf(&b, "%-26s %10s %10s %9s %13s %13s\n",
@@ -155,14 +202,34 @@ func (r *MonitoringResult) Report() string {
 			run.Label, run.TotalMS, float64(run.WallNS)/1e6, run.OpP50,
 			run.Derivations, run.TraceEvents)
 	}
-	if len(r.Runs) == 2 && r.Runs[0].WallNS > 0 {
-		fmt.Fprintf(&b, "\noverhead: %.1f%% wall-clock (simulated latency unchanged), %d trace events\n",
-			100*float64(r.Runs[1].WallNS-r.Runs[0].WallNS)/float64(r.Runs[0].WallNS),
-			r.Runs[1].TraceEvents)
+	if len(r.Runs) == 3 && r.Runs[0].WallNS > 0 {
+		base := float64(r.Runs[0].WallNS)
+		fmt.Fprintf(&b, "\noverhead vs off: watch-all %.2fx, telemetry registry %.2fx wall-clock\n",
+			float64(r.Runs[1].WallNS)/base, float64(r.Runs[2].WallNS)/base)
+		fmt.Fprintf(&b, "(simulated latency unchanged in every configuration)\n")
 	}
-	b.WriteString("paper shape: full tracing costs little because watches reuse the\n" +
-		"same dataflow the rules already execute. Here the median overhead\n" +
-		"sits at or below wall-clock measurement noise (~0-15%%) while every\n" +
-		"tuple event is captured; simulated behaviour is bit-identical.\n")
+	if samples := r.Snapshot(); len(samples) > 0 {
+		fmt.Fprintf(&b, "\nmaster registry snapshot (as served on /metrics):\n")
+		for _, s := range samples {
+			if strings.Contains(s.Name, "_bucket") || !strings.Contains(s.Name, "master:0") {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-60s %g\n", s.Name, s.Value)
+		}
+	}
+	b.WriteString("\npaper shape: full tracing costs little because watches reuse the\n" +
+		"same dataflow the rules already execute, and the production\n" +
+		"registry is cheaper still — one atomic add per hook site.\n")
 	return b.String()
+}
+
+// Snapshot returns the registry-on run's telemetry samples (nil when
+// the registry configuration was not part of the result).
+func (r *MonitoringResult) Snapshot() []telemetry.Sample {
+	for _, run := range r.Runs {
+		if len(run.Samples) > 0 {
+			return run.Samples
+		}
+	}
+	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 )
 
 // Envelope is a derived tuple addressed to another node. The driver
@@ -19,13 +20,16 @@ type WatchEvent struct {
 	Node   string
 	Time   int64
 	Insert bool   // false = deletion
+	Sent   bool   // head routed to a remote node (never stored here)
 	Rule   string // deriving rule name; "" for external/fact inserts
 	Tuple  Tuple
 }
 
 func (e WatchEvent) String() string {
 	op := "+"
-	if !e.Insert {
+	if e.Sent {
+		op = ">"
+	} else if !e.Insert {
 		op = "-"
 	}
 	via := e.Rule
@@ -84,7 +88,26 @@ type Runtime struct {
 	ruleFires map[string]int64
 	derivedCt int64 // total tuples derived (including duplicates suppressed)
 	insertCt  int64 // tuples actually inserted (post-dedup)
+
+	stepHook func(StepStats)
 }
+
+// StepStats summarizes one completed timestep for instrumentation.
+type StepStats struct {
+	NowMS      int64 // the step's clock value
+	DurationNS int64 // wall time spent inside Step
+	External   int   // external tuples consumed (incl. deferred+periodic)
+	Derived    int64 // rule head derivations this step (pre-dedup)
+	Inserted   int64 // tuples inserted this step (post-dedup)
+	Envelopes  int   // tuples emitted toward other nodes
+	Stored     int64 // total tuples held across all tables at step end
+}
+
+// SetStepHook installs a callback invoked at the end of every
+// successful Step, while the caller still holds the runtime — hook
+// implementations must not re-enter the runtime. The hook is the
+// telemetry layer's attachment point; nil clears it.
+func (r *Runtime) SetStepHook(fn func(StepStats)) { r.stepHook = fn }
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -160,7 +183,7 @@ func (r *Runtime) RegisterWatcher(w Watcher) { r.watchers = append(r.watchers, w
 
 // AddWatch subscribes a table to trace events programmatically, as if
 // the program contained a watch declaration. Modes: "i" inserts, "d"
-// deletes, "" both.
+// deletes, "s" remote sends, "" inserts and deletes.
 func (r *Runtime) AddWatch(table, modes string) error {
 	if _, ok := r.cat.decls[table]; !ok {
 		return fmt.Errorf("overlog: AddWatch: undeclared table %q", table)
@@ -385,6 +408,12 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	if now < r.now {
 		return nil, fmt.Errorf("overlog: %s: clock moved backwards (%d < %d)", r.addr, now, r.now)
 	}
+	var hookStart time.Time
+	var derived0, inserted0 int64
+	if r.stepHook != nil {
+		hookStart = time.Now()
+		derived0, inserted0 = r.derivedCt, r.insertCt
+	}
 	r.now = now
 	r.outbox = nil
 	r.pendDel = nil
@@ -414,6 +443,7 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	}
 
 	// External tuples seed the deltas.
+	externalIn := len(external)
 	for _, tp := range external {
 		if _, err := r.insertLocal(tp, ""); err != nil {
 			return nil, err
@@ -451,6 +481,21 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	}
 	out := r.outbox
 	r.outbox = nil
+	if r.stepHook != nil {
+		var stored int64
+		for _, tbl := range r.tables {
+			stored += int64(tbl.Len())
+		}
+		r.stepHook(StepStats{
+			NowMS:      now,
+			DurationNS: time.Since(hookStart).Nanoseconds(),
+			External:   externalIn,
+			Derived:    r.derivedCt - derived0,
+			Inserted:   r.insertCt - inserted0,
+			Envelopes:  len(out),
+			Stored:     stored,
+		})
+	}
 	return out, nil
 }
 
@@ -524,19 +569,29 @@ func (r *Runtime) emitWatch(ev WatchEvent) {
 	if !watched && !r.watchAll {
 		return
 	}
-	if watched && modes != "" {
-		want := byte('i')
-		if !ev.Insert {
-			want = 'd'
-		}
-		found := false
-		for i := 0; i < len(modes); i++ {
-			if modes[i] == want {
-				found = true
+	if watched && !r.watchAll {
+		// "" keeps its historical meaning of inserts+deletes; sends must
+		// be asked for explicitly.
+		if modes == "" {
+			if ev.Sent {
+				return
 			}
-		}
-		if !found && !r.watchAll {
-			return
+		} else {
+			want := byte('i')
+			if ev.Sent {
+				want = 's'
+			} else if !ev.Insert {
+				want = 'd'
+			}
+			found := false
+			for i := 0; i < len(modes); i++ {
+				if modes[i] == want {
+					found = true
+				}
+			}
+			if !found {
+				return
+			}
 		}
 	}
 	for _, w := range r.watchers {
@@ -844,6 +899,8 @@ func (r *Runtime) routeHead(cr *compiledRule, tp Tuple) error {
 		if loc.AsString() != r.addr {
 			// Remote sends are never deferred further: network delivery
 			// already lands on a later step of the destination.
+			r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Sent: true,
+				Rule: cr.name, Tuple: tp})
 			r.outbox = append(r.outbox, Envelope{To: loc.AsString(), Tuple: tp})
 			return nil
 		}

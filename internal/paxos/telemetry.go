@@ -1,0 +1,50 @@
+package paxos
+
+import (
+	"repro/internal/overlog"
+	"repro/internal/telemetry"
+)
+
+func init() {
+	// Client commands carry a ReqId; registering it makes a Paxos
+	// request traceable across proposer and acceptors.
+	telemetry.RegisterTraceColumn("paxos_request", 1)
+	telemetry.RegisterTraceColumn("propose_slot", 0)
+}
+
+// Instrument attaches consensus metrics to a replica runtime:
+// proposals issued, commands committed (slots decided), and view
+// changes (elections started). Call before the node starts stepping.
+func Instrument(reg *telemetry.Registry, node string, rt *overlog.Runtime) error {
+	for _, t := range []string{"proposal", "decided", "elect", "prepare"} {
+		if err := rt.AddWatch(t, "i"); err != nil {
+			return err
+		}
+	}
+	lbl := func(name string) string {
+		if node == "" {
+			return name
+		}
+		return telemetry.L(name, "node", node)
+	}
+	proposals := reg.Counter(lbl("paxos_proposals_total"), "slots proposed by this replica as leader")
+	commits := reg.Counter(lbl("paxos_commits_total"), "slots decided (learned) at this replica")
+	elections := reg.Counter(lbl("paxos_view_changes_total"), "elections started by this replica")
+	prepares := reg.Counter(lbl("paxos_prepares_total"), "phase-1 prepare messages received")
+	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		if !ev.Insert {
+			return
+		}
+		switch ev.Tuple.Table {
+		case "proposal":
+			proposals.Inc()
+		case "decided":
+			commits.Inc()
+		case "elect":
+			elections.Inc()
+		case "prepare":
+			prepares.Inc()
+		}
+	})
+	return nil
+}

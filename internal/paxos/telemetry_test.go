@@ -1,0 +1,63 @@
+package paxos
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestInstrumentCountsConsensus drives one decision through an
+// instrumented group and checks the consensus counters move.
+func TestInstrumentCountsConsensus(t *testing.T) {
+	c, members := testGroup(t, 3)
+	reg := telemetry.NewRegistry()
+	for _, m := range members {
+		if err := Instrument(reg, m, c.Node(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	submit(c, members[0], "r1", "hello")
+	met, err := c.RunUntil(func() bool {
+		for _, m := range members {
+			if decidedCount(c, m) < 1 {
+				return false
+			}
+		}
+		return true
+	}, 10_000)
+	if err != nil || !met {
+		t.Fatalf("decision did not land: met=%v err=%v", met, err)
+	}
+
+	sum := func(name string) float64 {
+		total := 0.0
+		for _, m := range members {
+			total += reg.Get(telemetry.L(name, "node", m))
+		}
+		return total
+	}
+	if sum("paxos_commits_total") < 3 {
+		t.Fatalf("commits: %g (want >= one slot on each of 3 replicas)", sum("paxos_commits_total"))
+	}
+	if sum("paxos_proposals_total") < 1 {
+		t.Fatalf("proposals: %g", sum("paxos_proposals_total"))
+	}
+	// Kill the leader: a backup elects itself, counting a view change
+	// and delivering prepares to the survivors.
+	c.Kill(members[0])
+	met, err = c.RunUntil(func() bool {
+		return IsLeader(c.Node(members[1])) || IsLeader(c.Node(members[2]))
+	}, 60_000)
+	if err != nil || !met {
+		t.Fatalf("no new leader elected: met=%v err=%v", met, err)
+	}
+	if sum("paxos_view_changes_total") < 1 {
+		t.Fatalf("view changes: %g", sum("paxos_view_changes_total"))
+	}
+	if sum("paxos_prepares_total") < 1 {
+		t.Fatalf("prepares: %g", sum("paxos_prepares_total"))
+	}
+}

@@ -13,20 +13,49 @@ import (
 
 	"repro/internal/boomfs"
 	"repro/internal/overlog"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
 // Server is one running FS process (master or datanode).
 type Server struct {
 	Addr string
+	Role string // "master" or "datanode"
 	Node *transport.Node
 	TCP  *transport.TCP
+
+	// Telemetry: always collected (atomic counters, negligible cost);
+	// served over HTTP only when ServeStatus is called.
+	Reg     *telemetry.Registry
+	Journal *telemetry.Journal
+	Status  *telemetry.Server
 }
 
-// Close stops the node and its transport.
+// Close stops the node, its transport, and the status server.
 func (s *Server) Close() {
+	if s.Status != nil {
+		s.Status.Close()
+	}
 	s.Node.Stop()
 	s.TCP.Close()
+}
+
+// ServeStatus starts the node's status HTTP server on addr (port 0
+// picks one) exposing /metrics, /healthz, /debug/tables, /debug/rules,
+// /debug/catalog and /debug/trace.
+func (s *Server) ServeStatus(addr string) error {
+	st, err := telemetry.Serve(addr, telemetry.Source{
+		Role:        s.Role,
+		Addr:        s.Addr,
+		Registry:    s.Reg,
+		Journal:     s.Journal,
+		WithRuntime: s.Node.Runtime,
+	})
+	if err != nil {
+		return err
+	}
+	s.Status = st
+	return nil
 }
 
 // StartMaster serves a BOOM-FS master at addr (host:port).
@@ -55,7 +84,7 @@ func StartMasterFrom(addr string, cfg boomfs.Config, restorePath string) (*Serve
 			return nil, fmt.Errorf("rtfs: restore: %w", err)
 		}
 	}
-	return serve(rt, addr, nil)
+	return serve(rt, addr, "master", nil)
 }
 
 // Checkpoint writes the server's current catalog to path atomically
@@ -87,12 +116,12 @@ func StartDataNode(addr, master string, cfg boomfs.Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return serve(rt, addr, func(n *transport.Node) error {
+	return serve(rt, addr, "datanode", func(n *transport.Node) error {
 		return n.AttachService(svc)
 	})
 }
 
-func serve(rt *overlog.Runtime, addr string, setup func(*transport.Node) error) (*Server, error) {
+func serve(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) error) (*Server, error) {
 	var tcp *transport.TCP
 	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
 	if setup != nil {
@@ -100,13 +129,35 @@ func serve(rt *overlog.Runtime, addr string, setup func(*transport.Node) error) 
 			return nil, err
 		}
 	}
+
+	// Instrumentation attaches before the step loop starts, so every
+	// hook runs without extra synchronization.
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+	telemetry.AttachRuntime(reg, "", rt)
+	var instErr error
+	switch role {
+	case "master":
+		instErr = boomfs.InstrumentMaster(reg, "", rt)
+		telemetry.GaugeTables(reg, "", "boomfs_table_size", "catalog relation sizes",
+			telemetry.SafeTableLen(node.Runtime), boomfs.MasterTables...)
+	case "datanode":
+		instErr = boomfs.InstrumentDataNode(reg, "", rt)
+	}
+	if instErr != nil {
+		return nil, instErr
+	}
+	reg.GaugeFunc("boom_inbox_depth", "queued inbound tuples",
+		func() float64 { return float64(node.InboxDepth()) })
+
 	var err error
 	tcp, err = transport.ListenTCP(node, addr)
 	if err != nil {
 		return nil, err
 	}
+	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
 	go node.Run()
-	return &Server{Addr: addr, Node: node, TCP: tcp}, nil
+	return &Server{Addr: addr, Role: role, Node: node, TCP: tcp, Reg: reg, Journal: journal}, nil
 }
 
 // Client is a real-time FS client: it owns a node (to receive
@@ -115,6 +166,13 @@ type Client struct {
 	Addr    string
 	Master  string
 	Timeout time.Duration
+
+	// Reg records client-observed op latency histograms
+	// (boomfs_op_ms{op=...}); Journal records each op's trace span, so
+	// a request ID found here can be followed into the master's and
+	// datanodes' /debug/trace endpoints.
+	Reg     *telemetry.Registry
+	Journal *telemetry.Journal
 
 	node *transport.Node
 	tcp  *transport.TCP
@@ -132,13 +190,18 @@ func NewClient(addr, master string, timeout time.Duration) (*Client, error) {
 	}
 	var tcp *transport.TCP
 	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+	telemetry.AttachRuntime(reg, "", rt)
 	var err error
 	tcp, err = transport.ListenTCP(node, addr)
 	if err != nil {
 		return nil, err
 	}
+	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
 	go node.Run()
-	return &Client{Addr: addr, Master: master, Timeout: timeout, node: node, tcp: tcp}, nil
+	return &Client{Addr: addr, Master: master, Timeout: timeout,
+		Reg: reg, Journal: journal, node: node, tcp: tcp}, nil
 }
 
 // Close stops the client.
@@ -152,9 +215,19 @@ func (c *Client) nextReqID() string {
 	return fmt.Sprintf("%s-%d", c.Addr, c.seq)
 }
 
-// call issues one metadata op and waits for the response.
+// call issues one metadata op and waits for the response. Each op is
+// one trace span: the request ID doubles as the trace ID that the
+// master's and datanodes' journals index.
 func (c *Client) call(op, path, arg string) (*boomfs.Response, error) {
 	id := c.nextReqID()
+	start := time.Now()
+	defer func() {
+		c.Reg.Histogram(telemetry.L("boomfs_op_ms", "op", op),
+			"client-observed metadata op latency (ms)", nil).
+			Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
+	}()
+	c.Journal.Record(telemetry.Event{Node: c.Addr, Kind: "op", Table: "request",
+		TraceID: id, Detail: op + " " + path})
 	if err := c.tcp.Send(overlog.Envelope{To: c.Master, Tuple: overlog.NewTuple("request",
 		overlog.Addr(c.Master), overlog.Str(id), overlog.Addr(c.Addr),
 		overlog.Str(op), overlog.Str(path), overlog.Str(arg))}); err != nil {

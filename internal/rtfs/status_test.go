@@ -1,0 +1,165 @@
+package rtfs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// TestStatusEndpointsAndCrossNodeTrace runs a live TCP FS cluster with
+// status servers on every node, performs file operations, and follows
+// one request's trace ID from the client journal through the master's
+// and a datanode's /debug/trace endpoints — the observability
+// acceptance path end to end.
+func TestStatusEndpointsAndCrossNodeTrace(t *testing.T) {
+	cfg := rtConfig()
+	masterAddr := freeAddr(t)
+	m, err := StartMaster(masterAddr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.ServeStatus("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	var dns []*Server
+	for i := 0; i < 2; i++ {
+		dn, err := StartDataNode(freeAddr(t), masterAddr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer dn.Close()
+		if err := dn.ServeStatus("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := NewClient(freeAddr(t), masterAddr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	time.Sleep(200 * time.Millisecond) // heartbeats register datanodes
+
+	if err := cl.Mkdir("/obs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.WriteFile("/obs/f", strings.Repeat("x", 40), 16); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := cl.ReadFile("/obs/f"); err != nil || len(data) != 40 {
+		t.Fatalf("read back: %d bytes, %v", len(data), err)
+	}
+
+	// Master /metrics: live Prometheus series from the conversation.
+	code, body := httpGet(t, m.Status.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status: %d", code)
+	}
+	for _, want := range []string{
+		"boom_steps_total",
+		`boomfs_requests_total{op="mkdir"} 1`,
+		`boomfs_responses_total{outcome="ok"}`,
+		"boom_transport_recv_total",
+		`boomfs_table_size{table="datanode"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("master metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Master /healthz and /debug/tables respond sensibly.
+	code, body = httpGet(t, m.Status.URL()+"/healthz")
+	if code != 200 || !strings.Contains(body, `"master"`) {
+		t.Fatalf("healthz %d: %s", code, body)
+	}
+	code, body = httpGet(t, m.Status.URL()+"/debug/tables?table=fqpath")
+	if code != 200 || !strings.Contains(body, "/obs") {
+		t.Fatalf("fqpath dump %d: %s", code, body)
+	}
+	code, body = httpGet(t, m.Status.URL()+"/debug/rules")
+	if code != 200 || !strings.Contains(body, `"fires"`) {
+		t.Fatalf("rules %d: %s", code, body)
+	}
+	code, body = httpGet(t, m.Status.URL()+"/debug/catalog")
+	if code != 200 || !strings.Contains(body, "sys::rule") {
+		t.Fatalf("catalog %d: %s", code, body)
+	}
+
+	// Datanode metrics saw chunk traffic.
+	sawChunkOp := false
+	for _, dn := range dns {
+		_, dnBody := httpGet(t, dn.Status.URL()+"/metrics")
+		if strings.Contains(dnBody, `boomfs_chunk_ops_total{table="dn_write"}`) {
+			sawChunkOp = true
+		}
+	}
+	if !sawChunkOp {
+		t.Fatal("no datanode counted a dn_write")
+	}
+
+	// Cross-node trace: take the mkdir request's trace ID from the
+	// client journal and find the same ID in the master's journal over
+	// HTTP.
+	var traceID string
+	for _, ev := range cl.Journal.Events() {
+		if ev.Kind == "op" && strings.HasPrefix(ev.Detail, "mkdir") {
+			traceID = ev.TraceID
+		}
+	}
+	if traceID == "" {
+		t.Fatal("client journal has no mkdir op span")
+	}
+	code, body = httpGet(t, m.Status.URL()+"/debug/trace?id="+traceID)
+	if code != 200 {
+		t.Fatalf("trace status: %d", code)
+	}
+	var tr struct {
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range tr.Events {
+		kinds[ev.Kind] = true
+	}
+	// The master received the request and sent the response — both
+	// under the same trace ID.
+	if !kinds["recv"] || !kinds["send"] {
+		t.Fatalf("master trace %s: kinds %v, events %+v", traceID, kinds, tr.Events)
+	}
+
+	// The client side of the same trace: a send to the master plus the
+	// op span, and a recv for the response.
+	clKinds := map[string]bool{}
+	for _, ev := range cl.Journal.ByTrace(traceID) {
+		clKinds[ev.Kind] = true
+	}
+	if !clKinds["op"] || !clKinds["send"] || !clKinds["recv"] {
+		t.Fatalf("client trace kinds: %v", clKinds)
+	}
+
+	// Client-observed latency histograms exist per op.
+	if cl.Reg.Get(telemetry.L("boomfs_op_ms", "op", "mkdir")) != 1 {
+		t.Fatalf("mkdir histogram count: %g",
+			cl.Reg.Get(telemetry.L("boomfs_op_ms", "op", "mkdir")))
+	}
+}

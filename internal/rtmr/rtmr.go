@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/boommr"
 	"repro/internal/overlog"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -29,11 +30,19 @@ type Cluster struct {
 }
 
 type server struct {
-	node *transport.Node
-	tcp  *transport.TCP
+	addr    string
+	role    string
+	node    *transport.Node
+	tcp     *transport.TCP
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
+	status  *telemetry.Server
 }
 
 func (s *server) close() {
+	if s.status != nil {
+		s.status.Close()
+	}
 	s.node.Stop()
 	s.tcp.Close()
 }
@@ -48,12 +57,13 @@ func Start(jtAddr string, ttAddrs []string, policy boommr.Policy, cfg boommr.MRC
 	if err := installJobTracker(jtRT, policy, cfg); err != nil {
 		return nil, err
 	}
-	jtNode, jtTCP, err := serveRuntime(jtRT, jtAddr, nil)
+	jtSrv, err := serveRuntime(jtRT, jtAddr, "jobtracker", nil)
 	if err != nil {
 		return nil, err
 	}
-	cl.jtNode = jtNode
-	cl.servers = append(cl.servers, &server{jtNode, jtTCP})
+	cl.jtNode = jtSrv.node
+	cl.servers = append(cl.servers, jtSrv)
+	boommr.InstrumentJobTrackerGauges(jtSrv.reg, "", jtSrv.node.Runtime)
 
 	for _, addr := range ttAddrs {
 		rt := overlog.NewRuntime(addr)
@@ -62,35 +72,73 @@ func Start(jtAddr string, ttAddrs []string, policy boommr.Policy, cfg boommr.MRC
 			cl.Close()
 			return nil, err
 		}
-		node, tcp, err := serveRuntime(rt, addr, func(n *transport.Node) error {
+		srv, err := serveRuntime(rt, addr, "tasktracker", func(n *transport.Node) error {
 			return n.AttachService(svc)
 		})
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.servers = append(cl.servers, &server{node, tcp})
+		cl.servers = append(cl.servers, srv)
 		cl.trackers = append(cl.trackers, tt)
 	}
 	return cl, nil
 }
 
-func serveRuntime(rt *overlog.Runtime, addr string, setup func(*transport.Node) error) (*transport.Node, *transport.TCP, error) {
+func serveRuntime(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) error) (*server, error) {
 	var tcp *transport.TCP
 	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
 	if setup != nil {
 		if err := setup(node); err != nil {
-			return nil, nil, err
+			return nil, err
+		}
+	}
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(0)
+	telemetry.AttachRuntime(reg, "", rt)
+	if role == "jobtracker" {
+		if err := boommr.InstrumentJobTracker(reg, "", rt); err != nil {
+			return nil, err
 		}
 	}
 	var err error
 	tcp, err = transport.ListenTCP(node, addr)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
 	go node.Run()
-	return node, tcp, nil
+	return &server{addr: addr, role: role, node: node, tcp: tcp, reg: reg, journal: journal}, nil
 }
+
+// ServeStatus starts status HTTP servers for every node: the
+// JobTracker at jtStatus (port 0 picks one) and each TaskTracker on an
+// ephemeral port. It returns the bound URLs in node order.
+func (c *Cluster) ServeStatus(jtStatus string) ([]string, error) {
+	var urls []string
+	for i, s := range c.servers {
+		addr := "127.0.0.1:0"
+		if i == 0 && jtStatus != "" {
+			addr = jtStatus
+		}
+		st, err := telemetry.Serve(addr, telemetry.Source{
+			Role:        s.role,
+			Addr:        s.addr,
+			Registry:    s.reg,
+			Journal:     s.journal,
+			WithRuntime: s.node.Runtime,
+		})
+		if err != nil {
+			return urls, err
+		}
+		s.status = st
+		urls = append(urls, st.URL())
+	}
+	return urls, nil
+}
+
+// JTRegistry exposes the JobTracker's metrics registry (tests, demos).
+func (c *Cluster) JTRegistry() *telemetry.Registry { return c.servers[0].reg }
 
 // installJobTracker mirrors boommr.NewJobTracker's program set on a
 // bare runtime.

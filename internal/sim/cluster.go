@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/overlog"
+	"repro/internal/telemetry"
 )
 
 // LatencyModel returns the one-way delay in milliseconds for a message.
@@ -130,6 +131,13 @@ type Cluster struct {
 	// MaxSteps guards against livelock in broken protocols.
 	MaxSteps int64
 	steps    int64
+
+	// Optional telemetry: a registry shared by every node (metrics are
+	// labelled per node) and a cluster-wide event journal recording
+	// inter-node sends with trace IDs — the simulated counterpart of
+	// the TCP transport's instrumentation, without the HTTP server.
+	reg     *telemetry.Registry
+	journal *telemetry.Journal
 }
 
 // Option configures a Cluster.
@@ -150,6 +158,16 @@ func WithClusterSeed(seed int64) Option {
 // 0 for tuples/nodes that should remain free.
 func WithServiceTime(fn func(node, table string) int64) Option {
 	return func(c *Cluster) { c.serviceTime = fn }
+}
+
+// WithTelemetry installs a metrics registry (every node added later is
+// instrumented, labelled by address) and an optional shared journal
+// that records inter-node message flow with trace IDs.
+func WithTelemetry(reg *telemetry.Registry, j *telemetry.Journal) Option {
+	return func(c *Cluster) {
+		c.reg = reg
+		c.journal = j
+	}
 }
 
 // NewCluster creates an empty cluster.
@@ -177,6 +195,9 @@ func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime
 		return nil, fmt.Errorf("sim: duplicate node %q", addr)
 	}
 	rt := overlog.NewRuntime(addr, opts...)
+	if c.reg != nil {
+		telemetry.AttachRuntime(c.reg, addr, rt)
+	}
 	n := &node{addr: addr, rt: rt}
 	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
 		n.buffer = append(n.buffer, ev)
@@ -278,15 +299,32 @@ func (c *Cluster) Inject(to string, tp overlog.Tuple, delayMS int64) {
 	heap.Push(&c.queue, &event{time: when, seq: c.seq, to: to, tuple: tp})
 }
 
+// Telemetry returns the cluster's registry (nil unless WithTelemetry).
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.reg }
+
+// Journal returns the cluster's event journal (nil unless installed).
+func (c *Cluster) Journal() *telemetry.Journal { return c.journal }
+
 // send routes a runtime-emitted envelope through the network model.
 func (c *Cluster) send(from string, env overlog.Envelope) {
 	if c.partitions[[2]string{from, env.To}] {
 		c.Dropped++
+		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
+			Detail: "partitioned from " + env.To})
 		return
 	}
 	if from != env.To && c.dropRate > 0 && c.rng.Float64() < c.dropRate {
 		c.Dropped++
+		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
+			Detail: "lossy link to " + env.To})
 		return
+	}
+	if c.journal != nil && from != env.To {
+		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "send",
+			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
+			Detail: "to " + env.To})
 	}
 	delay := int64(0)
 	if from != env.To {

@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/overlog"
+)
+
+// Event is one journal record: a tuple crossing a node boundary or a
+// request-scoped operation marker. TraceID ties events for one logical
+// operation together across nodes; querying each node's journal for
+// the same ID reconstructs the distributed timeline.
+type Event struct {
+	WallMS  int64  `json:"wall_ms"` // wall clock, unix milliseconds
+	Node    string `json:"node"`
+	Kind    string `json:"kind"` // "send", "recv", "drop", "op"
+	Table   string `json:"table,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Journal is a bounded ring buffer of events. Writers never block and
+// old events are overwritten; Total counts everything ever recorded.
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultJournalCap bounds per-node journal memory (~a few hundred KB).
+const DefaultJournalCap = 4096
+
+// NewJournal creates a journal holding up to capacity events
+// (DefaultJournalCap when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Record appends one event, stamping the wall clock when unset.
+func (j *Journal) Record(ev Event) {
+	if j == nil {
+		return
+	}
+	if ev.WallMS == 0 {
+		ev.WallMS = time.Now().UnixMilli()
+	}
+	j.mu.Lock()
+	j.buf[j.next] = ev
+	j.next++
+	if j.next == len(j.buf) {
+		j.next = 0
+		j.full = true
+	}
+	j.total++
+	j.mu.Unlock()
+}
+
+// Total returns how many events were ever recorded.
+func (j *Journal) Total() int64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Events returns the retained events, oldest first.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.full {
+		return append([]Event(nil), j.buf[:j.next]...)
+	}
+	out := make([]Event, 0, len(j.buf))
+	out = append(out, j.buf[j.next:]...)
+	out = append(out, j.buf[:j.next]...)
+	return out
+}
+
+// ByTrace returns retained events carrying the given trace ID,
+// oldest first.
+func (j *Journal) ByTrace(id string) []Event {
+	var out []Event
+	for _, ev := range j.Events() {
+		if ev.TraceID == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// --- trace-ID extraction ---
+//
+// BOOM protocols carry a request identifier as a tuple column (e.g.
+// boomfs request/response tuples hold ReqId). Packages register which
+// column of which table is the trace ID; transports then stamp journal
+// events and wire frames without understanding the protocol.
+
+var (
+	traceMu   sync.RWMutex
+	traceCols = map[string]int{}
+)
+
+// RegisterTraceColumn declares that column col of table holds the
+// request-scoped trace ID. Safe to call from init funcs.
+func RegisterTraceColumn(table string, col int) {
+	traceMu.Lock()
+	traceCols[table] = col
+	traceMu.Unlock()
+}
+
+// TraceIDOf extracts the trace ID from a tuple, or "" when its table
+// has no registered trace column.
+func TraceIDOf(tp overlog.Tuple) string {
+	traceMu.RLock()
+	col, ok := traceCols[tp.Table]
+	traceMu.RUnlock()
+	if !ok || col < 0 || col >= len(tp.Vals) {
+		return ""
+	}
+	v := tp.Vals[col]
+	switch v.Kind() {
+	case overlog.KindString, overlog.KindAddr:
+		return v.AsString()
+	}
+	return v.String()
+}

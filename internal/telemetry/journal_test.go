@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Event{WallMS: int64(i + 1), Node: "n", Kind: "send"})
+	}
+	if j.Total() != 10 {
+		t.Fatalf("total: %d", j.Total())
+	}
+	evs := j.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained: %d", len(evs))
+	}
+	// Oldest first: events 7..10 survive.
+	for i, ev := range evs {
+		if ev.WallMS != int64(7+i) {
+			t.Fatalf("event %d: wall_ms %d", i, ev.WallMS)
+		}
+	}
+}
+
+func TestJournalPartialAndStamp(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{Node: "n", Kind: "op"}) // WallMS auto-stamped
+	j.Record(Event{WallMS: 99, Node: "n", Kind: "recv"})
+	evs := j.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained: %d", len(evs))
+	}
+	if evs[0].WallMS == 0 {
+		t.Fatal("WallMS not stamped")
+	}
+	if evs[1].WallMS != 99 {
+		t.Fatal("explicit WallMS overwritten")
+	}
+	if NewJournal(0) == nil {
+		t.Fatal("default capacity")
+	}
+}
+
+func TestJournalByTrace(t *testing.T) {
+	j := NewJournal(16)
+	j.Record(Event{WallMS: 1, Node: "a", Kind: "send", TraceID: "req-1"})
+	j.Record(Event{WallMS: 2, Node: "a", Kind: "send", TraceID: "req-2"})
+	j.Record(Event{WallMS: 3, Node: "b", Kind: "recv", TraceID: "req-1"})
+	got := j.ByTrace("req-1")
+	if len(got) != 2 || got[0].Kind != "send" || got[1].Kind != "recv" {
+		t.Fatalf("ByTrace: %+v", got)
+	}
+	if len(j.ByTrace("nope")) != 0 {
+		t.Fatal("unknown trace should be empty")
+	}
+}
+
+func TestTraceColumns(t *testing.T) {
+	RegisterTraceColumn("tc_req", 1)
+	tp := overlog.NewTuple("tc_req", overlog.Addr("m:1"), overlog.Str("req-7"), overlog.Int(3))
+	if id := TraceIDOf(tp); id != "req-7" {
+		t.Fatalf("trace id: %q", id)
+	}
+	// Unregistered table → no ID.
+	if id := TraceIDOf(overlog.NewTuple("tc_other", overlog.Str("x"))); id != "" {
+		t.Fatalf("unregistered: %q", id)
+	}
+	// Column out of range → no ID, no panic.
+	if id := TraceIDOf(overlog.NewTuple("tc_req", overlog.Str("only"))); id != "" {
+		t.Fatalf("short tuple: %q", id)
+	}
+	// Non-string columns stringify.
+	RegisterTraceColumn("tc_int", 0)
+	if id := TraceIDOf(overlog.NewTuple("tc_int", overlog.Int(42))); id == "" {
+		t.Fatal("int trace id should stringify")
+	}
+}

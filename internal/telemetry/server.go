@@ -1,0 +1,237 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/overlog"
+)
+
+// Source describes the node a status server exposes. WithRuntime must
+// serialize access to the runtime against the node's own step loop
+// (transport.Node.Runtime does); it may be nil for registry-only
+// servers.
+type Source struct {
+	Role        string // "master", "datanode", "jobtracker", ...
+	Addr        string // the node's Overlog/TCP address
+	Registry    *Registry
+	Journal     *Journal
+	WithRuntime func(func(*overlog.Runtime))
+}
+
+// Server is a per-node status HTTP server.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	src   Source
+	start time.Time
+}
+
+// Serve starts a status server on addr (host:port; port 0 picks one).
+func Serve(addr string, src Source) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: status listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, src: src, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/tables", s.handleTables)
+	mux.HandleFunc("/debug/rules", s.handleRules)
+	mux.HandleFunc("/debug/catalog", s.handleCatalog)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.src.Registry == nil {
+		return
+	}
+	_ = s.src.Registry.WritePrometheus(w)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":    "ok",
+		"role":      s.src.Role,
+		"addr":      s.src.Addr,
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+// tupleRows renders tuples as string matrices (JSON-friendly without
+// exposing Value internals).
+func tupleRows(ts []overlog.Tuple, limit int) [][]string {
+	if limit > 0 && len(ts) > limit {
+		ts = ts[:limit]
+	}
+	rows := make([][]string, len(ts))
+	for i, tp := range ts {
+		row := make([]string, len(tp.Vals))
+		for j, v := range tp.Vals {
+			row[j] = v.String()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// handleTables lists every table with its size; ?table=NAME dumps the
+// tuples (?limit=N bounds the dump, default 200).
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if s.src.WithRuntime == nil {
+		http.Error(w, "no runtime attached", http.StatusNotFound)
+		return
+	}
+	name := r.URL.Query().Get("table")
+	limit := 200
+	if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 {
+		limit = n
+	}
+	if name != "" {
+		var resp interface{}
+		s.src.WithRuntime(func(rt *overlog.Runtime) {
+			tbl := rt.Table(name)
+			if tbl == nil {
+				return
+			}
+			ts := tbl.Tuples()
+			overlog.SortTuples(ts)
+			cols := make([]string, 0, len(tbl.Decl().Cols))
+			for _, c := range tbl.Decl().Cols {
+				cols = append(cols, c.Name)
+			}
+			resp = map[string]interface{}{
+				"table":   name,
+				"columns": cols,
+				"tuples":  tbl.Len(),
+				"rows":    tupleRows(ts, limit),
+			}
+		})
+		if resp == nil {
+			http.Error(w, "unknown table "+name, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, resp)
+		return
+	}
+	type tinfo struct {
+		Name   string `json:"name"`
+		Arity  int    `json:"arity"`
+		Event  bool   `json:"event"`
+		Tuples int    `json:"tuples"`
+	}
+	var out []tinfo
+	s.src.WithRuntime(func(rt *overlog.Runtime) {
+		for _, n := range rt.TableNames() {
+			tbl := rt.Table(n)
+			out = append(out, tinfo{n, tbl.Decl().Arity(), tbl.Decl().Event, tbl.Len()})
+		}
+	})
+	writeJSON(w, out)
+}
+
+// handleRules serves per-rule firing counts (the metaprogrammed rule
+// profiler, as an endpoint).
+func (s *Server) handleRules(w http.ResponseWriter, _ *http.Request) {
+	if s.src.WithRuntime == nil {
+		http.Error(w, "no runtime attached", http.StatusNotFound)
+		return
+	}
+	type rinfo struct {
+		Rule  string `json:"rule"`
+		Fires int64  `json:"fires"`
+	}
+	var out []rinfo
+	s.src.WithRuntime(func(rt *overlog.Runtime) {
+		stats := rt.RuleStats()
+		for _, name := range rt.Rules() {
+			out = append(out, rinfo{name, stats[name]})
+		}
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fires != out[j].Fires {
+			return out[i].Fires > out[j].Fires
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	writeJSON(w, out)
+}
+
+// handleCatalog dumps the sys:: metaprogramming relations — the
+// installed program, described by the program itself.
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	if s.src.WithRuntime == nil {
+		http.Error(w, "no runtime attached", http.StatusNotFound)
+		return
+	}
+	resp := map[string]interface{}{}
+	s.src.WithRuntime(func(rt *overlog.Runtime) {
+		for _, sys := range []string{"sys::table", "sys::rule", "sys::fire"} {
+			tbl := rt.Table(sys)
+			if tbl == nil {
+				continue
+			}
+			ts := tbl.Tuples()
+			overlog.SortTuples(ts)
+			resp[sys] = tupleRows(ts, 0)
+		}
+	})
+	writeJSON(w, resp)
+}
+
+// handleTrace serves the event journal: ?id=TRACE filters to one
+// request-scoped trace; otherwise the most recent ?n= events (default
+// 100) are returned.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.src.Journal == nil {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		writeJSON(w, map[string]interface{}{
+			"trace_id": id,
+			"node":     s.src.Addr,
+			"events":   s.src.Journal.ByTrace(id),
+		})
+		return
+	}
+	n := 100
+	if q, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && q > 0 {
+		n = q
+	}
+	evs := s.src.Journal.Events()
+	if len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	writeJSON(w, map[string]interface{}{
+		"node":   s.src.Addr,
+		"total":  s.src.Journal.Total(),
+		"events": evs,
+	})
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+// serveTestNode builds a stepped runtime with a program, metrics and a
+// journal, fronted by a status server, mirroring how transports wire
+// real nodes (serialized runtime access).
+func serveTestNode(t *testing.T) (*Server, *Registry, *Journal) {
+	t.Helper()
+	rt := overlog.NewRuntime("n1")
+	if err := rt.InstallSource(`
+		table kv(K: string, V: int) keys(0);
+		event bump(K: string);
+		r1 kv(K, 1) :- bump(K);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	AttachRuntime(reg, "", rt)
+	var mu sync.Mutex
+	withRT := func(fn func(*overlog.Runtime)) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn(rt)
+	}
+	j := NewJournal(64)
+	j.Record(Event{WallMS: 5, Node: "n1", Kind: "op", Table: "bump", TraceID: "t-1", Detail: "bump x"})
+	rt.Step(1, []overlog.Tuple{overlog.NewTuple("bump", overlog.Str("x"))})
+	rt.Step(2, []overlog.Tuple{overlog.NewTuple("bump", overlog.Str("y"))})
+
+	srv, err := Serve("127.0.0.1:0", Source{
+		Role: "test", Addr: "n1", Registry: reg, Journal: j, WithRuntime: withRT,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, reg, j
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetricsAndHealthz(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	code, body := get(t, srv.URL()+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics status: %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE boom_steps_total counter",
+		"boom_steps_total 2",
+		"boom_tuples_stored",
+		"boom_fixpoint_ms_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+	code, body = get(t, srv.URL()+"/healthz")
+	var hz map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &hz); err != nil || code != 200 {
+		t.Fatalf("healthz %d: %v / %s", code, err, body)
+	}
+	if hz["status"] != "ok" || hz["role"] != "test" || hz["addr"] != "n1" {
+		t.Fatalf("healthz: %v", hz)
+	}
+}
+
+func TestServerTables(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	code, body := get(t, srv.URL()+"/debug/tables")
+	if code != 200 {
+		t.Fatalf("tables status: %d", code)
+	}
+	var infos []struct {
+		Name   string `json:"name"`
+		Tuples int    `json:"tuples"`
+	}
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatalf("tables json: %v / %s", err, body)
+	}
+	found := false
+	for _, ti := range infos {
+		if ti.Name == "kv" {
+			found = true
+			if ti.Tuples != 2 {
+				t.Fatalf("kv tuples: %d", ti.Tuples)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("kv missing from %s", body)
+	}
+
+	code, body = get(t, srv.URL()+"/debug/tables?table=kv")
+	if code != 200 || !strings.Contains(body, `"columns"`) || !strings.Contains(body, `\"x\"`) {
+		t.Fatalf("kv dump %d:\n%s", code, body)
+	}
+	code, _ = get(t, srv.URL()+"/debug/tables?table=nope")
+	if code != 404 {
+		t.Fatalf("unknown table status: %d", code)
+	}
+}
+
+func TestServerRulesAndCatalog(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	code, body := get(t, srv.URL()+"/debug/rules")
+	if code != 200 || !strings.Contains(body, `"r1"`) {
+		t.Fatalf("rules %d:\n%s", code, body)
+	}
+	var rules []struct {
+		Rule  string `json:"rule"`
+		Fires int64  `json:"fires"`
+	}
+	if err := json.Unmarshal([]byte(body), &rules); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Rule == "r1" && r.Fires != 2 {
+			t.Fatalf("r1 fires: %d", r.Fires)
+		}
+	}
+
+	code, body = get(t, srv.URL()+"/debug/catalog")
+	if code != 200 {
+		t.Fatalf("catalog status: %d", code)
+	}
+	var cat map[string][][]string
+	if err := json.Unmarshal([]byte(body), &cat); err != nil {
+		t.Fatalf("catalog json: %v / %s", err, body)
+	}
+	if len(cat["sys::table"]) == 0 || len(cat["sys::rule"]) == 0 {
+		t.Fatalf("catalog empty: %s", body)
+	}
+}
+
+func TestServerTrace(t *testing.T) {
+	srv, _, j := serveTestNode(t)
+	j.Record(Event{WallMS: 6, Node: "n1", Kind: "send", Table: "bump", TraceID: "t-2"})
+
+	code, body := get(t, srv.URL()+"/debug/trace?id=t-1")
+	if code != 200 {
+		t.Fatalf("trace status: %d", code)
+	}
+	var tr struct {
+		TraceID string  `json:"trace_id"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != "t-1" || len(tr.Events) != 1 || tr.Events[0].Detail != "bump x" {
+		t.Fatalf("trace: %s", body)
+	}
+
+	code, body = get(t, srv.URL()+"/debug/trace?n=1")
+	var recent struct {
+		Total  int64   `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &recent); err != nil || code != 200 {
+		t.Fatalf("recent %d: %v / %s", code, err, body)
+	}
+	if recent.Total != 2 || len(recent.Events) != 1 || recent.Events[0].TraceID != "t-2" {
+		t.Fatalf("recent: %s", body)
+	}
+}
+
+func TestServerWithoutRuntimeOrJournal(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", Source{Role: "bare", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/tables", "/debug/rules", "/debug/catalog", "/debug/trace"} {
+		if code, _ := get(t, srv.URL()+path); code != 404 {
+			t.Fatalf("%s without runtime: %d", path, code)
+		}
+	}
+	if code, _ := get(t, srv.URL()+"/metrics"); code != 200 {
+		t.Fatal("metrics should serve")
+	}
+}

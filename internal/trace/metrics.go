@@ -56,8 +56,14 @@ func (c *CDF) Percentile(p float64) int64 {
 	return c.samples[idx]
 }
 
-// Min returns the smallest sample.
-func (c *CDF) Min() int64 { return c.Percentile(0.0001) }
+// Min returns the smallest sample (0 when empty).
+func (c *CDF) Min() int64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensure()
+	return c.samples[0]
+}
 
 // Max returns the largest sample.
 func (c *CDF) Max() int64 { return c.Percentile(100) }

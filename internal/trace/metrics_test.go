@@ -23,6 +23,30 @@ func TestCDFPercentiles(t *testing.T) {
 	}
 }
 
+func TestCDFMin(t *testing.T) {
+	// Regression: Min used to abuse Percentile(0.0001), which relied on
+	// negative-index clamping; it must return the smallest sample.
+	one := &CDF{}
+	one.Add(42)
+	if got := one.Min(); got != 42 {
+		t.Fatalf("n=1 Min: got %d, want 42", got)
+	}
+	empty := &CDF{}
+	if got := empty.Min(); got != 0 {
+		t.Fatalf("n=0 Min: got %d, want 0", got)
+	}
+	many := &CDF{}
+	many.AddAll([]int64{9, 3, 7, 3, 100})
+	if got := many.Min(); got != 3 {
+		t.Fatalf("Min: got %d, want 3", got)
+	}
+	// Min must sort lazily like the other accessors.
+	many.Add(1)
+	if got := many.Min(); got != 1 {
+		t.Fatalf("Min after Add: got %d, want 1", got)
+	}
+}
+
 func TestCDFEmpty(t *testing.T) {
 	c := &CDF{}
 	if c.Percentile(50) != 0 || c.Mean() != 0 || len(c.Points(10)) != 0 {

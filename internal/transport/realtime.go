@@ -66,6 +66,10 @@ func (n *Node) Runtime(fn func(rt *overlog.Runtime)) {
 	fn(n.rt)
 }
 
+// InboxDepth reports the number of queued inbound tuples (safe to
+// call concurrently; exported as a gauge by the telemetry layer).
+func (n *Node) InboxDepth() int { return len(n.inbox) }
+
 // Deliver enqueues an inbound tuple (thread-safe; called by transports
 // and local producers).
 func (n *Node) Deliver(tp overlog.Tuple) {

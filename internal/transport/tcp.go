@@ -3,30 +3,66 @@ package transport
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
 	"repro/internal/overlog"
+	"repro/internal/telemetry"
 )
 
 // WireMsg is the on-the-wire frame: a destination node address and one
 // tuple. Node addresses double as TCP dial targets (host:port), so the
-// Overlog location specifier is the routing table.
+// Overlog location specifier is the routing table. TraceID carries the
+// request-scoped trace identifier (when the tuple's table has a
+// registered trace column) so a single logical operation can be
+// correlated across every node it touches.
 type WireMsg struct {
-	To    string
-	Table string
-	Vals  []overlog.Value
+	To      string
+	Table   string
+	Vals    []overlog.Value
+	TraceID string
+}
+
+// TCPStats is the transport's metric bundle. All counters are
+// nil-safe, so a zero TCPStats disables collection.
+type TCPStats struct {
+	Sent       *telemetry.Counter
+	SentBytes  *telemetry.Counter
+	Recv       *telemetry.Counter
+	RecvBytes  *telemetry.Counter
+	SendErrors *telemetry.Counter // failed dials + failed writes (drops)
+	Reconnects *telemetry.Counter // re-dials to a previously connected peer
+	Accepts    *telemetry.Counter
+}
+
+// NewTCPStats registers the standard transport counters on reg.
+func NewTCPStats(reg *telemetry.Registry) *TCPStats {
+	return &TCPStats{
+		Sent:       reg.Counter("boom_transport_sent_total", "frames sent to peers"),
+		SentBytes:  reg.Counter("boom_transport_sent_bytes_total", "bytes written to peers"),
+		Recv:       reg.Counter("boom_transport_recv_total", "frames received from peers"),
+		RecvBytes:  reg.Counter("boom_transport_recv_bytes_total", "bytes read from peers"),
+		SendErrors: reg.Counter("boom_transport_send_errors_total", "sends dropped on dial/write failure"),
+		Reconnects: reg.Counter("boom_transport_reconnects_total", "re-dials to previously connected peers"),
+		Accepts:    reg.Counter("boom_transport_accepts_total", "inbound connections accepted"),
+	}
 }
 
 // TCP is a mesh transport: it listens on the node's own address and
 // lazily dials peers on first send, keeping connections cached.
 type TCP struct {
-	node *Node
-	ln   net.Listener
+	node      *Node
+	ln        net.Listener
+	localAddr string
 
-	mu    sync.Mutex
-	peers map[string]*peerConn
-	done  chan struct{}
+	mu      sync.Mutex
+	peers   map[string]*peerConn
+	ever    map[string]bool // peers we have connected to at least once
+	inbound map[net.Conn]bool
+	stats   *TCPStats
+	journal *telemetry.Journal
+	done    chan struct{}
 }
 
 type peerConn struct {
@@ -43,9 +79,29 @@ func ListenTCP(node *Node, addr string) (*TCP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	t := &TCP{node: node, ln: ln, peers: map[string]*peerConn{}, done: make(chan struct{})}
+	t := &TCP{node: node, ln: ln, localAddr: addr,
+		peers: map[string]*peerConn{}, ever: map[string]bool{},
+		inbound: map[net.Conn]bool{},
+		stats:   &TCPStats{}, done: make(chan struct{})}
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetTelemetry installs the metric bundle and event journal. Either
+// may be nil; call before traffic flows for complete counts.
+func (t *TCP) SetTelemetry(stats *TCPStats, j *telemetry.Journal) {
+	t.mu.Lock()
+	if stats != nil {
+		t.stats = stats
+	}
+	t.journal = j
+	t.mu.Unlock()
+}
+
+func (t *TCP) telemetry() (*TCPStats, *telemetry.Journal) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats, t.journal
 }
 
 // Sender returns the mesh's outbound hook for NewNode.
@@ -53,18 +109,29 @@ func (t *TCP) Sender() Sender { return t.Send }
 
 // Send dials (or reuses) the destination and writes the frame.
 func (t *TCP) Send(env overlog.Envelope) error {
+	stats, journal := t.telemetry()
+	trace := telemetry.TraceIDOf(env.Tuple)
 	pc, err := t.peer(env.To)
 	if err != nil {
+		stats.SendErrors.Inc()
+		journal.Record(telemetry.Event{Node: t.localAddr, Kind: "drop",
+			Table: env.Tuple.Table, TraceID: trace, Detail: "dial " + env.To + ": " + err.Error()})
 		return err
 	}
-	msg := WireMsg{To: env.To, Table: env.Tuple.Table, Vals: env.Tuple.Vals}
+	msg := WireMsg{To: env.To, Table: env.Tuple.Table, Vals: env.Tuple.Vals, TraceID: trace}
 	pc.mu.Lock()
 	err = pc.enc.Encode(&msg)
 	pc.mu.Unlock()
 	if err != nil {
 		t.dropPeer(env.To)
+		stats.SendErrors.Inc()
+		journal.Record(telemetry.Event{Node: t.localAddr, Kind: "drop",
+			Table: env.Tuple.Table, TraceID: trace, Detail: "write " + env.To + ": " + err.Error()})
 		return fmt.Errorf("transport: send to %s: %w", env.To, err)
 	}
+	stats.Sent.Inc()
+	journal.Record(telemetry.Event{Node: t.localAddr, Kind: "send",
+		Table: env.Tuple.Table, TraceID: trace, Detail: "to " + env.To})
 	return nil
 }
 
@@ -78,7 +145,11 @@ func (t *TCP) peer(addr string) (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	pc := &peerConn{conn: conn, enc: gob.NewEncoder(conn)}
+	if t.ever[addr] {
+		t.stats.Reconnects.Inc()
+	}
+	t.ever[addr] = true
+	pc := &peerConn{conn: conn, enc: gob.NewEncoder(&countingWriter{w: conn, t: t})}
 	t.peers[addr] = pc
 	return pc, nil
 }
@@ -92,6 +163,37 @@ func (t *TCP) dropPeer(addr string) {
 	}
 }
 
+// countingWriter / countingReader feed the byte counters. They fetch
+// the stats bundle per call so SetTelemetry applies to live
+// connections too.
+type countingWriter struct {
+	w io.Writer
+	t *TCP
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 {
+		stats, _ := cw.t.telemetry()
+		stats.SentBytes.Add(int64(n))
+	}
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	t *TCP
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		stats, _ := cr.t.telemetry()
+		stats.RecvBytes.Add(int64(n))
+	}
+	return n, err
+}
+
 func (t *TCP) acceptLoop() {
 	for {
 		conn, err := t.ln.Accept()
@@ -103,23 +205,44 @@ func (t *TCP) acceptLoop() {
 				return
 			}
 		}
+		stats, _ := t.telemetry()
+		stats.Accepts.Inc()
+		t.mu.Lock()
+		t.inbound[conn] = true
+		t.mu.Unlock()
 		go t.readLoop(conn)
 	}
 }
 
 func (t *TCP) readLoop(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(&countingReader{r: conn, t: t})
 	for {
 		var msg WireMsg
 		if err := dec.Decode(&msg); err != nil {
 			return
 		}
-		t.node.Deliver(overlog.Tuple{Table: msg.Table, Vals: msg.Vals})
+		tp := overlog.Tuple{Table: msg.Table, Vals: msg.Vals}
+		stats, journal := t.telemetry()
+		stats.Recv.Inc()
+		trace := msg.TraceID
+		if trace == "" {
+			trace = telemetry.TraceIDOf(tp)
+		}
+		journal.Record(telemetry.Event{Node: t.localAddr, Kind: "recv",
+			Table: msg.Table, TraceID: trace, Detail: "from " + conn.RemoteAddr().String()})
+		t.node.Deliver(tp)
 	}
 }
 
-// Close shuts down the listener and all peer connections.
+// Close shuts down the listener, all dialed peers, and every accepted
+// inbound connection (so a closed node stops consuming frames — the
+// sender sees its writes fail and counts the drop).
 func (t *TCP) Close() {
 	close(t.done)
 	t.ln.Close()
@@ -128,5 +251,9 @@ func (t *TCP) Close() {
 	for addr, pc := range t.peers {
 		pc.conn.Close()
 		delete(t.peers, addr)
+	}
+	for conn := range t.inbound {
+		conn.Close()
+		delete(t.inbound, conn)
 	}
 }

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/overlog"
+	"repro/internal/telemetry"
+)
+
+const failProg = `
+	event msg(Addr: addr, N: int);
+	table got(N: int) keys(0);
+	r1 got(N) :- msg(A, N);
+`
+
+// mkFailNode builds a TCP node with telemetry attached.
+func mkFailNode(t *testing.T, addr string) (*Node, *TCP, *telemetry.Registry, *telemetry.Journal) {
+	t.Helper()
+	rt := overlog.NewRuntime(addr)
+	if err := rt.InstallSource(failProg); err != nil {
+		t.Fatal(err)
+	}
+	var tcp *TCP
+	node := NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
+	var err error
+	tcp, err = ListenTCP(node, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	j := telemetry.NewJournal(128)
+	tcp.SetTelemetry(NewTCPStats(reg), j)
+	go node.Run()
+	return node, tcp, reg, j
+}
+
+func waitGot(t *testing.T, node *Node, want int, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var n int
+		node.Runtime(func(rt *overlog.Runtime) { n = rt.Table("got").Len() })
+		if n >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: got %d/%d", msg, n, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTCPDialFailureCounts checks that a send to an unreachable peer is
+// counted as a drop and journaled, without wedging the transport.
+func TestTCPDialFailureCounts(t *testing.T) {
+	node, tcp, reg, j := mkFailNode(t, freeAddr(t))
+	defer func() { node.Stop(); tcp.Close() }()
+
+	env := overlog.Envelope{To: "127.0.0.1:1", // almost surely closed
+		Tuple: overlog.NewTuple("msg", overlog.Addr("127.0.0.1:1"), overlog.Int(1))}
+	if err := tcp.Send(env); err == nil {
+		t.Skip("port 1 unexpectedly open")
+	}
+	if got := reg.Get("boom_transport_send_errors_total"); got != 1 {
+		t.Fatalf("send_errors: %g", got)
+	}
+	var drop *telemetry.Event
+	for _, ev := range j.Events() {
+		if ev.Kind == "drop" {
+			ev := ev
+			drop = &ev
+		}
+	}
+	if drop == nil || !strings.Contains(drop.Detail, "dial") {
+		t.Fatalf("drop event: %+v", drop)
+	}
+}
+
+// TestTCPPeerRestartReconnect kills a peer mid-conversation, restarts
+// it on the same address, and checks the sender recovers (dropping the
+// stale connection, re-dialing, counting the reconnect).
+func TestTCPPeerRestartReconnect(t *testing.T) {
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	nodeA, tcpA, regA, _ := mkFailNode(t, addrA)
+	defer func() { nodeA.Stop(); tcpA.Close() }()
+
+	nodeB, tcpB, _, _ := mkFailNode(t, addrB)
+	send := func(n int64) error {
+		return tcpA.Send(overlog.Envelope{To: addrB,
+			Tuple: overlog.NewTuple("msg", overlog.Addr(addrB), overlog.Int(n))})
+	}
+	if err := send(1); err != nil {
+		t.Fatal(err)
+	}
+	waitGot(t, nodeB, 1, "before restart")
+
+	// Kill B. The sender's cached connection goes stale: writes to it
+	// eventually error (first writes may land in kernel buffers), after
+	// which the peer is dropped and counted.
+	nodeB.Stop()
+	tcpB.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for send(2) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("sends to dead peer never failed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if regA.Get("boom_transport_send_errors_total") == 0 {
+		t.Fatal("send_errors not counted")
+	}
+
+	// Restart B on the same address; A must re-dial transparently.
+	nodeB2, tcpB2, regB2, _ := mkFailNode(t, addrB)
+	defer func() { nodeB2.Stop(); tcpB2.Close() }()
+	deadline = time.Now().Add(5 * time.Second)
+	for send(3) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("reconnect never succeeded")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	waitGot(t, nodeB2, 1, "after restart")
+	if regA.Get("boom_transport_reconnects_total") == 0 {
+		t.Fatal("reconnect not counted")
+	}
+	if regB2.Get("boom_transport_accepts_total") == 0 {
+		t.Fatal("restarted peer accepted nothing")
+	}
+}
+
+// TestTCPMetricsCount checks the frame/byte counters and journal events
+// on both ends of a healthy conversation.
+func TestTCPMetricsCount(t *testing.T) {
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	nodeA, tcpA, regA, jA := mkFailNode(t, addrA)
+	defer func() { nodeA.Stop(); tcpA.Close() }()
+	nodeB, tcpB, regB, jB := mkFailNode(t, addrB)
+	defer func() { nodeB.Stop(); tcpB.Close() }()
+
+	for i := int64(0); i < 5; i++ {
+		if err := tcpA.Send(overlog.Envelope{To: addrB,
+			Tuple: overlog.NewTuple("msg", overlog.Addr(addrB), overlog.Int(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitGot(t, nodeB, 5, "delivery")
+
+	if got := regA.Get("boom_transport_sent_total"); got != 5 {
+		t.Fatalf("sent: %g", got)
+	}
+	if regA.Get("boom_transport_sent_bytes_total") == 0 {
+		t.Fatal("sent bytes not counted")
+	}
+	if got := regB.Get("boom_transport_recv_total"); got != 5 {
+		t.Fatalf("recv: %g", got)
+	}
+	if regB.Get("boom_transport_recv_bytes_total") == 0 {
+		t.Fatal("recv bytes not counted")
+	}
+	if regB.Get("boom_transport_accepts_total") != 1 {
+		t.Fatalf("accepts: %g", regB.Get("boom_transport_accepts_total"))
+	}
+	sends, recvs := 0, 0
+	for _, ev := range jA.Events() {
+		if ev.Kind == "send" && ev.Table == "msg" {
+			sends++
+		}
+	}
+	for _, ev := range jB.Events() {
+		if ev.Kind == "recv" && ev.Table == "msg" {
+			recvs++
+		}
+	}
+	if sends != 5 || recvs != 5 {
+		t.Fatalf("journal: %d sends, %d recvs", sends, recvs)
+	}
+}
+
+// TestWireMsgCarriesTraceID checks end-to-end trace propagation: a
+// table with a registered trace column stamps the frame, and the
+// receiver journals the same ID.
+func TestWireMsgCarriesTraceID(t *testing.T) {
+	telemetry.RegisterTraceColumn("msg", 1)
+	defer telemetry.RegisterTraceColumn("msg", -1)
+
+	addrA, addrB := freeAddr(t), freeAddr(t)
+	nodeA, tcpA, _, jA := mkFailNode(t, addrA)
+	defer func() { nodeA.Stop(); tcpA.Close() }()
+	nodeB, tcpB, _, jB := mkFailNode(t, addrB)
+	defer func() { nodeB.Stop(); tcpB.Close() }()
+
+	if err := tcpA.Send(overlog.Envelope{To: addrB,
+		Tuple: overlog.NewTuple("msg", overlog.Addr(addrB), overlog.Int(77))}); err != nil {
+		t.Fatal(err)
+	}
+	waitGot(t, nodeB, 1, "delivery")
+
+	if evs := jA.ByTrace("77"); len(evs) != 1 || evs[0].Kind != "send" {
+		t.Fatalf("sender trace: %+v", evs)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for len(jB.ByTrace("77")) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("receiver never journaled trace; journal: %+v", jB.Events())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if evs := jB.ByTrace("77"); evs[0].Kind != "recv" {
+		t.Fatalf("receiver trace: %+v", evs)
+	}
+}
