@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-paper examples experiments clean
+.PHONY: all build test check lint race bench bench-paper examples experiments clean
 
 all: build test
 
@@ -14,9 +14,29 @@ test: check
 
 # check: static analysis plus a race pass over the concurrency-heavy
 # packages (telemetry registry/journal, wall-clock transport, trace).
+# boomlint runs the Overlog whole-program analyzer over every embedded
+# rule set (and the standalone .olg examples), failing on any
+# error-severity finding.
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/boomlint -severity=error
+	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
+
+# lint: the full static-analysis surface, Go and Overlog alike.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/boomlint -severity=error
+	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
 
 race:
 	$(GO) test -race ./...

@@ -8,33 +8,18 @@
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
 
 	"repro/internal/overlog"
 )
 
-const program = `
-	program quickstart;
-
-	table link(Src: string, Dst: string, Cost: int) keys(0,1);
-	// path keeps every (src, dst, cost) triple: cost is part of the
-	// key, otherwise key-replacement would keep an arbitrary cost.
-	table path(Src: string, Dst: string, Cost: int) keys(0,1,2);
-	table best(Src: string, Dst: string, Cost: int) keys(0,1);
-
-	// The network.
-	link("sf", "chi", 18);  link("chi", "nyc", 17);
-	link("sf", "sea", 11);  link("sea", "chi", 28);
-	link("nyc", "ldn", 75); link("sf", "nyc", 40);
-
-	// Reachability with accumulated cost (kept minimal per pair below).
-	r1 path(S, D, C) :- link(S, D, C);
-	r2 path(S, D, C) :- link(S, X, C1), path(X, D, C2), C := C1 + C2, S != D;
-
-	// Cheapest observed path per (src, dst).
-	r3 best(S, D, min<C>) :- path(S, D, C);
-`
+// The rules live in their own .olg file so `boomlint` (and any other
+// Overlog tooling) can check them without running this program.
+//
+//go:embed quickstart.olg
+var program string
 
 func main() {
 	rt := overlog.NewRuntime("quickstart")

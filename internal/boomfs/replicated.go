@@ -15,7 +15,10 @@ import (
 const GatewayRules = `
 	program boomfs_gateway;
 
-	table write_op(Op: string) keys(0);
+	// Replicated-master clients inject fsreq instead of request.
+	//lint:feed fsreq
+
+	table write_op(Op: string);
 	write_op("mkdir"); write_op("create"); write_op("rm");
 	write_op("mv"); write_op("addchunk");
 

@@ -17,7 +17,13 @@
 //     request/response tuple protocol.
 package boomfs
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/overlog/analysis"
+	"repro/internal/paxos"
+)
 
 // expand substitutes {{KEY}} placeholders in rule text.
 func expand(src string, vars map[string]string) string {
@@ -31,6 +37,12 @@ func expand(src string, vars map[string]string) string {
 // and datanodes. Every node installs these declarations so envelopes
 // can be decoded into identical schemas on both ends.
 const ProtocolDecls = `
+	// Boundary facts for boomlint: the client library injects requests
+	// and chunk I/O, the datanode's chunk-store service injects acks and
+	// consumes the master's commands (see client.go, datanode.go).
+	//lint:feed request dn_write dn_read dn_write_ack dn_read_resp dn_replicate
+	//lint:export repl_cmd gc_cmd dn_write dn_read dn_replicate
+
 	// Client <-> master metadata protocol. Op is one of: exists, ls,
 	// mkdir, create, rm, mv, addchunk, chunks, chunklocs. Path is the
 	// primary operand; Arg carries mv's destination or chunklocs' id.
@@ -174,7 +186,7 @@ const MasterRules = `
 	mv3 delete fqpath(OldPath, Fid) :- req_mv_ok(_, _, Fid, OldPath, _, _);
 	mv4 response(@Src, Id, true, [], "") :- req_mv_ok(Id, Src, _, _, _, _);
 	mv5 response(@Src, Id, false, [], "mv failed") :-
-	        request(@M, Id, Src, "mv", Path, _), notin req_mv_ok(Id, _, _, _, _, _);
+	        request(@M, Id, Src, "mv", _, _), notin req_mv_ok(Id, _, _, _, _, _);
 
 	// --- addchunk: allocate a chunk id, assign the next index, and
 	// choose {{REPL}} live datanodes. The index counter is bumped with a
@@ -256,7 +268,12 @@ const GCRules = `
 const DataNodeRules = `
 	program boomfs_datanode;
 
-	table master(M: addr) keys(0);
+	// master is a fact installed by Go; the chunkStore service injects
+	// stored_chunk inventory rows and consumes dn_store requests.
+	//lint:feed master stored_chunk
+	//lint:export dn_store
+
+	table master(M: addr);
 	table stored_chunk(ChunkId: int, Bytes: int) keys(0);
 
 	// Local event raised by pipeline rules for the storage service.
@@ -287,11 +304,44 @@ const DataNodeRules = `
 const ClientRules = `
 	program boomfs_client;
 
+	// The Go client API polls these logs for completions.
+	//lint:export resp_log ack_log read_log
+
 	table resp_log(ReqId: string, Ok: bool, Result: list, Err: string) keys(0);
-	table ack_log(ReqId: string, Node: addr) keys(0,1);
+	table ack_log(ReqId: string, Node: addr);
 	table read_log(ReqId: string, ChunkId: int, Data: string, Ok: bool) keys(0);
 
 	c1 resp_log(Id, Ok, R, E) :- response(@C, Id, Ok, R, E);
 	c2 ack_log(Id, N) :- dn_write_ack(@C, Id, _, N);
 	c3 read_log(Id, C, D, Ok) :- dn_read_resp(@Cl, Id, C, D, Ok);
 `
+
+// LintUnits declares the analysis units for cmd/boomlint: the plain
+// deployment (master, datanode, client roles) and the availability
+// revision where master replicas gateway metadata writes through the
+// Overlog Paxos log. Sources are expanded with the default config,
+// exactly as the install path does.
+func LintUnits() []analysis.Unit {
+	cfg := DefaultConfig()
+	master := expand(MasterRules, cfg.masterVars())
+	gc := expand(GCRules, cfg.masterVars())
+	dn := expand(DataNodeRules, map[string]string{"HBMS": fmt.Sprintf("%d", cfg.HeartbeatMS)})
+	units := []analysis.Unit{{
+		Name: "boomfs",
+		Groups: map[string][]string{
+			"master":   {ProtocolDecls, master, gc},
+			"datanode": {ProtocolDecls, dn},
+			"client":   {ProtocolDecls, ClientRules},
+		},
+	}}
+	replica := append([]string{ProtocolDecls, master, gc}, paxos.LintSources()...)
+	units = append(units, analysis.Unit{
+		Name: "boomfs-replicated",
+		Groups: map[string][]string{
+			"replica":  append(replica, GatewayRules),
+			"datanode": {ProtocolDecls, dn},
+			"client":   {ProtocolDecls, ClientRules},
+		},
+	})
+	return units
+}

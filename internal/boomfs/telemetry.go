@@ -14,7 +14,7 @@ func init() {
 	for table, col := range map[string]int{
 		"request": 1, "response": 1,
 		"dn_write": 1, "dn_write_ack": 1, "dn_read": 1, "dn_read_resp": 1,
-		"dn_store": 0,
+		"dn_store":   0,
 		"fs_newfile": 0, "req_pc": 0, "req_rm_ok": 0, "req_mv_ok": 0,
 		"fs_addchunk": 0, "do_ls": 0,
 		"resp_log": 0, "ack_log": 0, "read_log": 0,

@@ -12,7 +12,12 @@
 // declarative deltas.
 package boommr
 
-import "strings"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/overlog/analysis"
+)
 
 func expand(src string, vars map[string]string) string {
 	for k, v := range vars {
@@ -24,6 +29,12 @@ func expand(src string, vars map[string]string) string {
 // MRProtocolDecls is the tuple protocol between the JobTracker,
 // TaskTrackers, and job clients.
 const MRProtocolDecls = `
+	// Boundary facts for boomlint: clients inject job/task submissions,
+	// the tracker-side executor service consumes assignments and injects
+	// rejections when its slots are full (see jobtracker.go, tracker.go).
+	//lint:feed job_submit task_submit assign_reject
+	//lint:export assign
+
 	event job_submit(JT: addr, JobId: int, NMap: int, NRed: int);
 	event task_submit(JT: addr, JobId: int, TaskId: int, Type: string);
 	event tt_hb(JT: addr, Tracker: addr, MapSlots: int, RedSlots: int, MapUsed: int, RedUsed: int);
@@ -40,6 +51,10 @@ const MRProtocolDecls = `
 // Placeholders: SCHEDMS (scheduling tick), TTTTL (tracker liveness ms).
 const JobTrackerRules = `
 	program boommr_jt;
+
+	// The Go JobTracker API and the telemetry exporter read scheduler
+	// state directly from these tables.
+	//lint:export job attempt tracker task_done_at job_done_at
 
 	table job(JobId: int, Submit: int, NMap: int, NRed: int, State: string) keys(0);
 	table task(JobId: int, TaskId: int, Type: string, State: string) keys(0,1);
@@ -98,7 +113,7 @@ const JobTrackerRules = `
 	// --- tracker failure: re-pend tasks whose only progress was on a
 	// tracker that stopped heartbeating ---
 	tf1 next task(J, T, Ty, "pending") :- sched_tick(_, _),
-	        attempt(J, T, A, Tr, "running", _, _, _), task(J, T, Ty, "running"),
+	        attempt(J, T, _, Tr, "running", _, _, _), task(J, T, Ty, "running"),
 	        tracker(Tr, HB, _, _, _, _), HB < now() - {{TTTTL}};
 	tf2 attempt(J, T, A, Tr, "lost", P, S, now()) :- sched_tick(_, _),
 	        attempt(J, T, A, Tr, "running", P, S, _),
@@ -178,6 +193,10 @@ const PolicyFIFO = `
 const PolicyFAIR = `
 	program boommr_policy_fair;
 
+	// The machinery's map-rank tables stay resident (policies are
+	// hot-swappable deltas) even though fair dispatch replaces them.
+	//lint:ignore write-only-table
+
 	// Service received per job: map tasks running or already done. The
 	// count is monotone, so aggregate staleness cannot occur.
 	table job_served(JobId: int, N: int) keys(0);
@@ -192,15 +211,15 @@ const PolicyFAIR = `
 	        notin job_served(J, _), K := J * 1000000 + T;
 
 	table fair_rank(JobId: int, TaskId: int, R: int) keys(0,1);
-	fr1 fair_rank(J, T, count<K2>) :- fair_key(J, T, K), fair_key(_, _, K2), K2 <= K;
+	far1 fair_rank(J, T, count<K2>) :- fair_key(J, T, K), fair_key(_, _, K2), K2 <= K;
 
-	fc1 cand_map(Tr, J, T) :- fair_rank(J, T, R), task(J, T, "map", "pending"),
+	fa1 cand_map(Tr, J, T) :- fair_rank(J, T, R), task(J, T, "map", "pending"),
 	        free_map_rank(Tr, Kt), free_map_cnt("m", Nf), Nf > 0,
 	        tracker(Tr, HB, MS, _, MU, _), MS > MU, HB >= now() - {{TTTTL}},
 	        R <= Nf, (R - 1) % Nf == Kt - 1;
 
 	// Reduces keep the FIFO barrier dispatch.
-	fc2 cand_red(Tr, J, T) :- sched_tick(_, _),
+	fa2 cand_red(Tr, J, T) :- sched_tick(_, _),
 	        pending_red_rank(J, T, R), task(J, T, "reduce", "pending"),
 	        maps_done(J, DN), job(J, _, NM, _, "running"), DN == NM,
 	        free_red_rank(Tr, K), free_red_cnt("r", N), N > 0,
@@ -256,3 +275,37 @@ const PolicyLATE = `
 	        tracker(Tr, HB, MS, _, MU, _), MS > MU, HB >= now() - {{TTTTL}},
 	        notin attempt(J, T, _, Tr, "running", _, _, _);
 `
+
+// LintUnits declares one analysis unit per deployable policy
+// combination, each pairing the JobTracker role with the TaskTracker
+// role so cross-node dataflow (heartbeats, assignments, reports)
+// resolves. Policies are linted in separate units because they are
+// mutually exclusive at install time. Sources are expanded with the
+// default config, exactly as InstallJobTrackerPrograms does.
+func LintUnits() []analysis.Unit {
+	cfg := DefaultMRConfig()
+	vars := map[string]string{
+		"SCHEDMS":   fmt.Sprintf("%d", cfg.SchedTickMS),
+		"TTTTL":     fmt.Sprintf("%d", cfg.TrackerTTL),
+		"SLOWFRAC":  fmt.Sprintf("%g", cfg.SlowFrac),
+		"SPECMINMS": fmt.Sprintf("%d", cfg.SpecMinMS),
+		"MAXSPEC":   fmt.Sprintf("%d", cfg.MaxSpec),
+	}
+	jt := expand(JobTrackerRules, vars)
+	fifo := expand(PolicyFIFO, vars)
+	tt := expand(TrackerRules, map[string]string{"TTHB": fmt.Sprintf("%d", cfg.HeartbeatMS)})
+	unit := func(name string, policies ...string) analysis.Unit {
+		return analysis.Unit{
+			Name: "boommr-" + name,
+			Groups: map[string][]string{
+				"jobtracker":  append([]string{MRProtocolDecls, jt}, policies...),
+				"tasktracker": {MRProtocolDecls, tt},
+			},
+		}
+	}
+	return []analysis.Unit{
+		unit("fifo", fifo),
+		unit("fair", expand(PolicyFAIR, vars)),
+		unit("late", fifo, expand(PolicyLATE, vars)),
+	}
+}

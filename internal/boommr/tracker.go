@@ -14,7 +14,13 @@ import (
 const TrackerRules = `
 	program boommr_tt;
 
-	table jobtracker(JT: addr) keys(0);
+	// jobtracker and slot_state are facts maintained by the Go executor
+	// service, which also raises the local progress/done events and
+	// watches local_done to free its slots.
+	//lint:feed jobtracker slot_state local_progress local_done
+	//lint:export local_done
+
+	table jobtracker(JT: addr);
 	table slot_state(K: string, MapSlots: int, RedSlots: int, MapUsed: int, RedUsed: int) keys(0);
 
 	// Local events produced by the executor service.

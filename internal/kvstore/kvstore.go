@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 	"repro/internal/paxos"
 	"repro/internal/sim"
 )
@@ -19,6 +20,11 @@ import (
 // Rules is the whole service.
 const Rules = `
 	program kvstore;
+
+	// Clients inject operations; the Go API reads kv directly (test
+	// oracle) and polls kvr on the client node.
+	//lint:feed kv_put kv_del kv_get
+	//lint:export kv
 
 	table kv(K: string, V: string) keys(0);
 
@@ -49,10 +55,24 @@ const Rules = `
 // clientRules log responses for the Go API to poll.
 const clientRules = `
 	program kvclient;
+	//lint:export kvr
 	event kv_resp(To: addr, ReqId: string, Found: bool, V: string);
 	table kvr(ReqId: string, Found: bool, V: string) keys(0);
 	c1 kvr(Id, F, V) :- kv_resp(@Me, Id, F, V);
 `
+
+// LintUnits declares the analysis unit for cmd/boomlint: replicas
+// (Paxos plus the gateway rules) together with a client node, so the
+// kv_resp protocol resolves across roles.
+func LintUnits() []analysis.Unit {
+	return []analysis.Unit{{
+		Name: "kvstore",
+		Groups: map[string][]string{
+			"replica": append(paxos.LintSources(), Rules),
+			"client":  {clientRules},
+		},
+	}}
+}
 
 // Group is a set of KV replicas on a simulated cluster.
 type Group struct {

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overlog"
+)
+
+// dataflowLints walks the per-table read/write graph:
+//
+//	dead-rule        a rule derives into a table nothing reads
+//	write-only-table a table is written but never read
+//	never-written    a table is read but has no writer, fact, or feed
+//	unreachable-rule a rule joins against a table that can never hold tuples
+//	duplicate-label  two rules share a label (stats and tracing merge them)
+//	undeclared-table an atom names a table no program declares
+func dataflowLints(m *model) []Diagnostic {
+	var ds []Diagnostic
+
+	// Table-level findings, in sorted order for stable output.
+	tables := make([]string, 0, len(m.decls))
+	for t := range m.decls {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		written := m.hasWriter(t)
+		read := m.hasReader(t)
+		switch {
+		case !m.decls[t].Event && written && !read && len(m.writersOf(t)) > 0:
+			// Persistent tables get one decl-level finding; dead
+			// derivations into events are reported per rule below.
+			ds = append(ds, m.declDiag(CodeWriteOnly, t,
+				"table %s is written but never read by any rule, watch, or export", t))
+		case read && !written && len(m.readers[t]) > 0:
+			ds = append(ds, m.declDiag(CodeNeverWritten, t,
+				"table %s is read but has no writing rule, fact, or feed", t))
+		}
+	}
+
+	for _, ri := range m.rules {
+		r := ri.rule
+
+		// dead-rule: the rule raises a local event no rule consumes, so
+		// the derivation does nothing at all. Remote heads are handled
+		// by the protocol pass (unhandled-remote) instead.
+		head := r.Head.Table
+		if hd := m.decls[head]; hd != nil && hd.Event &&
+			!r.Delete && r.Head.LocIndex() < 0 &&
+			len(m.readers[head]) == 0 && !m.readExternally(head) {
+			ds = append(ds, m.diag(CodeDeadRule, ri, head, r.Line, r.Col,
+				"rule raises event %s, which nothing consumes", head))
+		}
+
+		// unreachable-rule / undeclared-table over body atoms.
+		for _, be := range r.Body {
+			if be.Atom == nil {
+				continue
+			}
+			t := be.Atom.Table
+			if !m.isRelation(t) {
+				if _, isFn := overlog.LookupBuiltin(t); isFn && be.Kind == overlog.BodyAtom {
+					continue
+				}
+				ds = append(ds, m.diag(CodeUndeclared, ri, t, be.Atom.Line, be.Atom.Col,
+					"atom references undeclared table %s", t))
+				continue
+			}
+			if be.Kind == overlog.BodyAtom && !m.hasWriter(t) {
+				ds = append(ds, m.diag(CodeUnreachable, ri, t, be.Atom.Line, be.Atom.Col,
+					"rule joins against %s, which is never written; the rule can never fire", t))
+				break // one per rule is enough
+			}
+		}
+		if !m.isRelation(head) {
+			if _, isFn := overlog.LookupBuiltin(head); !isFn {
+				ds = append(ds, m.diag(CodeUndeclared, ri, head, r.Head.Line, r.Head.Col,
+					"rule head references undeclared table %s", head))
+			}
+		}
+
+	}
+	return ds
+}
+
+// duplicateLabels reports rule labels shared between programs that are
+// co-installed on one runtime: per-rule firing stats, sys::fire, and
+// trace provenance all key on the label, so duplicates merge silently.
+// The check is scoped to a co-install set — not the whole unit —
+// because rules on different node roles never share a runtime.
+func duplicateLabels(unit string, progs []*overlog.Program) []Diagnostic {
+	var ds []Diagnostic
+	type site struct{ prog string }
+	labels := map[string]site{}
+	for _, p := range progs {
+		pname := p.Name
+		if pname == "" {
+			pname = "anon"
+		}
+		for _, r := range p.Rules {
+			if r.Name == "" {
+				continue
+			}
+			if first, dup := labels[r.Name]; dup {
+				ds = append(ds, finish(Diagnostic{
+					Code: CodeDuplicateLabel, Unit: unit, Program: pname,
+					Rule: r.Name, Subject: r.Name, Line: r.Line, Col: r.Col,
+					Msg: fmt.Sprintf("rule label %s already used by a rule in program %s; firing stats and traces will merge them",
+						r.Name, first.prog),
+				}))
+			} else {
+				labels[r.Name] = site{prog: pname}
+			}
+		}
+	}
+	return ds
+}

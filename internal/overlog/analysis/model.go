@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+// ruleInfo is one rule plus its provenance within the unit.
+type ruleInfo struct {
+	prog string
+	name string // label, or "<prog>#<n>" when unlabeled
+	rule *overlog.Rule
+}
+
+// model is the shared pre-computation every pass consumes: the merged
+// declaration catalog and the per-table read/write graph across all
+// programs of the unit.
+type model struct {
+	unit  string
+	opts  Options
+	progs []*overlog.Program
+
+	decls    map[string]*overlog.TableDecl
+	declProg map[string]string // declaring program, for anchoring
+	rules    []*ruleInfo
+	writers  map[string][]*ruleInfo // head table -> deriving rules (insert + delete)
+	readers  map[string][]*ruleInfo // body table -> reading rules (positive + notin)
+	facts    map[string]bool        // tables seeded by facts
+	periodic map[string]bool        // tables fed by periodic timers
+	watched  map[string]bool        // tables observed by watch declarations
+}
+
+func buildModel(unit string, progs []*overlog.Program, opts Options) *model {
+	m := &model{
+		unit: unit, opts: opts, progs: progs,
+		decls:    map[string]*overlog.TableDecl{},
+		declProg: map[string]string{},
+		writers:  map[string][]*ruleInfo{},
+		readers:  map[string][]*ruleInfo{},
+		facts:    map[string]bool{},
+		periodic: map[string]bool{},
+		watched:  map[string]bool{},
+	}
+	for _, p := range progs {
+		pname := p.Name
+		if pname == "" {
+			pname = "anon"
+		}
+		for _, d := range p.Tables {
+			if _, dup := m.decls[d.Name]; !dup {
+				m.decls[d.Name] = d
+				m.declProg[d.Name] = pname
+			}
+		}
+		for _, pd := range p.Periodics {
+			m.periodic[pd.Table] = true
+			if _, ok := m.decls[pd.Table]; !ok {
+				// The runtime auto-declares periodic event tables.
+				m.decls[pd.Table] = &overlog.TableDecl{
+					Name: pd.Table, Event: true,
+					Cols: []overlog.ColDecl{
+						{Name: "Ord", Type: overlog.KindInt},
+						{Name: "Time", Type: overlog.KindInt},
+					},
+					Line: pd.Line, Col: pd.Col,
+				}
+				m.declProg[pd.Table] = pname
+			}
+		}
+		for _, w := range p.Watches {
+			m.watched[w.Table] = true
+		}
+		for _, f := range p.Facts {
+			m.facts[f.Atom.Table] = true
+		}
+		for i, r := range p.Rules {
+			name := r.Name
+			if name == "" {
+				name = fmt.Sprintf("%s#%d", pname, i+1)
+			}
+			ri := &ruleInfo{prog: pname, name: name, rule: r}
+			m.rules = append(m.rules, ri)
+			m.writers[r.Head.Table] = append(m.writers[r.Head.Table], ri)
+			for _, be := range r.Body {
+				if be.Atom == nil {
+					continue
+				}
+				if be.Kind == overlog.BodyAtom && !m.isRelation(be.Atom.Table) {
+					// Undeclared names that resolve to builtins are
+					// conditions, not table reads (mirrors the compiler).
+					if _, isFn := overlog.LookupBuiltin(be.Atom.Table); isFn {
+						continue
+					}
+				}
+				m.readers[be.Atom.Table] = append(m.readers[be.Atom.Table], ri)
+			}
+		}
+	}
+	return m
+}
+
+// isRelation reports whether the table is declared in the unit or is a
+// runtime-provided sys:: relation.
+func (m *model) isRelation(t string) bool {
+	if _, ok := m.decls[t]; ok {
+		return true
+	}
+	return isSys(t)
+}
+
+func isSys(t string) bool { return strings.HasPrefix(t, "sys::") }
+
+// writtenExternally reports whether tuples can appear in t without any
+// rule in the unit deriving them.
+func (m *model) writtenExternally(t string) bool {
+	if m.opts.feed(t) || isSys(t) || m.periodic[t] {
+		return true
+	}
+	if m.opts.AssumeExternalEvents {
+		if d, ok := m.decls[t]; ok && d.Event {
+			return true
+		}
+	}
+	return false
+}
+
+// readExternally reports whether t is observed by something other than
+// the unit's rules (Go code, watchers, remote peers).
+func (m *model) readExternally(t string) bool {
+	if m.opts.export(t) || isSys(t) || m.watched[t] {
+		return true
+	}
+	if m.opts.AssumeExternalEvents {
+		if d, ok := m.decls[t]; ok && d.Event {
+			return true
+		}
+	}
+	return false
+}
+
+// hasWriter reports whether any rule or fact produces tuples for t.
+func (m *model) hasWriter(t string) bool {
+	return len(m.writersOf(t)) > 0 || m.facts[t] || m.writtenExternally(t)
+}
+
+// writersOf returns the non-delete rules deriving into t. Delete rules
+// only remove tuples; they cannot populate a table.
+func (m *model) writersOf(t string) []*ruleInfo {
+	var out []*ruleInfo
+	for _, ri := range m.writers[t] {
+		if !ri.rule.Delete {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+// hasReader reports whether anything consumes tuples from t.
+func (m *model) hasReader(t string) bool {
+	return len(m.readers[t]) > 0 || m.readExternally(t)
+}
+
+// hasDeleteRule reports whether some rule deletes from t (used as the
+// "guard" heuristic for event-persist).
+func (m *model) hasDeleteRule(t string) bool {
+	for _, ri := range m.writers[t] {
+		if ri.rule.Delete {
+			return true
+		}
+	}
+	return false
+}
+
+// diag constructs a finding anchored at a rule.
+func (m *model) diag(code string, ri *ruleInfo, subject string, line, col int, format string, args ...interface{}) Diagnostic {
+	d := Diagnostic{
+		Code: code, Unit: m.unit, Subject: subject,
+		Line: line, Col: col,
+		Msg: fmt.Sprintf(format, args...),
+	}
+	if ri != nil {
+		d.Program = ri.prog
+		d.Rule = ri.name
+	}
+	return finish(d)
+}
+
+// declDiag constructs a finding anchored at a table declaration.
+func (m *model) declDiag(code, table string, format string, args ...interface{}) Diagnostic {
+	d := Diagnostic{
+		Code: code, Unit: m.unit, Subject: table,
+		Program: m.declProg[table],
+		Msg:     fmt.Sprintf(format, args...),
+	}
+	if decl, ok := m.decls[table]; ok {
+		d.Line, d.Col = decl.Line, decl.Col
+	}
+	return finish(d)
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+// protocolLints covers the distributed surface of a unit:
+//
+//	unhandled-remote a rule sends tuples to another node (`@Addr` head)
+//	                 into a table no rule anywhere reads
+//	no-ack-remote    a remotely-sent event whose handlers never reply
+//	                 with a remote head of their own (fire-and-forget)
+//	event-persist    an event joined into a set-semantics persistent
+//	                 table with no delete rule: unbounded growth
+//	point-of-order   CALM non-monotonicity per rule (from calm.go)
+func protocolLints(m *model) []Diagnostic {
+	var ds []Diagnostic
+
+	// Rules whose head carries a location specifier send remotely
+	// (possibly to self, but statically they are protocol sends).
+	for _, ri := range m.rules {
+		r := ri.rule
+		if r.Head.LocIndex() < 0 || r.Delete {
+			continue
+		}
+		t := r.Head.Table
+		if !m.isRelation(t) {
+			continue // undeclared-table already reported
+		}
+		readers := m.readers[t]
+		if len(readers) == 0 && !m.readExternally(t) {
+			ds = append(ds, m.diag(CodeUnhandledRemote, ri, t, r.Line, r.Col,
+				"rule sends %s to a remote node, but no rule anywhere handles it", t))
+			continue
+		}
+		decl := m.decls[t]
+		if decl == nil || !decl.Event || m.opts.export(t) || m.watched[t] {
+			continue
+		}
+		// An event counts as acknowledged when the dataflow downstream
+		// of its handlers eventually derives a remote head of its own
+		// or lands in a table read outside the rules (the Go layer's
+		// completion path) — a Paxos promise is "replied to" by the
+		// accept broadcast three hops later, not by its direct handler.
+		if len(readers) > 0 && !reachesReply(m, t) {
+			ds = append(ds, m.diag(CodeNoAckRemote, ri, t, r.Line, r.Col,
+				"remote event %s is fire-and-forget: nothing downstream of its handlers ever derives a reply", t))
+		}
+	}
+
+	// event-persist: deriving an event into an append-only table.
+	for _, ri := range m.rules {
+		r := ri.rule
+		if r.Delete {
+			continue
+		}
+		t := r.Head.Table
+		decl, ok := m.decls[t]
+		if !ok || decl.Event || !setSemantics(decl) {
+			continue
+		}
+		if m.hasDeleteRule(t) {
+			continue // a delete rule bounds the table
+		}
+		for _, be := range r.Body {
+			if be.Kind != overlog.BodyAtom || be.Atom == nil {
+				continue
+			}
+			if bd, ok := m.decls[be.Atom.Table]; ok && bd.Event {
+				ds = append(ds, m.diag(CodeEventPersist, ri, t, r.Line, r.Col,
+					"every %s event grows set-semantics table %s, which nothing deletes from",
+					be.Atom.Table, t))
+				break
+			}
+		}
+	}
+
+	// point-of-order: per-program CALM classification.
+	for _, p := range m.progs {
+		rep := overlog.AnalyzeCALM(p)
+		byName := map[string]*overlog.Rule{}
+		for _, r := range p.Rules {
+			if r.Name != "" {
+				byName[r.Name] = r
+			}
+		}
+		pname := p.Name
+		if pname == "" {
+			pname = "anon"
+		}
+		for _, mono := range rep.PointsOfOrder() {
+			d := Diagnostic{
+				Code: CodePointOfOrder, Unit: m.unit, Program: pname,
+				Rule: mono.Rule, Subject: mono.Head,
+				Msg: "non-monotone (" + strings.Join(mono.Reasons, "; ") + "): needs coordination for consistency",
+			}
+			if r := byName[mono.Rule]; r != nil {
+				d.Line, d.Col = r.Line, r.Col
+			}
+			ds = append(ds, finish(d))
+		}
+	}
+	return ds
+}
+
+// reachesReply walks the table -> reading rule -> head table graph
+// from an event, reporting whether any downstream rule sends remotely
+// (`@` head) or derives into an externally-read table.
+func reachesReply(m *model, start string) bool {
+	visited := map[string]bool{start: true}
+	queue := []string{start}
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		for _, rd := range m.readers[t] {
+			head := rd.rule.Head.Table
+			if rd.rule.Head.LocIndex() >= 0 || m.readExternally(head) {
+				return true
+			}
+			if !visited[head] {
+				visited[head] = true
+				queue = append(queue, head)
+			}
+		}
+	}
+	return false
+}
+
+// setSemantics reports whether the declared keys cover every column
+// (including the default of no keys clause): inserts never replace.
+func setSemantics(d *overlog.TableDecl) bool {
+	if len(d.KeyCols) == 0 {
+		return true
+	}
+	distinct := map[int]bool{}
+	for _, k := range d.KeyCols {
+		distinct[k] = true
+	}
+	return len(distinct) == d.Arity()
+}

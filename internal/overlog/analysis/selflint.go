@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"repro/internal/overlog"
+)
+
+// SelfLint analyzes a runtime's installed programs and materializes
+// the findings into its sys::lint relation, so Overlog rules and the
+// /debug status server can query the node's own lint results. The
+// diagnostics are also returned for direct rendering (REPL, CLI).
+//
+// A single node sees only its own side of each protocol, so event
+// tables are assumed to be fed and consumed externally; the cross-node
+// dataflow lints are the CLI's job, where whole units are visible.
+func SelfLint(rt *overlog.Runtime) []Diagnostic {
+	ds := Analyze("live", rt.Programs(), Options{AssumeExternalEvents: true})
+	tbl := rt.Table("sys::lint")
+	if tbl != nil {
+		tbl.Clear()
+		for _, d := range ds {
+			_, _, _ = tbl.Insert(overlog.NewTuple("sys::lint",
+				overlog.Str(d.Code), overlog.Str(d.Severity.String()),
+				overlog.Str(d.Program), overlog.Str(d.Rule), overlog.Str(d.Subject),
+				overlog.Int(int64(d.Line)), overlog.Str(d.Msg)))
+		}
+	}
+	return ds
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/overlog"
+)
+
+// Unit is a named set of Overlog sources linted as one whole program.
+// Groups partition the sources by node role: every group's programs
+// are co-installed on one runtime in production, so the compiler's
+// semantic checks run per group, while the lint passes see the union
+// (a table written on the master and read on a datanode resolves).
+type Unit struct {
+	Name   string
+	Groups map[string][]string
+}
+
+// AllSources flattens the groups into a deduplicated source list in
+// stable (group-name, position) order. Shared sources — the protocol
+// declarations every role installs — appear once.
+func (u Unit) AllSources() []string {
+	names := make([]string, 0, len(u.Groups))
+	for n := range u.Groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	seen := map[string]bool{}
+	var out []string
+	for _, n := range names {
+		for _, src := range u.Groups[n] {
+			if seen[src] {
+				continue
+			}
+			seen[src] = true
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// Run lints a unit: the semantic install check per group, every static
+// pass over the merged sources, and a per-group duplicate-label check
+// (labels collide only within one runtime, so the union analysis
+// skips that pass).
+func Run(u Unit, opts Options) []Diagnostic {
+	ds := InstallCheck(u.Name, u.Groups)
+	opts.NoLabelCheck = true
+	ds = append(ds, AnalyzeSource(u.Name, u.AllSources(), opts)...)
+
+	names := make([]string, 0, len(u.Groups))
+	for n := range u.Groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	seen := map[string]bool{}
+	for _, n := range names {
+		var progs []*overlog.Program
+		for _, src := range u.Groups[n] {
+			if p, err := overlog.Parse(src); err == nil {
+				progs = append(progs, p)
+			} // parse failures are already reported by AnalyzeSource
+		}
+		for _, d := range duplicateLabels(u.Name, progs) {
+			// Shared sources make the same collision visible from
+			// several groups; report it once.
+			key := d.Program + "\x00" + d.Rule
+			if !seen[key] {
+				seen[key] = true
+				ds = append(ds, d)
+			}
+		}
+	}
+	Sort(ds)
+	return ds
+}

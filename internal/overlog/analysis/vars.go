@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+// varLints checks per-rule variable hygiene:
+//
+//	singleton-var  a variable bound once and never used again (a typo
+//	               until proven otherwise; `_` states the intent)
+//	unused-assign  `X := expr` where X is never read
+//	confusable-var two variables in one rule differing only by case
+//
+// A variable whose only occurrence sits at a location specifier
+// (`dn_alive(@M, N)`) is exempt: naming the sender documents the
+// protocol even when the rule ignores it.
+func varLints(m *model) []Diagnostic {
+	var ds []Diagnostic
+	for _, ri := range m.rules {
+		ds = append(ds, lintRuleVars(m, ri)...)
+	}
+	return ds
+}
+
+// occInfo tracks one variable's occurrences within a rule.
+type occInfo struct {
+	count    int
+	locOnly  bool // every occurrence is at an @ location position
+	assigned bool // bound by `:=`
+	uses     int  // occurrences other than the := binding
+	line     int  // first occurrence
+	col      int
+}
+
+func lintRuleVars(m *model, ri *ruleInfo) []Diagnostic {
+	occ := map[string]*occInfo{}
+	note := func(name string, loc bool, line, col int) {
+		o := occ[name]
+		if o == nil {
+			o = &occInfo{locOnly: true, line: line, col: col}
+			occ[name] = o
+		}
+		o.count++
+		o.uses++
+		if !loc {
+			o.locOnly = false
+		}
+	}
+	noteExpr := func(e overlog.Expr, loc bool, line, col int) {
+		for _, v := range overlog.FreeVars(e) {
+			note(v, loc, line, col)
+		}
+	}
+	noteAtom := func(a *overlog.Atom) {
+		for _, t := range a.Terms {
+			noteExpr(t.Expr, t.Loc, a.Line, a.Col)
+		}
+	}
+
+	r := ri.rule
+	for _, be := range r.Body {
+		switch be.Kind {
+		case overlog.BodyAtom, overlog.BodyNotin:
+			noteAtom(be.Atom)
+		case overlog.BodyCond:
+			noteExpr(be.Cond, false, be.Line, be.Col)
+		case overlog.BodyAssign:
+			noteExpr(be.Expr, false, be.Line, be.Col)
+			o := occ[be.Assign]
+			if o == nil {
+				o = &occInfo{locOnly: false, line: be.Line, col: be.Col}
+				occ[be.Assign] = o
+			}
+			o.count++
+			o.assigned = true
+			o.locOnly = false
+		}
+	}
+	noteAtom(r.Head)
+
+	var ds []Diagnostic
+	names := make([]string, 0, len(occ))
+	for n := range occ {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		o := occ[n]
+		switch {
+		case o.assigned && o.uses == 0:
+			ds = append(ds, m.diag(CodeUnusedAssign, ri, n, o.line, o.col,
+				"%s is assigned but never used", n))
+		case o.count == 1 && !o.locOnly:
+			ds = append(ds, m.diag(CodeSingletonVar, ri, n, o.line, o.col,
+				"variable %s occurs only once; a typo? use _ to ignore a column", n))
+		}
+	}
+
+	// confusable-var: distinct spellings that fold to the same name.
+	folded := map[string]string{}
+	for _, n := range names {
+		f := strings.ToLower(n)
+		if prev, ok := folded[f]; ok {
+			o := occ[n]
+			ds = append(ds, m.diag(CodeConfusableVar, ri, n, o.line, o.col,
+				"variables %s and %s differ only by case and are distinct bindings", prev, n))
+			continue
+		}
+		folded[f] = n
+	}
+	return ds
+}

@@ -14,6 +14,17 @@ type Program struct {
 	Watches   []*WatchDecl
 	Rules     []*Rule
 	Facts     []*Fact
+	Pragmas   []Pragma
+}
+
+// Pragma is a `//lint:key args...` directive comment. Pragmas declare
+// facts about the program the rules cannot express — typically which
+// tables cross the Go/Overlog boundary — and are consumed by static
+// analysis (internal/overlog/analysis), not by the runtime.
+type Pragma struct {
+	Key  string   // "export", "feed", "ignore", ...
+	Args []string // whitespace-separated operands
+	Line int
 }
 
 // TableDecl declares a relation: its columns, key columns, and whether
@@ -24,6 +35,7 @@ type TableDecl struct {
 	KeyCols []int // indices into Cols; empty means all columns (set semantics)
 	Event   bool
 	Line    int
+	Col     int
 }
 
 // ColDecl is one declared column.
@@ -62,6 +74,7 @@ type PeriodicDecl struct {
 	Table      string
 	IntervalMS int64
 	Line       int
+	Col        int
 }
 
 // WatchDecl asks the runtime to emit trace callbacks for a table.
@@ -70,6 +83,7 @@ type WatchDecl struct {
 	Table string
 	Modes string
 	Line  int
+	Col   int
 }
 
 // AggKind enumerates head aggregates.
@@ -147,6 +161,7 @@ type Atom struct {
 	Table string
 	Terms []Term
 	Line  int
+	Col   int
 }
 
 func (a *Atom) String() string {
@@ -187,6 +202,7 @@ type BodyElem struct {
 	Assign string // BodyAssign target variable
 	Expr   Expr   // BodyAssign source expression
 	Line   int
+	Col    int
 }
 
 func (b *BodyElem) String() string {
@@ -216,6 +232,7 @@ type Rule struct {
 	Head     *Atom
 	Body     []*BodyElem
 	Line     int
+	Col      int
 }
 
 // HasAggregate reports whether the head carries an aggregate term.
@@ -255,6 +272,7 @@ func (r *Rule) String() string {
 type Fact struct {
 	Atom *Atom
 	Line int
+	Col  int
 }
 
 func (f *Fact) String() string { return f.Atom.String() + ";" }
@@ -267,6 +285,11 @@ type Expr interface {
 	// freeVars appends the variables referenced by the expression.
 	freeVars(vs []string) []string
 }
+
+// FreeVars returns the variables referenced by an expression, in
+// occurrence order with duplicates preserved (callers that need a set
+// can dedup). Exported for analysis tooling.
+func FreeVars(e Expr) []string { return e.freeVars(nil) }
 
 // VarExpr references a rule variable.
 type VarExpr struct{ Name string }

@@ -26,6 +26,7 @@ type Builtin struct {
 	MaxArgs int // -1 for variadic
 	Fn      func(env EvalEnv, args []Value) (Value, error)
 	Doc     string
+	Ret     Kind // static return kind; KindNil when it depends on the arguments
 }
 
 var builtins = map[string]*Builtin{}
@@ -434,6 +435,32 @@ func init() {
 			}
 			return Bool(!args[0].AsBool()), nil
 		}})
+}
+
+// builtinRets declares the static return kind of each builtin for type
+// inference (internal/overlog/analysis). Builtins absent here (nth,
+// minv, maxv, ifelse) return whatever kind their arguments carry.
+func init() {
+	rets := map[string]Kind{
+		"concat": KindString, "tostr": KindString, "substr": KindString,
+		"dirname": KindString, "basename": KindString, "pathjoin": KindString,
+		"strjoin": KindString, "unique": KindString,
+		"toint": KindInt, "strlen": KindInt, "hash": KindInt, "hashmod": KindInt,
+		"size": KindInt, "now": KindInt, "nextid": KindInt, "random": KindInt,
+		"tofloat": KindFloat,
+		"toaddr":  KindAddr, "localaddr": KindAddr,
+		"startswith": KindBool, "endswith": KindBool, "member": KindBool,
+		"and": KindBool, "or": KindBool, "not": KindBool,
+		"split": KindList, "lappend": KindList, "lconcat": KindList,
+		"ltail": KindList, "ldiff": KindList, "pickk": KindList, "lsort": KindList,
+	}
+	for n, k := range rets {
+		b, ok := builtins[n]
+		if !ok {
+			panic("overlog: return kind declared for unknown builtin " + n)
+		}
+		b.Ret = k
+	}
 }
 
 // valueToString renders a value for string concatenation: strings and

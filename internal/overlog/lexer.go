@@ -141,12 +141,15 @@ func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("overlog: %d:%d: %s", e.Line, e.Col, e.Msg)
 }
 
-// lexer scans Overlog source text into tokens.
+// lexer scans Overlog source text into tokens. Line comments of the
+// form `//lint:key args...` are collected as pragmas for the analyzer
+// rather than discarded.
 type lexer struct {
-	src  string
-	pos  int
-	line int
-	col  int
+	src     string
+	pos     int
+	line    int
+	col     int
+	pragmas []Pragma
 }
 
 func newLexer(src string) *lexer {
@@ -190,9 +193,12 @@ func (l *lexer) skipSpaceAndComments() error {
 		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
 			l.advance()
 		case c == '/' && l.peekByteAt(1) == '/':
+			line := l.line
+			start := l.pos
 			for l.pos < len(l.src) && l.peekByte() != '\n' {
 				l.advance()
 			}
+			l.notePragma(l.src[start:l.pos], line)
 		case c == '/' && l.peekByteAt(1) == '*':
 			startLine, startCol := l.line, l.col
 			l.advance()
@@ -215,6 +221,20 @@ func (l *lexer) skipSpaceAndComments() error {
 		}
 	}
 	return nil
+}
+
+// notePragma records `//lint:key args...` comments. comment includes
+// the leading "//".
+func (l *lexer) notePragma(comment string, line int) {
+	rest, ok := strings.CutPrefix(comment, "//lint:")
+	if !ok {
+		return
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return
+	}
+	l.pragmas = append(l.pragmas, Pragma{Key: fields[0], Args: fields[1:], Line: line})
 }
 
 func isIdentStart(c byte) bool {
@@ -419,18 +439,19 @@ func (l *lexer) lexString(tok token) (token, error) {
 	}
 }
 
-// lexAll scans the whole source, returning the token stream.
-func lexAll(src string) ([]token, error) {
+// lexAll scans the whole source, returning the token stream and any
+// lint pragmas found in comments.
+func lexAll(src string) ([]token, []Pragma, error) {
 	l := newLexer(src)
 	var toks []token
 	for {
 		t, err := l.next()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		toks = append(toks, t)
 		if t.kind == tokEOF {
-			return toks, nil
+			return toks, l.pragmas, nil
 		}
 	}
 }

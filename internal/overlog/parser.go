@@ -8,12 +8,17 @@ import (
 // syntactic checks; installation into a Runtime performs the semantic
 // ones (declared tables, arity, safety, stratification).
 func Parse(src string) (*Program, error) {
-	toks, err := lexAll(src)
+	toks, pragmas, err := lexAll(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	return p.parseProgram()
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	prog.Pragmas = pragmas
+	return prog, nil
 }
 
 // MustParse parses source text and panics on error. Intended for
@@ -121,7 +126,7 @@ func (p *parser) parseTableDecl(event bool) (*TableDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &TableDecl{Name: name.text, Event: event, Line: kw.line}
+	d := &TableDecl{Name: name.text, Event: event, Line: kw.line, Col: kw.col}
 	if _, err := p.expect(tokLParen, "table declaration"); err != nil {
 		return nil, err
 	}
@@ -209,7 +214,7 @@ func (p *parser) parsePeriodicDecl() (*PeriodicDecl, error) {
 	if _, err := p.expect(tokSemi, "periodic declaration"); err != nil {
 		return nil, err
 	}
-	return &PeriodicDecl{Table: name.text, IntervalMS: iv.ival, Line: kw.line}, nil
+	return &PeriodicDecl{Table: name.text, IntervalMS: iv.ival, Line: kw.line, Col: kw.col}, nil
 }
 
 // parseWatchDecl parses `watch(table);` or `watch(table, "id");`.
@@ -222,7 +227,7 @@ func (p *parser) parseWatchDecl() (*WatchDecl, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &WatchDecl{Table: name.text, Line: kw.line}
+	d := &WatchDecl{Table: name.text, Line: kw.line, Col: kw.col}
 	if p.cur().kind == tokComma {
 		p.advance()
 		modes, err := p.expect(tokString, "watch modes")
@@ -285,14 +290,14 @@ func (p *parser) parseRuleOrFact(prog *Program) error {
 		if del || deferred || name != "" {
 			return p.errf(start, "a fact may not carry a rule name, delete, or next prefix")
 		}
-		prog.Facts = append(prog.Facts, &Fact{Atom: head, Line: start.line})
+		prog.Facts = append(prog.Facts, &Fact{Atom: head, Line: start.line, Col: start.col})
 		return nil
 	case tokImplies:
 		p.advance()
 	default:
 		return p.errf(p.cur(), "expected ':-' or ';' after atom %s, found %s", head.Table, p.cur())
 	}
-	rule := &Rule{Name: name, Delete: del, Deferred: deferred, Head: head, Line: start.line}
+	rule := &Rule{Name: name, Delete: del, Deferred: deferred, Head: head, Line: start.line, Col: start.col}
 	for {
 		elem, err := p.parseBodyElem()
 		if err != nil {
@@ -329,7 +334,7 @@ func (p *parser) parseAtom(head bool) (*Atom, error) {
 		}
 		tbl = tbl + "::" + rest.text
 	}
-	a := &Atom{Table: tbl, Line: name.line}
+	a := &Atom{Table: tbl, Line: name.line, Col: name.col}
 	if _, err := p.expect(tokLParen, "atom"); err != nil {
 		return nil, err
 	}
@@ -410,7 +415,7 @@ func (p *parser) parseBodyElem() (*BodyElem, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BodyElem{Kind: BodyNotin, Atom: a, Line: start.line}, nil
+		return &BodyElem{Kind: BodyNotin, Atom: a, Line: start.line, Col: start.col}, nil
 	}
 	// Assignment: Var := expr
 	if p.cur().kind == tokVar && p.peek().kind == tokAssign {
@@ -420,7 +425,7 @@ func (p *parser) parseBodyElem() (*BodyElem, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BodyElem{Kind: BodyAssign, Assign: v.text, Expr: e, Line: start.line}, nil
+		return &BodyElem{Kind: BodyAssign, Assign: v.text, Expr: e, Line: start.line, Col: start.col}, nil
 	}
 	// Atom: lowercase identifier followed by '(' ... but builtin boolean
 	// predicates (e.g. f_isprefix(...)) lex the same way; the compiler
@@ -436,7 +441,7 @@ func (p *parser) parseBodyElem() (*BodyElem, error) {
 			if eerr != nil {
 				return nil, err // the atom error is the better message
 			}
-			return &BodyElem{Kind: BodyCond, Cond: e, Line: start.line}, nil
+			return &BodyElem{Kind: BodyCond, Cond: e, Line: start.line, Col: start.col}, nil
 		}
 		// If followed by a comparison operator, the "atom" was really a
 		// function call on the left of a condition; reparse as expr.
@@ -444,14 +449,14 @@ func (p *parser) parseBodyElem() (*BodyElem, error) {
 		case tokEQ, tokNE, tokLT, tokLE, tokGT, tokGE, tokPlus, tokMinus, tokStar, tokSlash, tokPercent:
 			p.pos = save
 		default:
-			return &BodyElem{Kind: BodyAtom, Atom: a, Line: start.line}, nil
+			return &BodyElem{Kind: BodyAtom, Atom: a, Line: start.line, Col: start.col}, nil
 		}
 	}
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
 	}
-	return &BodyElem{Kind: BodyCond, Cond: e, Line: start.line}, nil
+	return &BodyElem{Kind: BodyCond, Cond: e, Line: start.line, Col: start.col}, nil
 }
 
 // --- expression parsing (precedence climbing) ---

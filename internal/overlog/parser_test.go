@@ -6,7 +6,7 @@ import (
 )
 
 func TestLexBasics(t *testing.T) {
-	toks, err := lexAll(`foo(Bar, 12, 3.5, "hi\n", @X) :- baz(_), X := Y + 1, A != B; // comment`)
+	toks, _, err := lexAll(`foo(Bar, 12, 3.5, "hi\n", @X) :- baz(_), X := Y + 1, A != B; // comment`)
 	if err != nil {
 		t.Fatalf("lex: %v", err)
 	}
@@ -35,7 +35,7 @@ func TestLexBasics(t *testing.T) {
 }
 
 func TestLexComments(t *testing.T) {
-	toks, err := lexAll("/* block\ncomment */ foo(X); // line")
+	toks, _, err := lexAll("/* block\ncomment */ foo(X); // line")
 	if err != nil {
 		t.Fatalf("lex: %v", err)
 	}
@@ -54,7 +54,7 @@ func TestLexErrors(t *testing.T) {
 		`"bad \q escape"`,
 	}
 	for _, src := range cases {
-		if _, err := lexAll(src); err == nil {
+		if _, _, err := lexAll(src); err == nil {
 			t.Errorf("lexAll(%q): expected error", src)
 		}
 	}
@@ -254,5 +254,86 @@ func TestNamespacedAtom(t *testing.T) {
 	}
 	if prog.Rules[0].Body[0].Atom.Table != "sys::table" {
 		t.Errorf("namespaced table: %q", prog.Rules[0].Body[0].Atom.Table)
+	}
+}
+
+// TestPositionsMultiline pins down line AND column tracking across a
+// rule that spans several lines: every AST node must point at the
+// first token of its own construct, 1-based.
+func TestPositionsMultiline(t *testing.T) {
+	src := "table link(A: string, B: string) keys(0, 1);\n" + // line 1
+		"event ping(N: int);\n" + // line 2
+		"//lint:feed ping\n" + // line 3
+		"r1 link(A,\n" + // line 4
+		"        B) :- ping(N),\n" + // line 5
+		"  A := tostr(N),\n" + // line 6
+		"  B := tostr(N + 1);\n" + // line 7
+		`link("x", "y");` + "\n" // line 8
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(prog.Tables); n != 2 {
+		t.Fatalf("table decls: %d", n)
+	}
+	at := func(what string, gotLine, gotCol, line, col int) {
+		t.Helper()
+		if gotLine != line || gotCol != col {
+			t.Errorf("%s at %d:%d, want %d:%d", what, gotLine, gotCol, line, col)
+		}
+	}
+	at("decl link", prog.Tables[0].Line, prog.Tables[0].Col, 1, 1)
+	at("decl ping", prog.Tables[1].Line, prog.Tables[1].Col, 2, 1)
+	if len(prog.Pragmas) != 1 || prog.Pragmas[0].Line != 3 {
+		t.Errorf("pragma line: %+v", prog.Pragmas)
+	}
+
+	if len(prog.Rules) != 1 {
+		t.Fatalf("rules: %d", len(prog.Rules))
+	}
+	r := prog.Rules[0]
+	at("rule r1", r.Line, r.Col, 4, 1)
+	at("head atom link", r.Head.Line, r.Head.Col, 4, 4)
+	if len(r.Body) != 3 {
+		t.Fatalf("body elems: %d", len(r.Body))
+	}
+	at("body atom ping", r.Body[0].Line, r.Body[0].Col, 5, 15)
+	at("body atom ping (atom node)", r.Body[0].Atom.Line, r.Body[0].Atom.Col, 5, 15)
+	at("assign A", r.Body[1].Line, r.Body[1].Col, 6, 3)
+	at("assign B", r.Body[2].Line, r.Body[2].Col, 7, 3)
+
+	if len(prog.Facts) != 1 {
+		t.Fatalf("facts: %d", len(prog.Facts))
+	}
+	at("fact link", prog.Facts[0].Line, prog.Facts[0].Col, 8, 1)
+}
+
+// TestErrorPositions checks syntax errors blame the offending token,
+// not the start of the statement, on multi-line input.
+func TestErrorPositions(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		line, col int
+	}{
+		{"bare equals", "table t(A: int);\nr1 t(A) :- t(A), A = 1;", 2, 20},
+		{"unterminated string", "table t(A: string);\nt(\"oops);", 2, 3},
+		{"unterminated block comment", "table t(A: int);\n  /* never closed", 2, 3},
+		{"missing semi", "table t(A: int)\ntable u(B: int);", 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("parse succeeded")
+			}
+			se, ok := err.(*SyntaxError)
+			if !ok {
+				t.Fatalf("not a SyntaxError: %T %v", err, err)
+			}
+			if se.Line != tc.line || se.Col != tc.col {
+				t.Errorf("error at %d:%d, want %d:%d (%v)", se.Line, se.Col, tc.line, tc.col, err)
+			}
+		})
 	}
 }

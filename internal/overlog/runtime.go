@@ -61,6 +61,9 @@ type Runtime struct {
 
 	tables map[string]*Table
 	period []*periodicState
+	// progs retains every installed program (AST + pragmas) so analysis
+	// tooling can inspect the live catalog.
+	progs []*Program
 
 	rng       *rand.Rand
 	idCounter int64
@@ -237,6 +240,18 @@ func (r *Runtime) declareSysTables() {
 			{Name: "Rule", Type: KindString},
 			{Name: "Count", Type: KindInt},
 		}, KeyCols: []int{0}},
+		// sys::lint holds static-analysis findings over the installed
+		// programs (populated by analysis.SelfLint); empty keys = set
+		// semantics, so repeated lint runs are idempotent.
+		{Name: "sys::lint", Cols: []ColDecl{
+			{Name: "Code", Type: KindString},
+			{Name: "Severity", Type: KindString},
+			{Name: "Program", Type: KindString},
+			{Name: "Rule", Type: KindString},
+			{Name: "Subject", Type: KindString},
+			{Name: "Line", Type: KindInt},
+			{Name: "Msg", Type: KindString},
+		}},
 	}
 	for _, d := range sys {
 		r.cat.decls[d.Name] = d
@@ -302,6 +317,7 @@ func (r *Runtime) Install(prog *Program) error {
 		r.cat.rules = append(r.cat.rules, cr)
 	}
 	r.cat.programs = append(r.cat.programs, progName(prog))
+	r.progs = append(r.progs, prog)
 	if err := r.cat.stratify(); err != nil {
 		return err
 	}
@@ -374,6 +390,12 @@ func (r *Runtime) refreshSysCatalog() {
 			Str(cr.name), Str(cr.program), Str(cr.head.table),
 			Int(int64(cr.stratum)), Bool(cr.isDelete), Bool(cr.isAgg)))
 	}
+}
+
+// Programs returns the installed programs in install order. The slice
+// is fresh; the *Program values are shared and must not be mutated.
+func (r *Runtime) Programs() []*Program {
+	return append([]*Program(nil), r.progs...)
 }
 
 // Rules returns the names of installed rules in order.

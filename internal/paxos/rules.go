@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 )
 
 func expand(src string, vars map[string]string) string {
@@ -45,6 +46,9 @@ func DefaultConfig() Config {
 const Rules = `
 	program paxos;
 
+	//lint:feed paxos_request
+	//lint:export decided is_leader
+
 	// --- membership & protocol state ---
 	table member(Node: addr, Rank: int) keys(0);
 	table quorum(K: string, Q: int) keys(0);
@@ -57,11 +61,11 @@ const Rules = `
 	table next_slot(K: string, S: int) keys(0);
 	table decided(Slot: int, Cmd: list) keys(0);
 	table pending(ReqId: string, Cmd: list) keys(0);
-	table inflight(ReqId: string) keys(0);
+	table inflight(ReqId: string);
 	table proposal(Slot: int, Bal: int, Cmd: list) keys(0);
-	table promise_store(Bal: int, From: addr) keys(0,1);
+	table promise_store(Bal: int, From: addr);
 	table promise_acc_store(Bal: int, Slot: int, AccBal: int, Cmd: list, From: addr) keys(0,1,4);
-	table ack_store(Slot: int, Bal: int, From: addr) keys(0,1,2);
+	table ack_store(Slot: int, Bal: int, From: addr);
 
 	// --- wire protocol ---
 	event paxos_request(To: addr, ReqId: string, Cmd: list);
@@ -105,11 +109,11 @@ const Rules = `
 	pm1 promise_store(B, From) :- promise(@Me, From, B);
 	pm2 promise_acc_store(B, S, AB, Cmd, From) :- promise_acc(@Me, From, B, S, AB, Cmd);
 	table promise_cnt(Bal: int, N: int) keys(0);
-	pc1 promise_cnt(B, count<From>) :- promise_store(B, From);
-	ld1 next is_leader("l", true) :- promise_cnt(B, N), cur_ballot("b", B),
+	pt1 promise_cnt(B, count<From>) :- promise_store(B, From);
+	lead1 next is_leader("l", true) :- promise_cnt(B, N), cur_ballot("b", B),
 	        quorum("q", Q), N >= Q, is_leader("l", false);
 	// A replica that sees a higher ballot than its own abdicates.
-	ld2 next is_leader("l", false) :- prepare(@Me, _, B), cur_ballot("b", MB), B > MB,
+	lead2 next is_leader("l", false) :- prepare(@Me, _, B), cur_ballot("b", MB), B > MB,
 	        is_leader("l", true);
 
 	// --- new leader adopts the highest-ballot accepted value per slot ---
@@ -159,12 +163,12 @@ const Rules = `
 	// ack may have been lost).
 	p2r accept_ack(@From, Me, B, S) :- accept_msg(@Me, From, B, S, Cmd),
 	        accepted(S, B, Cmd);
-	p2d next promised("p", B) :- accept_msg(@Me, _, B, S, _), promised("p", PB), B > PB;
+	p2d next promised("p", B) :- accept_msg(@Me, _, B, _, _), promised("p", PB), B > PB;
 
 	// --- leader: tally acks, decide on majority, broadcast ---
 	ak1 ack_store(S, B, From) :- accept_ack(@Me, From, B, S);
 	table ack_cnt(Slot: int, Bal: int, N: int) keys(0,1);
-	ac1 ack_cnt(S, B, count<From>) :- ack_store(S, B, From);
+	at1 ack_cnt(S, B, count<From>) :- ack_store(S, B, From);
 	dc1 decide_msg(@N, S, Cmd) :- ack_cnt(S, B, N1), quorum("q", Q), N1 >= Q,
 	        proposal(S, B, Cmd), member(N, _);
 	dc2 next decided(S, Cmd) :- decide_msg(@Me, S, Cmd);
@@ -175,8 +179,15 @@ const Rules = `
 	le1 decide_msg(@N, S, Cmd) :- px_sync(_, _), is_leader("l", true),
 	        decided(S, Cmd), member(N, _);
 
-	// --- cleanup: a decided command clears its queue entry ---
+	// --- cleanup: a decided command clears its queue entry and its
+	// per-slot bookkeeping; a decided slot needs no more acks ---
 	cp1 delete pending(Id, C2) :- decided(_, Cmd), Id := tostr(nth(Cmd, 0)), pending(Id, C2);
+	cp2 delete inflight(Id) :- decided(_, Cmd), Id := tostr(nth(Cmd, 0)), inflight(Id);
+	cp3 delete ack_store(S, B, F) :- decided(S, _), ack_store(S, B, F);
+	cp4 delete acc_src(S, B, F) :- decided(S, _), acc_src(S, B, F);
+	// Promise tallies for superseded ballots are dead weight once the
+	// ballot moves on.
+	cp5 delete promise_store(B, F) :- cur_ballot("b", CB), promise_store(B, F), B < CB;
 `
 
 // Install loads the protocol onto a runtime with the given membership
@@ -205,6 +216,12 @@ func Install(rt *overlog.Runtime, self string, members []string, cfg Config) err
 	if err := rt.InstallSource(expand(Rules, vars)); err != nil {
 		return err
 	}
+	return rt.InstallSource(seedFacts(rank, sorted))
+}
+
+// seedFacts renders the membership and initial role state installed on
+// the replica with the given rank.
+func seedFacts(rank int, sorted []string) string {
 	var b strings.Builder
 	for i, m := range sorted {
 		fmt.Fprintf(&b, "member(\"%s\", %d);\n", m, i)
@@ -216,7 +233,32 @@ func Install(rt *overlog.Runtime, self string, members []string, cfg Config) err
 	fmt.Fprintf(&b, `leader_seen("t", 0);`+"\n")
 	fmt.Fprintf(&b, `last_elect("t", 0);`+"\n")
 	fmt.Fprintf(&b, `next_slot("s", 0);`+"\n")
-	return rt.InstallSource(b.String())
+	return b.String()
+}
+
+// LintSources is the protocol as a three-replica deployment installs
+// it — expanded rules plus replica 0's seed facts — for whole-program
+// static analysis (cmd/boomlint). Other packages that co-install the
+// protocol (kvstore, the replicated BOOM-FS master) reuse it in their
+// own lint units.
+func LintSources() []string {
+	cfg := DefaultConfig()
+	vars := map[string]string{
+		"PXTICK":    fmt.Sprintf("%d", cfg.TickMS),
+		"ELTIMEOUT": fmt.Sprintf("%d", cfg.ElectTimeout),
+		"STRIDE":    fmt.Sprintf("%d", cfg.BallotStride),
+		"SYNCMS":    fmt.Sprintf("%d", cfg.SyncMS),
+	}
+	members := []string{"px:0", "px:1", "px:2"}
+	return []string{expand(Rules, vars), seedFacts(0, members)}
+}
+
+// LintUnits declares the analysis units for this package.
+func LintUnits() []analysis.Unit {
+	return []analysis.Unit{{
+		Name:   "paxos",
+		Groups: map[string][]string{"replica": LintSources()},
+	}}
 }
 
 // Decided reads a replica's decided log as slot -> encoded command.

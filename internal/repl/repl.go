@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 )
 
 // REPL wraps a runtime with an interactive loop.
@@ -48,6 +49,7 @@ const help = `commands:
   .rules                            list installed rules
   .plan <rule>                      show a rule's compiled plan
   .analyze                          CALM monotonicity analysis of installed rules
+  .lint (or \lint)                  static analysis of the live catalog (sys::lint)
   .help                             this text
   .quit                             leave
 `
@@ -72,7 +74,7 @@ func (r *REPL) Run(in io.Reader) error {
 		case pending.Len() == 0 && trimmed == "":
 			prompt()
 			continue
-		case pending.Len() == 0 && strings.HasPrefix(trimmed, "."):
+		case pending.Len() == 0 && (strings.HasPrefix(trimmed, ".") || strings.HasPrefix(trimmed, `\`)):
 			if quit := r.command(trimmed); quit {
 				return nil
 			}
@@ -142,6 +144,10 @@ func (r *REPL) execute(stmt string) {
 // command handles dot-commands; returns true on .quit.
 func (r *REPL) command(line string) bool {
 	fields := strings.Fields(line)
+	// Accept the psql-style backslash spelling for every command.
+	if strings.HasPrefix(fields[0], `\`) {
+		fields[0] = "." + fields[0][1:]
+	}
 	switch fields[0] {
 	case ".quit", ".q", ".exit":
 		return true
@@ -218,6 +224,16 @@ func (r *REPL) command(line string) bool {
 		fmt.Fprint(r.out, overlog.AnalyzeCALM(merged).Report())
 		fmt.Fprintln(r.out, "strata:")
 		fmt.Fprint(r.out, r.rt.ExplainAll())
+	case ".lint":
+		ds := analysis.SelfLint(r.rt)
+		if len(ds) == 0 {
+			fmt.Fprintln(r.out, "no findings.")
+			return false
+		}
+		for _, d := range ds {
+			fmt.Fprintf(r.out, "  %s\n", d.String())
+		}
+		fmt.Fprintf(r.out, "%d finding(s); also in sys::lint (try ?- sys::lint(C, S, P, R, Sub, L, M);).\n", len(ds))
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try .help)\n", fields[0])
 	}

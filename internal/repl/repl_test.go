@@ -139,3 +139,32 @@ m1 missing(K) :- probe(K), notin kv(K, _);
 		t.Fatalf("strata missing:\n%s", out)
 	}
 }
+
+func TestLintCommand(t *testing.T) {
+	out := drive(t, `
+table sink(A: int, B: int) keys(0);
+event in(A: int);
+w1 sink(A, A) :- in(A);
+\lint
+?- sys::lint(Code, Sev, Prog, Rule, Subj, Line, Msg);
+.quit
+`)
+	if !strings.Contains(out, "[write-only-table]") {
+		t.Fatalf("\\lint did not report the write-only table:\n%s", out)
+	}
+	if !strings.Contains(out, `Code = "write-only-table"`) {
+		t.Fatalf("sys::lint not queryable after \\lint:\n%s", out)
+	}
+}
+
+func TestLintCommandClean(t *testing.T) {
+	out := drive(t, `
+table t(A: int, B: int) keys(0);
+t(1, 2);
+.lint
+.quit
+`)
+	if !strings.Contains(out, "no findings.") {
+		t.Fatalf(".lint on a clean catalog:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/boomfs"
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -42,7 +43,7 @@ func (s *Server) Close() {
 
 // ServeStatus starts the node's status HTTP server on addr (port 0
 // picks one) exposing /metrics, /healthz, /debug/tables, /debug/rules,
-// /debug/catalog and /debug/trace.
+// /debug/catalog, /debug/trace and /debug/lint.
 func (s *Server) ServeStatus(addr string) error {
 	st, err := telemetry.Serve(addr, telemetry.Source{
 		Role:        s.Role,
@@ -149,6 +150,10 @@ func serve(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) e
 	}
 	reg.GaugeFunc("boom_inbox_depth", "queued inbound tuples",
 		func() float64 { return float64(node.InboxDepth()) })
+
+	// Materialize the node's own lint findings into sys::lint before the
+	// step loop starts, so rules and /debug/lint can query them.
+	analysis.SelfLint(rt)
 
 	var err error
 	tcp, err = transport.ListenTCP(node, addr)

@@ -1,12 +1,15 @@
 package rtfs
 
 import (
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/boomfs"
+	"repro/internal/overlog"
 )
 
 func freeAddr(t *testing.T) string {
@@ -100,5 +103,44 @@ func TestRealTCPFileSystem(t *testing.T) {
 	err = cl.Mkdir("/real")
 	if err == nil || !strings.Contains(err.Error(), "exists") {
 		t.Fatalf("duplicate mkdir: %v", err)
+	}
+}
+
+// TestRunningNodeLint checks that a live node's own static-analysis
+// findings are queryable, both as the sys::lint relation and over the
+// /debug/lint status endpoint.
+func TestRunningNodeLint(t *testing.T) {
+	m, err := StartMaster(freeAddr(t), rtConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var rows int
+	m.Node.Runtime(func(rt *overlog.Runtime) {
+		bindings, qerr := rt.Query(`sys::lint(Code, Sev, Prog, Rule, Subj, Line, Msg)`)
+		if qerr != nil {
+			t.Errorf("sys::lint query: %v", qerr)
+			return
+		}
+		rows = len(bindings)
+	})
+	// The master program has deletes and aggregates, so at minimum the
+	// CALM point-of-order findings must be present.
+	if rows == 0 {
+		t.Fatal("sys::lint is empty on a running master")
+	}
+
+	if err := m.ServeStatus("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(m.Status.URL() + "/debug/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "point-of-order") {
+		t.Fatalf("/debug/lint %d:\n%s", resp.StatusCode, body)
 	}
 }

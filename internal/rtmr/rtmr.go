@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/boommr"
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -107,6 +108,9 @@ func serveRuntime(rt *overlog.Runtime, addr, role string, setup func(*transport.
 		return nil, err
 	}
 	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
+	// Materialize the node's own lint findings into sys::lint before the
+	// step loop starts, so rules and /debug/lint can query them.
+	analysis.SelfLint(rt)
 	go node.Run()
 	return &server{addr: addr, role: role, node: node, tcp: tcp, reg: reg, journal: journal}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/overlog"
+	"repro/internal/overlog/analysis"
 )
 
 // Source describes the node a status server exposes. WithRuntime must
@@ -46,6 +47,7 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/rules", s.handleRules)
 	mux.HandleFunc("/debug/catalog", s.handleCatalog)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/lint", s.handleLint)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -203,6 +205,28 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		}
 	})
 	writeJSON(w, resp)
+}
+
+// handleLint runs the static analyzer over the node's live catalog and
+// serves the findings. Each run also refreshes the sys::lint relation,
+// so rules and the /debug/tables endpoint see the same diagnostics.
+func (s *Server) handleLint(w http.ResponseWriter, _ *http.Request) {
+	if s.src.WithRuntime == nil {
+		http.Error(w, "no runtime attached", http.StatusNotFound)
+		return
+	}
+	var ds []analysis.Diagnostic
+	s.src.WithRuntime(func(rt *overlog.Runtime) {
+		ds = analysis.SelfLint(rt)
+	})
+	if ds == nil {
+		ds = []analysis.Diagnostic{}
+	}
+	writeJSON(w, map[string]interface{}{
+		"node":     s.src.Addr,
+		"role":     s.src.Role,
+		"findings": ds,
+	})
 }
 
 // handleTrace serves the event journal: ?id=TRACE filters to one

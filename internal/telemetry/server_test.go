@@ -190,12 +190,52 @@ func TestServerWithoutRuntimeOrJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/debug/tables", "/debug/rules", "/debug/catalog", "/debug/trace"} {
+	for _, path := range []string{"/debug/tables", "/debug/rules", "/debug/catalog", "/debug/trace", "/debug/lint"} {
 		if code, _ := get(t, srv.URL()+path); code != 404 {
 			t.Fatalf("%s without runtime: %d", path, code)
 		}
 	}
 	if code, _ := get(t, srv.URL()+"/metrics"); code != 200 {
 		t.Fatal("metrics should serve")
+	}
+}
+
+func TestServerLint(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	// kv is written by r1 but never read: the analyzer must flag it.
+	code, body := get(t, srv.URL()+"/debug/lint")
+	if code != 200 {
+		t.Fatalf("lint status: %d", code)
+	}
+	var resp struct {
+		Node     string `json:"node"`
+		Findings []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Subject  string `json:"subject"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("lint json: %v / %s", err, body)
+	}
+	if resp.Node != "n1" {
+		t.Fatalf("lint node: %q", resp.Node)
+	}
+	found := false
+	for _, f := range resp.Findings {
+		if f.Code == "write-only-table" && f.Subject == "kv" {
+			found = true
+			if f.Severity != "warn" {
+				t.Fatalf("write-only-table severity: %q", f.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("write-only-table finding for kv missing:\n%s", body)
+	}
+	// The run materializes sys::lint, visible through /debug/tables.
+	code, body = get(t, srv.URL()+"/debug/tables?table=sys::lint")
+	if code != 200 || !strings.Contains(body, "write-only-table") {
+		t.Fatalf("sys::lint dump %d:\n%s", code, body)
 	}
 }
