@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race bench bench-paper examples experiments clean
+.PHONY: all build test check lint race bench bench-paper chaos examples experiments clean
 
 all: build test
 
@@ -13,7 +13,8 @@ test: check
 	$(GO) test ./...
 
 # check: static analysis plus a race pass over the concurrency-heavy
-# packages (telemetry registry/journal, wall-clock transport, trace).
+# packages (telemetry registry/journal, wall-clock transport, trace),
+# plus a short fault-injection sweep (see `chaos` below).
 # boomlint runs the Overlog whole-program analyzer over every embedded
 # rule set (and the standalone .olg examples), failing on any
 # error-severity finding.
@@ -22,6 +23,17 @@ check:
 	$(GO) run ./cmd/boomlint -severity=error
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
+	$(GO) test -race ./internal/chaos/...
+	$(MAKE) chaos
+
+# chaos: a short deterministic fault-injection sweep — every scenario
+# (replicated-FS master failover, Paxos leader churn, MapReduce worker
+# churn) under a few seeds' worth of kills, restarts, partitions, and
+# loss bursts; exits 1 on any sys::invariant violation, printing the
+# shrunk minimal fault schedule. `go run ./cmd/boom-chaos -seeds 25`
+# is the full acceptance sweep.
+chaos:
+	$(GO) run ./cmd/boom-chaos -scenario all -seeds 3
 
 # lint: the full static-analysis surface, Go and Overlog alike.
 lint:

@@ -1,72 +1,113 @@
-package boomfs
+package boomfs_test
 
 import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"repro/internal/boomfs"
+	"repro/internal/chaos"
+	"repro/internal/sim"
 )
 
-// TestInvariantsUnderDataNodeChurn drives random metadata and data
-// operations while datanodes die and revive, then checks the master's
-// global invariants:
+// TestInvariantsUnderDataNodeChurn drives metadata and data operations
+// while datanodes die and revive, then checks the master's global
+// invariants:
 //
 //  1. fqpath and file are in bijection (no orphan paths, no unreachable
 //     files);
 //  2. every chunk of every file is owned by exactly one file;
 //  3. after the cluster settles, every chunk of every surviving file
 //     has at least ReplicationFactor live replicas.
+//
+// The churn itself is a chaos.Schedule — a replayable list of timed
+// kill/revive actions generated under the constraint that at least
+// ReplicationFactor+1 datanodes stay live — applied while the workload
+// runs synchronously on top (this lives in package boomfs_test because
+// chaos itself builds on boomfs).
 func TestInvariantsUnderDataNodeChurn(t *testing.T) {
-	cfg := smallConfig()
-	c, m, dns, cl := testFS(t, 5, cfg)
-	r := rand.New(rand.NewSource(31))
-
-	if err := cl.Mkdir("/c"); err != nil {
+	cfg := boomfs.DefaultConfig()
+	cfg.ReplicationFactor = 2
+	cfg.ChunkSize = 16
+	c := sim.NewCluster(sim.WithLatency(sim.ConstLatency(1)), sim.WithClusterSeed(31))
+	m, err := boomfs.NewMaster(c, "master:0", cfg)
+	if err != nil {
 		t.Fatal(err)
 	}
+	var dns []*boomfs.DataNode
+	for i := 0; i < 5; i++ {
+		dn, err := boomfs.NewDataNode(c, fmt.Sprintf("dn:%d", i), m.Addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dns = append(dns, dn)
+	}
+	cl, err := boomfs.NewClient(c, "client:0", cfg, m.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a couple of heartbeat rounds land so placement has targets.
+	if err := c.Run(cfg.HeartbeatMS*2 + 10); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(31))
 	live := make([]bool, len(dns))
 	for i := range live {
 		live[i] = true
 	}
 	liveCount := len(dns)
-	var files []string
-	next := 0
-
-	for i := 0; i < 60; i++ {
-		switch r.Intn(10) {
-		case 0: // kill a datanode, keeping at least ReplicationFactor+1
-			if liveCount > cfg.ReplicationFactor+1 {
-				idx := r.Intn(len(dns))
-				if live[idx] {
-					c.Kill(dns[idx].Addr)
-					live[idx] = false
-					liveCount--
-				}
+	var sched chaos.Schedule
+	for at := int64(800); at < 18_000; at += 900 + int64(rng.Intn(900)) {
+		if rng.Intn(2) == 0 && liveCount > cfg.ReplicationFactor+1 {
+			idx := rng.Intn(len(dns))
+			if live[idx] {
+				sched = append(sched, chaos.Action{AtMS: at, Kind: chaos.Kill, Node: dns[idx].Addr})
+				live[idx] = false
+				liveCount--
 			}
-		case 1: // revive one
+		} else {
 			for idx := range dns {
 				if !live[idx] {
-					c.Revive(dns[idx].Addr)
+					sched = append(sched, chaos.Action{AtMS: at, Kind: chaos.Revive, Node: dns[idx].Addr})
 					live[idx] = true
 					liveCount++
 					break
 				}
 			}
-		case 2, 3: // write a small file
+		}
+	}
+	sched.Apply(c)
+	t.Logf("churn schedule (%d actions):\n%s", len(sched), sched)
+
+	// The workload runs synchronously while the schedule's faults fire
+	// underneath it; the pause after each op walks virtual time through
+	// the fault window. Ops racing a fault may fail — that's the point —
+	// so only acknowledged writes join the survivor set.
+	const body = "0123456789abcdef0123456789abcdef"
+	if err := cl.Mkdir("/c"); err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	next := 0
+	for i := 0; i < 24; i++ {
+		switch rng.Intn(6) {
+		case 0, 1, 2: // write a small file
 			p := fmt.Sprintf("/c/f%03d", next)
 			next++
-			if err := cl.WriteFile(p, "0123456789abcdef0123456789abcdef"); err == nil {
+			if err := cl.WriteFile(p, body); err == nil {
 				files = append(files, p)
 			}
-		case 4: // remove one
+		case 3: // remove one
 			if len(files) > 0 {
-				idx := r.Intn(len(files))
+				idx := rng.Intn(len(files))
 				if err := cl.Rm(files[idx]); err == nil {
 					files = append(files[:idx], files[idx+1:]...)
 				}
 			}
-		case 5: // rename one
+		case 4: // rename one
 			if len(files) > 0 {
-				idx := r.Intn(len(files))
+				idx := rng.Intn(len(files))
 				np := fmt.Sprintf("/c/r%03d", next)
 				next++
 				if err := cl.Mv(files[idx], np); err == nil {
@@ -75,7 +116,7 @@ func TestInvariantsUnderDataNodeChurn(t *testing.T) {
 			}
 		default: // metadata reads
 			if len(files) > 0 {
-				if _, err := cl.Exists(files[r.Intn(len(files))]); err != nil {
+				if _, err := cl.Exists(files[rng.Intn(len(files))]); err != nil {
 					t.Fatalf("exists: %v", err)
 				}
 			}
@@ -83,13 +124,19 @@ func TestInvariantsUnderDataNodeChurn(t *testing.T) {
 				t.Fatalf("ls: %v", err)
 			}
 		}
-	}
-	// Revive everyone and let re-replication settle.
-	for idx := range dns {
-		if !live[idx] {
-			c.Revive(dns[idx].Addr)
-			live[idx] = true
+		if err := c.Run(c.Now() + 700); err != nil {
+			t.Fatal(err)
 		}
+	}
+	// Run out the schedule, then revive everyone and let re-replication
+	// settle.
+	if c.Now() < sched.End() {
+		if err := c.Run(sched.End() + 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dn := range dns {
+		c.Revive(dn.Addr)
 	}
 	rt := m.Runtime()
 
@@ -139,7 +186,7 @@ func TestInvariantsUnderDataNodeChurn(t *testing.T) {
 	// And every surviving file still reads correctly.
 	for _, p := range files {
 		got, err := cl.ReadFile(p)
-		if err != nil || got != "0123456789abcdef0123456789abcdef" {
+		if err != nil || got != body {
 			t.Fatalf("read %s: %q %v", p, got, err)
 		}
 	}

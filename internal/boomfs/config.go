@@ -18,6 +18,10 @@ type Config struct {
 	// GCTickMS is the orphan-chunk garbage-collection period; 0 disables
 	// GC (required for partitioned masters).
 	GCTickMS int64
+	// GCGraceMS is how long a chunk must stay unreferenced before GC
+	// purges it — long enough for a restarted master replica to catch
+	// up on the decided metadata log before anything is destroyed.
+	GCGraceMS int64
 	// ChunkSize is the client-side split size in bytes.
 	ChunkSize int
 	// DiskMS models the fixed cost of a chunk-store access.
@@ -37,6 +41,7 @@ func DefaultConfig() Config {
 		DNTimeoutMS:       2000,
 		FDTickMS:          1000,
 		GCTickMS:          5000,
+		GCGraceMS:         10_000,
 		ChunkSize:         64 << 10,
 		DiskMS:            2,
 		BytesPerMS:        100 << 10, // ~100 MB/s
@@ -53,6 +58,9 @@ func (c Config) validate() error {
 	}
 	if c.GCTickMS < 0 {
 		return fmt.Errorf("boomfs: gc period must be >= 0 (0 disables)")
+	}
+	if c.GCGraceMS < 0 {
+		return fmt.Errorf("boomfs: gc grace must be >= 0")
 	}
 	if c.ChunkSize <= 0 {
 		return fmt.Errorf("boomfs: chunk size must be positive, got %d", c.ChunkSize)
@@ -78,5 +86,6 @@ func (c Config) masterVars() map[string]string {
 		"DNTIMEOUT": fmt.Sprintf("%d", c.DNTimeoutMS),
 		"FDTICK":    fmt.Sprintf("%d", c.FDTickMS),
 		"GCTICK":    fmt.Sprintf("%d", c.GCTickMS),
+		"GCGRACE":   fmt.Sprintf("%d", c.GCGraceMS),
 	}
 }

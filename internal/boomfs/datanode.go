@@ -2,6 +2,8 @@ package boomfs
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/overlog"
@@ -12,16 +14,30 @@ import (
 // master. Heartbeats and the write pipeline are Overlog rules
 // (DataNodeRules); only the byte store is Go.
 type DataNode struct {
-	Addr   string
-	Master string
-	rt     *overlog.Runtime
-	cfg    Config
+	Addr    string
+	Master  string
+	masters []string
+	rt      *overlog.Runtime
+	cfg     Config
 
 	mu     sync.Mutex
 	chunks map[int64]string
 	// WritesServed / ReadsServed count data-plane ops (experiments).
 	WritesServed int64
 	ReadsServed  int64
+}
+
+// installDataNodeProgram loads the protocol and datanode rules onto a
+// runtime (shared between first boot and crash-restart).
+func installDataNodeProgram(rt *overlog.Runtime, cfg Config) error {
+	if err := rt.InstallSource(ProtocolDecls); err != nil {
+		return fmt.Errorf("boomfs: datanode protocol: %w", err)
+	}
+	src := expand(DataNodeRules, map[string]string{"HBMS": fmt.Sprintf("%d", cfg.HeartbeatMS)})
+	if err := rt.InstallSource(src); err != nil {
+		return fmt.Errorf("boomfs: datanode rules: %w", err)
+	}
+	return nil
 }
 
 // NewDataNodeOnRuntime installs the datanode program on an existing
@@ -31,15 +47,11 @@ func NewDataNodeOnRuntime(rt *overlog.Runtime, master string, cfg Config) (*Data
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
-	if err := rt.InstallSource(ProtocolDecls); err != nil {
-		return nil, nil, fmt.Errorf("boomfs: datanode protocol: %w", err)
+	if err := installDataNodeProgram(rt, cfg); err != nil {
+		return nil, nil, err
 	}
-	src := expand(DataNodeRules, map[string]string{"HBMS": fmt.Sprintf("%d", cfg.HeartbeatMS)})
-	if err := rt.InstallSource(src); err != nil {
-		return nil, nil, fmt.Errorf("boomfs: datanode rules: %w", err)
-	}
-	dn := &DataNode{Addr: rt.LocalAddr(), Master: master, rt: rt, cfg: cfg,
-		chunks: make(map[int64]string)}
+	dn := &DataNode{Addr: rt.LocalAddr(), Master: master, masters: []string{master},
+		rt: rt, cfg: cfg, chunks: make(map[int64]string)}
 	if err := rt.InstallSource(fmt.Sprintf(`master("%s");`, master)); err != nil {
 		return nil, nil, err
 	}
@@ -47,6 +59,9 @@ func NewDataNodeOnRuntime(rt *overlog.Runtime, master string, cfg Config) (*Data
 }
 
 // NewDataNode creates a datanode on the cluster, pointed at a master.
+// The node registers a crash-restart spec: its chunk bytes survive a
+// restart (they are the "disk") while its runtime state rebuilds from
+// the reinstalled rules and the surviving inventory.
 func NewDataNode(c *sim.Cluster, addr, master string, cfg Config) (*DataNode, error) {
 	rt, err := c.AddNode(addr)
 	if err != nil {
@@ -59,7 +74,42 @@ func NewDataNode(c *sim.Cluster, addr, master string, cfg Config) (*DataNode, er
 	if err := c.AttachService(addr, svc); err != nil {
 		return nil, err
 	}
+	if err := c.SetSpec(addr, dn.RestartSpec()); err != nil {
+		return nil, err
+	}
 	return dn, nil
+}
+
+// RestartSpec rebuilds a crashed datanode: rules and master facts are
+// reinstalled, the chunk bytes survive in the Go store (the disk), and
+// the stored_chunk inventory is re-seeded from it so the next
+// heartbeat re-reports everything the node holds. In-flight pipeline
+// and ack state is lost with the runtime.
+func (d *DataNode) RestartSpec() sim.NodeSpec {
+	return func(_, fresh *overlog.Runtime) ([]sim.Service, error) {
+		if err := installDataNodeProgram(fresh, d.cfg); err != nil {
+			return nil, err
+		}
+		var facts strings.Builder
+		for _, m := range d.masters {
+			fmt.Fprintf(&facts, "master(%q);\n", m)
+		}
+		d.mu.Lock()
+		ids := make([]int64, 0, len(d.chunks))
+		for id := range d.chunks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			fmt.Fprintf(&facts, "stored_chunk(%d, %d);\n", id, len(d.chunks[id]))
+		}
+		d.mu.Unlock()
+		if err := fresh.InstallSource(facts.String()); err != nil {
+			return nil, err
+		}
+		d.rt = fresh
+		return []sim.Service{&chunkStore{dn: d}}, nil
+	}
 }
 
 // Runtime exposes the underlying runtime.
@@ -83,6 +133,7 @@ func (d *DataNode) ChunkCount() int {
 // SetMaster repoints the datanode's heartbeats (failover support).
 func (d *DataNode) SetMaster(master string) error {
 	d.Master = master
+	d.masters = append(d.masters, master)
 	return d.rt.InstallSource(fmt.Sprintf(`master("%s");`, master))
 }
 

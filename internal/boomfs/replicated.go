@@ -1,8 +1,10 @@
 package boomfs
 
 import (
+	"bytes"
 	"fmt"
 
+	"repro/internal/overlog"
 	"repro/internal/paxos"
 	"repro/internal/sim"
 )
@@ -30,10 +32,23 @@ const GatewayRules = `
 	// ...reads are answered locally...
 	g2 request(@Me, Id, Src, Op, Path, Arg) :- fsreq(@Me, Id, Src, Op, Path, Arg),
 	        notin write_op(Op);
-	// ...and every decided command replays into the local master rules.
-	g3 request(@Me, Id, Src, Op, Path, Arg) :- decided(_, Cmd), Me := localaddr(),
+	// ...and every decided command replays into the local master rules,
+	// strictly in slot order, one slot per evaluation step. The cursor
+	// matters: a command's catalog writes are deferred (next), so a
+	// later command that reads them must apply in a later step — yet
+	// anti-entropy and post-election adoption can land a whole batch of
+	// decided slots in a single step. Replaying the batch unserialized
+	// silently drops commands (an addchunk applied in the same step as
+	// its create finds no file row; the chaos harness caught exactly
+	// that, as metadata loss followed by gc eating an acked chunk).
+	table applied(K: string, S: int) keys(0);
+	applied("a", 0);
+
+	g3 request(@Me, Id, Src, Op, Path, Arg) :- decided(S, Cmd), applied("a", S),
+	        Me := localaddr(),
 	        Id := tostr(nth(Cmd, 0)), Src := toaddr(nth(Cmd, 1)), Op := tostr(nth(Cmd, 2)),
 	        Path := tostr(nth(Cmd, 3)), Arg := tostr(nth(Cmd, 4));
+	g4 next applied("a", S + 1) :- decided(S, _), applied("a", S);
 `
 
 // ReplicatedMaster is a group of BOOM-FS master replicas coordinated by
@@ -42,9 +57,14 @@ type ReplicatedMaster struct {
 	Replicas []string
 	masters  []*Master
 	cluster  *sim.Cluster
+	cfg      Config
+	pcfg     paxos.Config
 }
 
 // NewReplicatedMaster builds n master replicas named prefix:0..n-1.
+// Each replica registers a crash-restart spec with the cluster, so
+// chaos schedules can Restart replicas (losing soft state) as well as
+// Kill/Revive them.
 func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg paxos.Config) (*ReplicatedMaster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("boomfs: replicated master needs >= 1 replica")
@@ -53,7 +73,7 @@ func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg 
 	for i := 0; i < n; i++ {
 		addrs = append(addrs, fmt.Sprintf("%s:%d", prefix, i))
 	}
-	rm := &ReplicatedMaster{Replicas: addrs, cluster: c}
+	rm := &ReplicatedMaster{Replicas: addrs, cluster: c, cfg: cfg, pcfg: pcfg}
 	for _, addr := range addrs {
 		rt, err := c.AddNode(addr)
 		if err != nil {
@@ -70,7 +90,63 @@ func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg 
 		}
 		rm.masters = append(rm.masters, &Master{Addr: addr, rt: rt, cfg: cfg})
 	}
+	for i, addr := range addrs {
+		if err := c.SetSpec(addr, rm.RestartSpec(i)); err != nil {
+			return nil, err
+		}
+	}
 	return rm, nil
+}
+
+// DurableFSTables is the metadata a master replica checkpoints to
+// stable storage — the relational analogue of the NameNode's FsImage.
+// fqpath is deliberately absent: it is a derived view that rebuilds
+// from the restored file tuples on the first post-restart step. The
+// datanode inventory (datanode, hb_chunk, live_dn, chunk_repl) is soft
+// state rebuilt from heartbeats within one heartbeat period.
+//
+// The gateway's applied cursor rides along: the decided log restores
+// silently (no replay — the checkpoint already holds applied slots'
+// effects), so the cursor is what lets replay resume exactly at the
+// first unapplied slot. It is restored WITH deltas on purpose: the
+// cursor delta joins decided(S) and re-fires g3 if the crash landed
+// between a slot's decision and its application.
+var DurableFSTables = []string{"file", "fchunk", "file_nchunks", "chunk_loc_hint", "applied"}
+
+// RestartSpec returns the crash-restart spec for replica i: reinstall
+// master + Paxos + gateway programs, restore the Paxos acceptor's
+// durable tables silently (the decided log must not replay through
+// gateway rule g3 — its effects are already in the checkpoint), and
+// restore the FS metadata checkpoint with delta seeding so derived
+// views rebuild. Leadership, pending proposals, and the datanode view
+// are lost, exactly as a real failover loses them.
+func (rm *ReplicatedMaster) RestartSpec(i int) sim.NodeSpec {
+	addr := rm.Replicas[i]
+	return func(prev, fresh *overlog.Runtime) ([]sim.Service, error) {
+		if err := installMasterProgram(fresh, rm.cfg); err != nil {
+			return nil, err
+		}
+		if err := paxos.InstallRestarted(fresh, addr, rm.Replicas, rm.pcfg); err != nil {
+			return nil, err
+		}
+		if err := fresh.InstallSource(GatewayRules); err != nil {
+			return nil, fmt.Errorf("boomfs: gateway rules: %w", err)
+		}
+		if prev != nil {
+			if err := paxos.CopyDurable(prev, fresh); err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			if err := prev.SnapshotTables(&buf, DurableFSTables...); err != nil {
+				return nil, err
+			}
+			if err := fresh.RestoreSnapshot(&buf); err != nil {
+				return nil, err
+			}
+		}
+		rm.masters[i].rt = fresh
+		return nil, nil
+	}
 }
 
 // Master returns the i-th replica's master view (inspection).
@@ -105,6 +181,7 @@ func (rm *ReplicatedMaster) DecidedCount() int {
 // master replica (datanodes heartbeat every replica so a backup has a
 // warm datanode view at failover).
 func (d *DataNode) AddMaster(master string) error {
+	d.masters = append(d.masters, master)
 	return d.rt.InstallSource(fmt.Sprintf(`master("%s");`, master))
 }
 

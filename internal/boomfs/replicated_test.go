@@ -123,6 +123,55 @@ func TestMasterFailover(t *testing.T) {
 	}
 }
 
+// TestClientSticksToNewLeaderAfterFailover: the first op after a
+// primary kill pays the RetryMS probe against the dead master before
+// failing over, but once a backup answers, the client's preference
+// moves — subsequent ops go straight to the new leader instead of
+// re-probing the corpse every time.
+func TestClientSticksToNewLeaderAfterFailover(t *testing.T) {
+	c, rm, _, cl := testReplicatedFS(t, 3, 3)
+	if err := cl.Mkdir("/pre"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.preferred != 0 {
+		t.Fatalf("precondition: preferred=%d, want the primary", cl.preferred)
+	}
+	c.Kill(rm.Replicas[0])
+
+	// The failover op eats at least one full RetryMS window probing the
+	// dead primary before a backup answers.
+	start := c.Now()
+	if err := cl.Mkdir("/post"); err != nil {
+		t.Fatalf("write after primary kill: %v", err)
+	}
+	failoverMS := c.Now() - start
+	// The probe window can close a few events shy of RetryMS, so compare
+	// against most of it rather than the exact figure.
+	if failoverMS < cl.RetryMS*3/4 {
+		t.Fatalf("failover op took %dms; expected roughly a %dms probe of the dead primary",
+			failoverMS, cl.RetryMS)
+	}
+	if cl.preferred == 0 {
+		t.Fatal("client preference still points at the dead primary")
+	}
+	newPref := cl.preferred
+
+	// Steady state: ops complete well inside one retry window, because
+	// no attempt goes to the dead primary anymore.
+	for i := 0; i < 3; i++ {
+		start = c.Now()
+		if err := cl.Mkdir(fmt.Sprintf("/steady%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		if d := c.Now() - start; d >= cl.RetryMS {
+			t.Fatalf("post-failover op %d took %dms — still probing the dead primary", i, d)
+		}
+		if cl.preferred != newPref {
+			t.Fatalf("preference drifted to %d mid-steady-state", cl.preferred)
+		}
+	}
+}
+
 func TestReplicatedWriteReadFile(t *testing.T) {
 	_, _, _, cl := testReplicatedFS(t, 3, 3)
 	data := "replicated master, plain data path, chunky payload........"

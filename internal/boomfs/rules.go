@@ -247,19 +247,37 @@ const MasterRules = `
 // in the paper): chunks no longer referenced by any file are purged
 // from the datanodes that report them. Disabled for partitioned
 // masters, where one shard cannot distinguish an orphan from another
-// shard's chunk. Placeholders: GCTICK, DNTIMEOUT.
+// shard's chunk.
+//
+// GC is the one master action that destroys data, so "no file
+// references this chunk" must hold for a full grace period before a
+// purge: a replica that just crash-restarted heartbeats its datanode
+// inventory immediately but may still be catching up on the decided
+// metadata log, and treating that transient gap as an orphan turns a
+// replica restart into permanent data loss (found by the chaos
+// harness's durability monitor). Placeholders: GCTICK, GCGRACE,
+// DNTIMEOUT.
 const GCRules = `
 	program boomfs_gc;
 
 	periodic gc_tick interval {{GCTICK}};
 
+	table orphan_since(ChunkId: int, T: int) keys(0);
+	og1 next orphan_since(C, now()) :- gc_tick(_, _), hb_chunk(N, C, _),
+	        notin fchunk(C, _, _), notin orphan_since(C, _);
+	og2 delete orphan_since(C, T) :- gc_tick(_, _), orphan_since(C, T),
+	        fchunk(C, _, _);
+	og3 delete orphan_since(C, T) :- gc_tick(_, _), orphan_since(C, T),
+	        notin hb_chunk(_, C, _);
+
 	gc1 gc_cmd(@N, C) :- gc_tick(_, _), hb_chunk(N, C, _), notin fchunk(C, _, _),
-	        datanode(N, T), T >= now() - {{DNTIMEOUT}};
+	        orphan_since(C, T), now() - T > {{GCGRACE}},
+	        datanode(N, T2), T2 >= now() - {{DNTIMEOUT}};
 	// Forget the replica record optimistically; the next heartbeat
 	// re-reports it if the datanode had not processed the command yet
 	// (the command is idempotent and will be re-sent).
 	gc2 delete hb_chunk(N, C, B) :- gc_tick(_, _), hb_chunk(N, C, B),
-	        notin fchunk(C, _, _);
+	        notin fchunk(C, _, _), orphan_since(C, T), now() - T > {{GCGRACE}};
 `
 
 // DataNodeRules runs on every datanode: heartbeats (liveness plus full

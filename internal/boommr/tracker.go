@@ -109,6 +109,21 @@ type TaskTracker struct {
 	MapsRun, RedsRun int64
 }
 
+// installTrackerProgram loads the protocol, tracker rules, and boot
+// facts onto a runtime (shared between first boot and crash-restart).
+func installTrackerProgram(rt *overlog.Runtime, jt string, cfg MRConfig) error {
+	if err := rt.InstallSource(MRProtocolDecls); err != nil {
+		return err
+	}
+	src := expand(TrackerRules, map[string]string{"TTHB": fmt.Sprintf("%d", cfg.HeartbeatMS)})
+	if err := rt.InstallSource(src); err != nil {
+		return err
+	}
+	boot := fmt.Sprintf(`jobtracker("%s"); slot_state("s", %d, %d, 0, 0);`,
+		jt, cfg.MapSlots, cfg.RedSlots)
+	return rt.InstallSource(boot)
+}
+
 // NewTaskTrackerOnRuntime installs the tracker program on an existing
 // runtime and returns the tracker plus its executor service, so the
 // same glue runs under the simulator or the real-time TCP driver.
@@ -116,16 +131,7 @@ func NewTaskTrackerOnRuntime(rt *overlog.Runtime, jt string, cfg MRConfig, reg *
 	if err := cfg.validate(); err != nil {
 		return nil, nil, err
 	}
-	if err := rt.InstallSource(MRProtocolDecls); err != nil {
-		return nil, nil, err
-	}
-	src := expand(TrackerRules, map[string]string{"TTHB": fmt.Sprintf("%d", cfg.HeartbeatMS)})
-	if err := rt.InstallSource(src); err != nil {
-		return nil, nil, err
-	}
-	boot := fmt.Sprintf(`jobtracker("%s"); slot_state("s", %d, %d, 0, 0);`,
-		jt, cfg.MapSlots, cfg.RedSlots)
-	if err := rt.InstallSource(boot); err != nil {
+	if err := installTrackerProgram(rt, jt, cfg); err != nil {
 		return nil, nil, err
 	}
 	tt := &TaskTracker{Addr: rt.LocalAddr(), JT: jt, Slowdown: 1.0, cfg: cfg, reg: reg, rt: rt,
@@ -133,7 +139,8 @@ func NewTaskTrackerOnRuntime(rt *overlog.Runtime, jt string, cfg MRConfig, reg *
 	return tt, &executor{tt: tt}, nil
 }
 
-// NewTaskTracker creates a tracker node wired to a jobtracker.
+// NewTaskTracker creates a tracker node wired to a jobtracker and
+// registers its crash-restart spec with the cluster.
 func NewTaskTracker(c *sim.Cluster, addr, jt string, cfg MRConfig, reg *Registry) (*TaskTracker, error) {
 	rt, err := c.AddNode(addr)
 	if err != nil {
@@ -146,7 +153,27 @@ func NewTaskTracker(c *sim.Cluster, addr, jt string, cfg MRConfig, reg *Registry
 	if err := c.AttachService(addr, svc); err != nil {
 		return nil, err
 	}
+	if err := c.SetSpec(addr, tt.RestartSpec()); err != nil {
+		return nil, err
+	}
 	return tt, nil
+}
+
+// RestartSpec rebuilds a crashed tracker: rules and boot facts are
+// reinstalled and every in-flight attempt vanishes with the old
+// runtime — the jobtracker re-schedules them when the tracker's
+// heartbeats either resume with empty slots or time out. The cumulative
+// MapsRun/RedsRun counters survive (they are an experiment metric, not
+// node state).
+func (tt *TaskTracker) RestartSpec() sim.NodeSpec {
+	return func(_, fresh *overlog.Runtime) ([]sim.Service, error) {
+		if err := installTrackerProgram(fresh, tt.JT, tt.cfg); err != nil {
+			return nil, err
+		}
+		tt.rt = fresh
+		tt.used.m, tt.used.r = 0, 0
+		return []sim.Service{&executor{tt: tt}}, nil
+	}
 }
 
 // Runtime exposes the tracker's runtime.

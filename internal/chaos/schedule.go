@@ -1,0 +1,138 @@
+// Package chaos is a deterministic fault-injection harness over
+// sim.Cluster: fault schedules are data (a list of timed actions),
+// invariants are Overlog rules installed next to the program under
+// test, and violations are tuples in a sys::invariant relation — the
+// runtime-checking counterpart of boomlint's static sys::lint. A
+// seed-sweep runner replays a workload+schedule across many seeds and
+// greedily shrinks any violating schedule to a minimal reproduction.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ActionKind names a fault primitive.
+type ActionKind string
+
+const (
+	// Kill stops a node permanently (until an explicit Revive); its
+	// runtime state is retained, modeling a long pause.
+	Kill ActionKind = "kill"
+	// Revive resumes a killed node with its state intact.
+	Revive ActionKind = "revive"
+	// CrashRestart kills Node at AtMS and restarts it DurMS later via
+	// its registered sim.NodeSpec: soft state is lost, durable tables
+	// come back from the crash-time checkpoint.
+	CrashRestart ActionKind = "crash-restart"
+	// Partition cuts the A<->B link at AtMS and heals it DurMS later
+	// (DurMS <= 0 leaves it cut until an explicit Heal).
+	Partition ActionKind = "partition"
+	// Heal restores the A<->B link.
+	Heal ActionKind = "heal"
+	// LossBurst raises the cluster-wide drop rate to Rate for DurMS,
+	// then restores the previous rate.
+	LossBurst ActionKind = "loss-burst"
+	// SlowLink adds LatMS of one-way delay to the A<->B link for DurMS
+	// (DurMS <= 0 keeps it slow forever).
+	SlowLink ActionKind = "slow-link"
+)
+
+// Action is one timed fault. Which fields matter depends on Kind:
+// Node for kill/revive/crash-restart; A and B for partition/heal/
+// slow-link; Rate for loss-burst; LatMS for slow-link; DurMS is the
+// fault's duration where the kind defines one.
+type Action struct {
+	AtMS  int64
+	Kind  ActionKind
+	Node  string
+	A, B  string
+	DurMS int64
+	Rate  float64
+	LatMS int64
+}
+
+func (a Action) String() string {
+	switch a.Kind {
+	case Kill, Revive:
+		return fmt.Sprintf("@%dms %s %s", a.AtMS, a.Kind, a.Node)
+	case CrashRestart:
+		return fmt.Sprintf("@%dms %s %s (down %dms)", a.AtMS, a.Kind, a.Node, a.DurMS)
+	case Partition:
+		return fmt.Sprintf("@%dms %s %s|%s (heal after %dms)", a.AtMS, a.Kind, a.A, a.B, a.DurMS)
+	case Heal:
+		return fmt.Sprintf("@%dms %s %s|%s", a.AtMS, a.Kind, a.A, a.B)
+	case LossBurst:
+		return fmt.Sprintf("@%dms %s %.0f%% for %dms", a.AtMS, a.Kind, a.Rate*100, a.DurMS)
+	case SlowLink:
+		return fmt.Sprintf("@%dms %s %s|%s +%dms for %dms", a.AtMS, a.Kind, a.A, a.B, a.LatMS, a.DurMS)
+	}
+	return fmt.Sprintf("@%dms %s", a.AtMS, a.Kind)
+}
+
+// Schedule is an ordered fault plan. Schedules are plain data: they
+// serialize, diff, and shrink — the point of modeling faults as tuples
+// rather than imperative test choreography.
+type Schedule []Action
+
+func (s Schedule) String() string {
+	if len(s) == 0 {
+		return "(no faults)"
+	}
+	lines := make([]string, len(s))
+	for i, a := range s {
+		lines[i] = a.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Apply registers every action as a cluster timer; the driver fires
+// them as virtual time advances, even while a synchronous workload op
+// is driving the simulation from inside the same event loop.
+func (s Schedule) Apply(c *sim.Cluster) {
+	for _, a := range s {
+		a := a
+		switch a.Kind {
+		case Kill:
+			c.At(a.AtMS, func() error { c.Kill(a.Node); return nil })
+		case Revive:
+			c.At(a.AtMS, func() error { c.Revive(a.Node); return nil })
+		case CrashRestart:
+			c.At(a.AtMS, func() error { c.Kill(a.Node); return nil })
+			c.At(a.AtMS+a.DurMS, func() error { return c.Restart(a.Node) })
+		case Partition:
+			c.At(a.AtMS, func() error { c.Partition(a.A, a.B); return nil })
+			if a.DurMS > 0 {
+				c.At(a.AtMS+a.DurMS, func() error { c.Heal(a.A, a.B); return nil })
+			}
+		case Heal:
+			c.At(a.AtMS, func() error { c.Heal(a.A, a.B); return nil })
+		case LossBurst:
+			c.At(a.AtMS, func() error {
+				prev := c.SetDropRate(a.Rate)
+				c.At(a.AtMS+a.DurMS, func() error { c.SetDropRate(prev); return nil })
+				return nil
+			})
+		case SlowLink:
+			c.At(a.AtMS, func() error { c.SlowLink(a.A, a.B, a.LatMS); return nil })
+			if a.DurMS > 0 {
+				c.At(a.AtMS+a.DurMS, func() error { c.SlowLink(a.A, a.B, 0); return nil })
+			}
+		}
+	}
+}
+
+// End returns the time by which every action (including its duration)
+// has completed.
+func (s Schedule) End() int64 {
+	var end int64
+	for _, a := range s {
+		t := a.AtMS + a.DurMS
+		if t > end {
+			end = t
+		}
+	}
+	return end
+}

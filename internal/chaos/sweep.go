@@ -1,0 +1,67 @@
+package chaos
+
+// The sweep runner replays a scenario's workload under many seeds, and
+// when a schedule produces a violation, greedily shrinks it to a
+// minimal fault sequence that still does. Because runs are
+// deterministic in (seed, schedule), a shrunk schedule is a replayable
+// counterexample: the smallest sequence of faults that breaks the
+// invariant under that seed's workload.
+
+// SweepResult is one seed's run, plus the shrunk schedule when the run
+// violated an invariant and shrinking was requested.
+type SweepResult struct {
+	Seed     int64
+	Schedule Schedule
+	Outcome  Outcome
+	// Shrunk is the minimal violating schedule (nil when the run was
+	// clean or shrinking was disabled).
+	Shrunk Schedule
+}
+
+// Seeds returns n consecutive seeds starting at base.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// Sweep runs the scenario once per seed. With shrink set, violating
+// schedules are minimized before being reported.
+func Sweep(sc Scenario, seeds []int64, shrink bool) []SweepResult {
+	results := make([]SweepResult, 0, len(seeds))
+	for _, seed := range seeds {
+		sched := sc.Schedule(seed)
+		out := sc.Run(seed, sched)
+		res := SweepResult{Seed: seed, Schedule: sched, Outcome: out}
+		if shrink && out.Err == nil && out.Violated() {
+			res.Shrunk = Shrink(sc, seed, sched)
+		}
+		results = append(results, res)
+	}
+	return results
+}
+
+// Shrink greedily minimizes a violating schedule: drop one action at a
+// time, keep the removal whenever the violation persists, and iterate
+// to a fixpoint. The result is 1-minimal — removing any single
+// remaining action makes the run pass. Runs that error out don't count
+// as violations (the candidate is rejected), so the minimized schedule
+// always replays cleanly.
+func Shrink(sc Scenario, seed int64, sched Schedule) Schedule {
+	cur := append(Schedule(nil), sched...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append(Schedule(nil), cur[:i]...), cur[i+1:]...)
+			out := sc.Run(seed, cand)
+			if out.Err == nil && out.Violated() {
+				cur = cand
+				changed = true
+				i--
+			}
+		}
+	}
+	return cur
+}

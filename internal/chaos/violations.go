@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Violation is one inv_violation tuple: an invariant observed false on
+// a node at a simulated time.
+type Violation struct {
+	Inv    string
+	Node   string
+	TimeMS int64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] %s @%dms: %s", v.Inv, v.Node, v.TimeMS, v.Detail)
+}
+
+// Collect sweeps every node's inv_violation relation, materializes the
+// rows into that node's sys::invariant catalog table (mirroring how
+// analysis.SelfLint fills sys::lint), and returns them sorted by time.
+// Harness-level checks can add their own rows with RecordViolation
+// before collecting.
+func Collect(c *sim.Cluster) []Violation {
+	var out []Violation
+	for _, addr := range c.Nodes() {
+		rt := c.Node(addr)
+		if rt == nil {
+			continue
+		}
+		tbl := rt.Table("inv_violation")
+		if tbl == nil {
+			continue
+		}
+		sys := rt.Table("sys::invariant")
+		tbl.Scan(func(tp overlog.Tuple) bool {
+			v := Violation{
+				Inv:    tp.Vals[0].AsString(),
+				Node:   tp.Vals[1].AsString(),
+				TimeMS: tp.Vals[2].AsInt(),
+				Detail: tp.Vals[3].AsString(),
+			}
+			out = append(out, v)
+			if sys != nil {
+				_, _, _ = sys.Insert(overlog.NewTuple("sys::invariant",
+					overlog.Str(v.Inv), overlog.Str(v.Node),
+					overlog.Int(v.TimeMS), overlog.Str(v.Detail)))
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TimeMS != out[j].TimeMS {
+			return out[i].TimeMS < out[j].TimeMS
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// RecordViolation inserts a harness-detected violation (e.g. a wrong
+// MapReduce output, which no single node's relations can see) into a
+// node's inv_violation relation so Collect picks it up uniformly.
+func RecordViolation(rt *overlog.Runtime, v Violation) {
+	tbl := rt.Table("inv_violation")
+	if tbl == nil {
+		// The node carries no monitor program; declare the relation so
+		// harness findings still land in the catalog.
+		if err := rt.InstallSource(invViolationDecl); err != nil {
+			return
+		}
+		tbl = rt.Table("inv_violation")
+	}
+	_, _, _ = tbl.Insert(overlog.NewTuple("inv_violation",
+		overlog.Str(v.Inv), overlog.Addr(v.Node), overlog.Int(v.TimeMS), overlog.Str(v.Detail)))
+}
+
+// Report renders violations plus the tail of the telemetry journal —
+// the cross-node trace of sends, drops, and faults leading up to the
+// failure — for postmortem reading.
+func Report(vs []Violation, j *telemetry.Journal, tail int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d invariant violation(s):\n", len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	evs := j.Events()
+	if len(evs) == 0 {
+		return b.String()
+	}
+	if tail > 0 && len(evs) > tail {
+		evs = evs[len(evs)-tail:]
+	}
+	fmt.Fprintf(&b, "journal trace (last %d events):\n", len(evs))
+	for _, ev := range evs {
+		line := fmt.Sprintf("  %8dms %-14s %-6s %s", ev.WallMS, ev.Node, ev.Kind, ev.Table)
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		if ev.TraceID != "" {
+			line += " [" + ev.TraceID + "]"
+		}
+		b.WriteString(line + "\n")
+	}
+	return b.String()
+}

@@ -58,7 +58,7 @@ func olgSources() map[string]string {
 func neutralize(src string) string {
 	for _, k := range []string{"REPL", "DNTIMEOUT", "FDTICK", "HBMS", "SCHEDMS",
 		"TTTTL", "SLOWFRAC", "SPECMINMS", "MAXSPEC", "TTHB", "PXTICK",
-		"ELTIMEOUT", "STRIDE", "SYNCMS", "GCTICK", "TICK", "TIMEOUT"} {
+		"ELTIMEOUT", "STRIDE", "SYNCMS", "GCTICK", "GCGRACE", "TICK", "TIMEOUT"} {
 		src = strings.ReplaceAll(src, "{{"+k+"}}", "1")
 	}
 	return src

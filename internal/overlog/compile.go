@@ -229,6 +229,11 @@ type compiledRule struct {
 	isDeferred bool
 	stratum    int
 	ranOnce    bool
+	// prevAgg remembers the tuples this aggregate rule materialized on
+	// its previous recomputation, keyed by group key, so groups that
+	// stop deriving retract their stale row (materialized-view
+	// maintenance; only used for local, non-delete, non-deferred heads).
+	prevAgg map[string]Tuple
 	// scanPositions indexes body ops that are opScan, for semi-naive
 	// delta placement.
 	scanPositions []int

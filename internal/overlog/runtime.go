@@ -252,6 +252,15 @@ func (r *Runtime) declareSysTables() {
 			{Name: "Line", Type: KindInt},
 			{Name: "Msg", Type: KindString},
 		}},
+		// sys::invariant holds runtime invariant violations observed by
+		// monitor rules (populated by the chaos harness from each node's
+		// inv_violation table); like sys::lint, no keys = set semantics.
+		{Name: "sys::invariant", Cols: []ColDecl{
+			{Name: "Inv", Type: KindString},
+			{Name: "Node", Type: KindString},
+			{Name: "Time", Type: KindInt},
+			{Name: "Detail", Type: KindString},
+		}},
 	}
 	for _, d := range sys {
 		r.cat.decls[d.Name] = d
@@ -1029,9 +1038,23 @@ func (a *aggCollector) collect(env []Value) error {
 	return nil
 }
 
-// emit materializes one head tuple per group.
+// emit materializes one head tuple per group, then retracts rows left
+// over from groups that no longer derive. Without the retraction an
+// aggregate view over a shrinking input keeps its last row forever —
+// e.g. a count of live replica holders stays at its old value after
+// every holder dies, so `notin` tests against the view never fire.
+// Deletions match the exact previous tuple, so a row legitimately
+// re-derived by another rule (or replaced under the same key) is
+// untouched. Remote, deferred, and delete heads are exempt: those
+// derivations leave the rule's control, so there is nothing coherent
+// to retract.
 func (a *aggCollector) emit(r *Runtime) error {
 	cr := a.cr
+	maintain := !cr.isDelete && !cr.isDeferred && cr.head.locCol < 0
+	var cur map[string]Tuple
+	if maintain {
+		cur = make(map[string]Tuple, len(a.order))
+	}
 	for _, key := range a.order {
 		g := a.groups[key]
 		vals := make([]Value, len(cr.head.exprs))
@@ -1067,9 +1090,21 @@ func (a *aggCollector) emit(r *Runtime) error {
 		}
 		r.ruleFires[cr.name]++
 		r.derivedCt++
-		if err := r.routeHead(cr, NewTuple(cr.head.table, vals...)); err != nil {
+		tp := NewTuple(cr.head.table, vals...)
+		if maintain {
+			cur[key] = tp
+		}
+		if err := r.routeHead(cr, tp); err != nil {
 			return err
 		}
+	}
+	if maintain {
+		for key, old := range cr.prevAgg {
+			if _, ok := cur[key]; !ok {
+				r.pendDel = append(r.pendDel, old)
+			}
+		}
+		cr.prevAgg = cur
 	}
 	return nil
 }

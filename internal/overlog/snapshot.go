@@ -19,10 +19,6 @@ const snapshotMagic = "OLGSNAP1"
 
 // Snapshot writes every persistent user table's contents to w.
 func (r *Runtime) Snapshot(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return err
-	}
 	names := make([]string, 0, len(r.tables))
 	for name, tbl := range r.tables {
 		d := tbl.Decl()
@@ -31,7 +27,29 @@ func (r *Runtime) Snapshot(w io.Writer) error {
 		}
 		names = append(names, name)
 	}
+	return r.SnapshotTables(w, names...)
+}
+
+// SnapshotTables writes only the named persistent tables to w, in the
+// same framing as Snapshot. Used by crash-restart specs to checkpoint a
+// protocol's durable subset (e.g. a Paxos acceptor's promised/accepted
+// log) while everything else is rebuilt as soft state.
+func (r *Runtime) SnapshotTables(w io.Writer, names ...string) error {
+	for _, name := range names {
+		tbl, ok := r.tables[name]
+		if !ok {
+			return fmt.Errorf("overlog: snapshot: table %q not declared", name)
+		}
+		if tbl.Decl().Event {
+			return fmt.Errorf("overlog: snapshot: table %q is an event table", name)
+		}
+	}
+	names = append([]string(nil), names...)
 	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
 	if err := writeUvarint(bw, uint64(len(names))); err != nil {
 		return err
 	}
@@ -68,6 +86,20 @@ func (r *Runtime) Snapshot(w io.Writer) error {
 // incrementally on the first step after restore. Unknown tables in the
 // snapshot are an error (schema mismatch should be loud).
 func (r *Runtime) RestoreSnapshot(rd io.Reader) error {
+	return r.restoreSnapshot(rd, false)
+}
+
+// RestoreSnapshotSilent loads a snapshot without seeding deltas: the
+// restored tuples become base facts that future joins can scan, but no
+// rules re-fire over them. This models state whose downstream effects
+// were already applied before the checkpoint — e.g. a replicated
+// master's decided log, which must be queryable after restart but must
+// not replay through the gateway's apply rule.
+func (r *Runtime) RestoreSnapshotSilent(rd io.Reader) error {
+	return r.restoreSnapshot(rd, true)
+}
+
+func (r *Runtime) restoreSnapshot(rd io.Reader, silent bool) error {
 	br := bufio.NewReader(rd)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -107,7 +139,12 @@ func (r *Runtime) RestoreSnapshot(rd io.Reader) error {
 					return fmt.Errorf("overlog: restore %s: %w", name, err)
 				}
 			}
-			if _, err := r.insertLocal(NewTuple(name, vals...), "restore"); err != nil {
+			tp := NewTuple(name, vals...)
+			if silent {
+				if _, _, err := r.tables[name].Insert(tp); err != nil {
+					return err
+				}
+			} else if _, err := r.insertLocal(tp, "restore"); err != nil {
 				return err
 			}
 		}

@@ -2,7 +2,6 @@ package paxos
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/internal/overlog"
@@ -204,65 +203,9 @@ func TestDecisionsUnderMessageLoss(t *testing.T) {
 	logsAgree(t, c, members)
 }
 
-// TestSafetyUnderRandomFailures is the property-based safety check:
-// random leader kills, drops, and latency jitter must never yield two
-// replicas deciding different commands for one slot.
-func TestSafetyUnderRandomFailures(t *testing.T) {
-	for seed := int64(1); seed <= 6; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			rng := rand.New(rand.NewSource(seed))
-			c, members := testGroup(t, 3,
-				sim.WithClusterSeed(seed), sim.WithDropRate(0.05),
-				sim.WithLatency(sim.UniformLatency(1, 10)))
-			if err := c.Run(500); err != nil {
-				t.Fatal(err)
-			}
-			alive := map[string]bool{}
-			for _, m := range members {
-				alive[m] = true
-			}
-			killed := ""
-			for i := 0; i < 12; i++ {
-				target := members[rng.Intn(len(members))]
-				submit(c, target, fmt.Sprintf("s%d-%02d", seed, i), "v")
-				if err := c.Run(c.Now() + int64(rng.Intn(800))); err != nil {
-					t.Fatal(err)
-				}
-				switch rng.Intn(6) {
-				case 0: // kill one replica (keep a majority alive)
-					if killed == "" {
-						victim := members[rng.Intn(len(members))]
-						c.Kill(victim)
-						killed = victim
-					}
-				case 1: // revive
-					if killed != "" {
-						c.Revive(killed)
-						killed = ""
-					}
-				}
-			}
-			if killed != "" {
-				c.Revive(killed)
-			}
-			if err := c.Run(c.Now() + 20_000); err != nil {
-				t.Fatal(err)
-			}
-			logsAgree(t, c, members)
-			// Liveness sanity: something was decided.
-			total := 0
-			for _, m := range members {
-				if n := decidedCount(c, m); n > total {
-					total = n
-				}
-			}
-			if total == 0 {
-				t.Fatal("nothing decided at all")
-			}
-		})
-	}
-}
+// TestSafetyUnderRandomFailures moved to churn_chaos_test.go (package
+// paxos_test), where the leader churn is expressed as a replayable
+// chaos.Schedule instead of imperative kill/revive choreography.
 
 // TestRevivedOldLeaderAbdicates: the original leader comes back after a
 // successor was elected and new commands were decided; ballot

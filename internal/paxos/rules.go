@@ -115,6 +115,20 @@ const Rules = `
 	// A replica that sees a higher ballot than its own abdicates.
 	lead2 next is_leader("l", false) :- prepare(@Me, _, B), cur_ballot("b", MB), B > MB,
 	        is_leader("l", true);
+	// A zombie leader whose prepare from the successor was lost still
+	// abdicates on the successor's heartbeat — without this, dual
+	// leadership can persist indefinitely under message loss (the
+	// single-leader chaos monitor found this hole).
+	lead3 next is_leader("l", false) :- leader_hb(@Me, _, B), cur_ballot("b", MB), B > MB,
+	        is_leader("l", true);
+	// cur_ballot tracks the highest ballot observed, not just the
+	// highest started here. Without this an abdicated leader's stale
+	// promise tally still matches its cur_ballot and lead1 re-elects it
+	// on the next step, forever (the second hole the chaos monitor
+	// found); adopting the winner's ballot also lets cp5 retire the
+	// stale tally.
+	bb1 next cur_ballot("b", B) :- prepare(@Me, _, B), cur_ballot("b", MB), B > MB;
+	bb2 next cur_ballot("b", B) :- leader_hb(@Me, _, B), cur_ballot("b", MB), B > MB;
 
 	// --- new leader adopts the highest-ballot accepted value per slot ---
 	table adopt_max(Slot: int, AB: int) keys(0);
@@ -193,6 +207,18 @@ const Rules = `
 // Install loads the protocol onto a runtime with the given membership
 // (sorted for rank assignment) and this node's initial role state.
 func Install(rt *overlog.Runtime, self string, members []string, cfg Config) error {
+	return install(rt, self, members, cfg, false)
+}
+
+// InstallRestarted is Install for a replica coming back from a crash:
+// identical rules and membership, but the replica never boots believing
+// it leads — leadership must be re-won through an election, after the
+// durable acceptor tables have been restored (see RestartSpec).
+func InstallRestarted(rt *overlog.Runtime, self string, members []string, cfg Config) error {
+	return install(rt, self, members, cfg, true)
+}
+
+func install(rt *overlog.Runtime, self string, members []string, cfg Config, restarted bool) error {
 	if len(members) == 0 {
 		return fmt.Errorf("paxos: empty membership")
 	}
@@ -216,12 +242,13 @@ func Install(rt *overlog.Runtime, self string, members []string, cfg Config) err
 	if err := rt.InstallSource(expand(Rules, vars)); err != nil {
 		return err
 	}
-	return rt.InstallSource(seedFacts(rank, sorted))
+	return rt.InstallSource(seedFacts(rank, sorted, rank == 0 && !restarted))
 }
 
 // seedFacts renders the membership and initial role state installed on
-// the replica with the given rank.
-func seedFacts(rank int, sorted []string) string {
+// the replica with the given rank. Restarted replicas seed with
+// leader=false regardless of rank: leadership is soft state.
+func seedFacts(rank int, sorted []string, leader bool) string {
 	var b strings.Builder
 	for i, m := range sorted {
 		fmt.Fprintf(&b, "member(\"%s\", %d);\n", m, i)
@@ -229,7 +256,7 @@ func seedFacts(rank int, sorted []string) string {
 	fmt.Fprintf(&b, `quorum("q", %d);`+"\n", len(sorted)/2+1)
 	fmt.Fprintf(&b, `promised("p", -1);`+"\n")
 	fmt.Fprintf(&b, `cur_ballot("b", %d);`+"\n", rank)
-	fmt.Fprintf(&b, `is_leader("l", %v);`+"\n", rank == 0)
+	fmt.Fprintf(&b, `is_leader("l", %v);`+"\n", leader)
 	fmt.Fprintf(&b, `leader_seen("t", 0);`+"\n")
 	fmt.Fprintf(&b, `last_elect("t", 0);`+"\n")
 	fmt.Fprintf(&b, `next_slot("s", 0);`+"\n")
@@ -250,7 +277,7 @@ func LintSources() []string {
 		"SYNCMS":    fmt.Sprintf("%d", cfg.SyncMS),
 	}
 	members := []string{"px:0", "px:1", "px:2"}
-	return []string{expand(Rules, vars), seedFacts(0, members)}
+	return []string{expand(Rules, vars), seedFacts(0, members, true)}
 }
 
 // LintUnits declares the analysis units for this package.

@@ -73,6 +73,42 @@ type event struct {
 	tuple overlog.Tuple
 }
 
+// timer is one scheduled callback (fault injection, probes). Timers
+// fire at their virtual time, before any message deliveries due at the
+// same instant, in (time, seq) order.
+type timer struct {
+	time int64
+	seq  int64
+	fn   func() error
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// NodeSpec rebuilds a node after a crash-restart: install programs on
+// the fresh runtime (and restore whatever the node's durability model
+// says survived the crash — prev is the crashed runtime, frozen since
+// the kill) and return the services to attach. Soft state not copied
+// explicitly is lost, unlike Revive which resumes with every table
+// intact.
+type NodeSpec func(prev, fresh *overlog.Runtime) ([]Service, error)
+
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -99,6 +135,7 @@ type node struct {
 	services []Service
 	buffer   []overlog.WatchEvent // events raised during the current step
 	killed   bool
+	spec     NodeSpec // rebuild recipe for crash-restart; nil = Revive only
 }
 
 // Cluster is the simulation: a set of nodes, a virtual clock, and a
@@ -107,6 +144,7 @@ type Cluster struct {
 	nodes   map[string]*node
 	order   []string // creation order, for deterministic iteration
 	queue   eventHeap
+	timers  timerHeap
 	now     int64
 	seq     int64
 	rng     *rand.Rand
@@ -114,6 +152,9 @@ type Cluster struct {
 	// dropRate is applied to inter-node messages (not self-deliveries).
 	dropRate   float64
 	partitions map[[2]string]bool
+	// linkExtra adds per-link one-way delay on top of the latency model
+	// (SlowLink fault injection).
+	linkExtra map[[2]string]int64
 
 	// serviceTime, when set, models single-threaded servers: delivering
 	// a tuple to a node occupies it for serviceTime(node, table) ms, and
@@ -177,6 +218,7 @@ func NewCluster(opts ...Option) *Cluster {
 		latency:    ConstLatency(1),
 		rng:        rand.New(rand.NewSource(1)),
 		partitions: make(map[[2]string]bool),
+		linkExtra:  make(map[[2]string]int64),
 		Delivered:  make(map[string]int64),
 		MaxSteps:   50_000_000,
 	}
@@ -245,9 +287,13 @@ func (c *Cluster) AttachService(addr string, svc Service) error {
 // Kill marks a node failed: it stops stepping, and messages to or from
 // it are dropped. State is retained (a killed master's successor does
 // not read it; retention only aids post-mortem inspection in tests).
+// Any service-time backlog is discarded: a dead server's queue does not
+// survive into its next incarnation.
 func (c *Cluster) Kill(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = true
+		delete(c.busyUntil, addr)
+		c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "kill"})
 	}
 }
 
@@ -255,7 +301,57 @@ func (c *Cluster) Kill(addr string) {
 func (c *Cluster) Revive(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = false
+		c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "revive"})
 	}
+}
+
+// SetSpec registers the rebuild recipe Restart uses for addr.
+func (c *Cluster) SetSpec(addr string, spec NodeSpec) error {
+	n, ok := c.nodes[addr]
+	if !ok {
+		return fmt.Errorf("sim: SetSpec: unknown node %q", addr)
+	}
+	n.spec = spec
+	return nil
+}
+
+// Restart is a true crash-restart: the node's runtime is discarded and
+// rebuilt from its registered NodeSpec, so all soft state (tables not
+// explicitly restored by the spec, pending deferred tuples, periodic
+// phases) is lost. The crashed runtime is passed to the spec so it can
+// model stable storage by copying durable tables forward.
+func (c *Cluster) Restart(addr string) error {
+	n, ok := c.nodes[addr]
+	if !ok {
+		return fmt.Errorf("sim: Restart: unknown node %q", addr)
+	}
+	if n.spec == nil {
+		return fmt.Errorf("sim: Restart: node %q has no NodeSpec (use SetSpec, or Revive)", addr)
+	}
+	prev := n.rt
+	rt := overlog.NewRuntime(addr)
+	if c.reg != nil {
+		telemetry.AttachRuntime(c.reg, addr, rt)
+	}
+	n.rt = rt
+	n.services = nil
+	n.buffer = nil
+	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
+		n.buffer = append(n.buffer, ev)
+	})
+	svcs, err := n.spec(prev, rt)
+	if err != nil {
+		return fmt.Errorf("sim: restart %s: %w", addr, err)
+	}
+	for _, svc := range svcs {
+		if err := c.AttachService(addr, svc); err != nil {
+			return err
+		}
+	}
+	n.killed = false
+	delete(c.busyUntil, addr)
+	c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "restart"})
+	return nil
 }
 
 // Killed reports whether the node is currently failed.
@@ -268,12 +364,43 @@ func (c *Cluster) Killed(addr string) bool {
 func (c *Cluster) Partition(a, b string) {
 	c.partitions[[2]string{a, b}] = true
 	c.partitions[[2]string{b, a}] = true
+	c.journal.Record(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "partition from " + b})
 }
 
 // Heal restores the link between a and b.
 func (c *Cluster) Heal(a, b string) {
 	delete(c.partitions, [2]string{a, b})
 	delete(c.partitions, [2]string{b, a})
+	c.journal.Record(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "heal with " + b})
+}
+
+// SetDropRate replaces the inter-node loss probability (loss-burst
+// fault injection). Returns the previous rate so bursts can restore it.
+func (c *Cluster) SetDropRate(p float64) float64 {
+	prev := c.dropRate
+	c.dropRate = p
+	return prev
+}
+
+// SlowLink adds extraMS of one-way delay to the a<->b link in both
+// directions (on top of the latency model). extraMS of 0 clears it.
+func (c *Cluster) SlowLink(a, b string, extraMS int64) {
+	if extraMS <= 0 {
+		delete(c.linkExtra, [2]string{a, b})
+		delete(c.linkExtra, [2]string{b, a})
+		return
+	}
+	c.linkExtra[[2]string{a, b}] = extraMS
+	c.linkExtra[[2]string{b, a}] = extraMS
+}
+
+// At schedules fn to run at virtual time t (fault injection, probes).
+// Due timers fire before message deliveries at the same instant, in
+// registration order; an error from fn aborts the simulation. Times in
+// the past run on the next step.
+func (c *Cluster) At(t int64, fn func() error) {
+	c.seq++
+	heap.Push(&c.timers, &timer{time: t, seq: c.seq, fn: fn})
 }
 
 // Inject schedules an external tuple delivery after delayMS, applying
@@ -283,7 +410,11 @@ func (c *Cluster) Inject(to string, tp overlog.Tuple, delayMS int64) {
 		delayMS = 0
 	}
 	when := c.now + delayMS
-	if c.serviceTime != nil {
+	dead := false
+	if n, ok := c.nodes[to]; ok {
+		dead = n.killed
+	}
+	if c.serviceTime != nil && !dead {
 		if svc := c.serviceTime(to, tp.Table); svc > 0 {
 			if c.busyUntil == nil {
 				c.busyUntil = make(map[string]int64)
@@ -328,7 +459,7 @@ func (c *Cluster) send(from string, env overlog.Envelope) {
 	}
 	delay := int64(0)
 	if from != env.To {
-		delay = c.latency(from, env.To, c.rng)
+		delay = c.latency(from, env.To, c.rng) + c.linkExtra[[2]string{from, env.To}]
 		if delay < 1 {
 			delay = 1
 		}
@@ -338,23 +469,11 @@ func (c *Cluster) send(from string, env overlog.Envelope) {
 	c.Inject(env.To, env.Tuple, delay)
 }
 
-// Step processes the earliest pending work (message deliveries and
-// periodic timer wakes) and returns false when nothing remains.
+// Step processes the earliest pending work (message deliveries, fault
+// timers, and periodic timer wakes) and returns false when nothing
+// remains.
 func (c *Cluster) Step() (bool, error) {
-	next := int64(-1)
-	if len(c.queue) > 0 {
-		next = c.queue[0].time
-	}
-	for _, addr := range c.order {
-		n := c.nodes[addr]
-		if n.killed {
-			continue
-		}
-		w := n.rt.NextWake()
-		if w >= 0 && (next == -1 || w < next) {
-			next = w
-		}
-	}
+	next := c.peekNextTime()
 	if next < 0 {
 		return false, nil
 	}
@@ -362,6 +481,15 @@ func (c *Cluster) Step() (bool, error) {
 		next = c.now
 	}
 	c.now = next
+
+	// Fire due fault timers before deliveries at this instant, so a
+	// node killed "at t" never sees messages arriving "at t".
+	for len(c.timers) > 0 && c.timers[0].time <= c.now {
+		tm := heap.Pop(&c.timers).(*timer)
+		if err := tm.fn(); err != nil {
+			return false, err
+		}
+	}
 
 	// Group deliveries due now by destination.
 	pending := map[string][]overlog.Tuple{}
@@ -419,7 +547,7 @@ func (c *Cluster) stepNode(n *node, in []overlog.Tuple) error {
 				for _, inj := range svc.OnEvent(c, ev) {
 					delay := inj.DelayMS
 					if inj.To != n.addr {
-						delay += c.latency(n.addr, inj.To, c.rng)
+						delay += c.latency(n.addr, inj.To, c.rng) + c.linkExtra[[2]string{n.addr, inj.To}]
 					}
 					if delay < 1 {
 						delay = 1
@@ -479,6 +607,9 @@ func (c *Cluster) peekNextTime() int64 {
 	next := int64(-1)
 	if len(c.queue) > 0 {
 		next = c.queue[0].time
+	}
+	if len(c.timers) > 0 && (next == -1 || c.timers[0].time < next) {
+		next = c.timers[0].time
 	}
 	for _, addr := range c.order {
 		n := c.nodes[addr]

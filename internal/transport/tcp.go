@@ -4,8 +4,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/overlog"
 	"repro/internal/telemetry"
@@ -60,9 +62,24 @@ type TCP struct {
 	peers   map[string]*peerConn
 	ever    map[string]bool // peers we have connected to at least once
 	inbound map[net.Conn]bool
+	backoff map[string]*dialBackoff
+	boBase  time.Duration
+	boCap   time.Duration
 	stats   *TCPStats
 	journal *telemetry.Journal
 	done    chan struct{}
+}
+
+// dialBackoff tracks consecutive dial failures to one peer. A node
+// under churn sends many frames per second at a dead peer; without
+// backoff every one of them pays a full dial timeout and hammers the
+// address the moment it comes back. Re-dial attempts inside the wait
+// window fail fast instead, and the window grows exponentially (with
+// jitter, so a mesh of senders doesn't re-dial a restarted peer in
+// lockstep) up to a cap. The first successful dial resets the slate.
+type dialBackoff struct {
+	fails int
+	until time.Time
 }
 
 type peerConn struct {
@@ -82,9 +99,20 @@ func ListenTCP(node *Node, addr string) (*TCP, error) {
 	t := &TCP{node: node, ln: ln, localAddr: addr,
 		peers: map[string]*peerConn{}, ever: map[string]bool{},
 		inbound: map[net.Conn]bool{},
-		stats:   &TCPStats{}, done: make(chan struct{})}
+		backoff: map[string]*dialBackoff{},
+		boBase:  50 * time.Millisecond, boCap: 5 * time.Second,
+		stats: &TCPStats{}, done: make(chan struct{})}
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetDialBackoff overrides the re-dial backoff window (base doubles per
+// consecutive failure up to max). Zero base disables backoff; tests use
+// tiny values to keep wall time down.
+func (t *TCP) SetDialBackoff(base, max time.Duration) {
+	t.mu.Lock()
+	t.boBase, t.boCap = base, max
+	t.mu.Unlock()
 }
 
 // SetTelemetry installs the metric bundle and event journal. Either
@@ -141,10 +169,18 @@ func (t *TCP) peer(addr string) (*peerConn, error) {
 	if pc, ok := t.peers[addr]; ok {
 		return pc, nil
 	}
+	if b, ok := t.backoff[addr]; ok {
+		if wait := time.Until(b.until); wait > 0 {
+			return nil, fmt.Errorf("transport: dial %s: backing off %s after %d failure(s)",
+				addr, wait.Round(time.Millisecond), b.fails)
+		}
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
+		t.noteDialFailure(addr)
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
+	delete(t.backoff, addr)
 	if t.ever[addr] {
 		t.stats.Reconnects.Inc()
 	}
@@ -152,6 +188,27 @@ func (t *TCP) peer(addr string) (*peerConn, error) {
 	pc := &peerConn{conn: conn, enc: gob.NewEncoder(&countingWriter{w: conn, t: t})}
 	t.peers[addr] = pc
 	return pc, nil
+}
+
+// noteDialFailure (mu held) advances the peer's backoff window:
+// base·2^(fails-1) capped at boCap, then jittered into [d/2, d] so
+// independent senders spread their re-dials.
+func (t *TCP) noteDialFailure(addr string) {
+	if t.boBase <= 0 {
+		return
+	}
+	b := t.backoff[addr]
+	if b == nil {
+		b = &dialBackoff{}
+		t.backoff[addr] = b
+	}
+	b.fails++
+	d := t.boBase << uint(b.fails-1)
+	if d <= 0 || d > t.boCap {
+		d = t.boCap
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	b.until = time.Now().Add(d)
 }
 
 func (t *TCP) dropPeer(addr string) {

@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/overlog"
+)
+
+func sendTo(tcp *TCP, to string, n int64) error {
+	return tcp.Send(overlog.Envelope{To: to,
+		Tuple: overlog.NewTuple("msg", overlog.Addr(to), overlog.Int(n))})
+}
+
+// TestTCPDialBackoffFailsFast: after a dial failure, sends inside the
+// backoff window fail immediately without touching the network, and the
+// window expires on schedule.
+func TestTCPDialBackoffFailsFast(t *testing.T) {
+	node, tcp, reg, _ := mkFailNode(t, freeAddr(t))
+	defer func() { node.Stop(); tcp.Close() }()
+	tcp.SetDialBackoff(200*time.Millisecond, time.Second)
+
+	dead := freeAddr(t) // nothing listening there
+	if err := sendTo(tcp, dead, 1); err == nil {
+		t.Skip("supposedly-free port accepted a connection")
+	}
+
+	// Within the window (jitter keeps it >= 100ms): no second dial, the
+	// error says we're backing off, and it returns without a dial's
+	// latency.
+	start := time.Now()
+	err := sendTo(tcp, dead, 2)
+	if err == nil || !strings.Contains(err.Error(), "backing off") {
+		t.Fatalf("expected fail-fast backoff error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("backing-off send took %s, want immediate", elapsed)
+	}
+	if got := reg.Get("boom_transport_send_errors_total"); got != 2 {
+		t.Fatalf("send_errors: %g, want 2 (both drops counted)", got)
+	}
+
+	// After the window a real dial happens again (and fails again,
+	// against the still-dead peer — but no longer as a backoff error).
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		err = sendTo(tcp, dead, 3)
+		if err != nil && !strings.Contains(err.Error(), "backing off") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backoff window never expired: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTCPDialBackoffGrowsAndCaps: consecutive failures double the
+// window up to the cap, always with at least half the nominal delay
+// (the jitter floor).
+func TestTCPDialBackoffGrowsAndCaps(t *testing.T) {
+	node, tcp, _, _ := mkFailNode(t, freeAddr(t))
+	defer func() { node.Stop(); tcp.Close() }()
+	base, cap := 100*time.Millisecond, 400*time.Millisecond
+	tcp.SetDialBackoff(base, cap)
+
+	peer := "198.51.100.1:9" // TEST-NET, never dialed here
+	nominal := []time.Duration{base, 2 * base, 4 * base, cap, cap}
+	for i, want := range nominal {
+		tcp.mu.Lock()
+		tcp.noteDialFailure(peer)
+		b := tcp.backoff[peer]
+		window := time.Until(b.until)
+		tcp.mu.Unlock()
+		if b.fails != i+1 {
+			t.Fatalf("failure %d: fails=%d", i+1, b.fails)
+		}
+		if window < want/2-10*time.Millisecond || window > want {
+			t.Fatalf("failure %d: window %s outside [%s, %s]", i+1, window, want/2, want)
+		}
+	}
+}
+
+// TestTCPDialBackoffResetsOnSuccess: a successful dial wipes the
+// failure history — the next outage starts from the base window again.
+func TestTCPDialBackoffResetsOnSuccess(t *testing.T) {
+	nodeA, tcpA, _, _ := mkFailNode(t, freeAddr(t))
+	defer func() { nodeA.Stop(); tcpA.Close() }()
+	tcpA.SetDialBackoff(50*time.Millisecond, 2*time.Second)
+
+	addrB := freeAddr(t)
+	// Fail a few times against the not-yet-started peer to build history.
+	for i := 0; i < 3; i++ {
+		tcpA.mu.Lock()
+		tcpA.noteDialFailure(addrB)
+		tcpA.mu.Unlock()
+	}
+	tcpA.mu.Lock()
+	tcpA.backoff[addrB].until = time.Now() // window already expired
+	fails := tcpA.backoff[addrB].fails
+	tcpA.mu.Unlock()
+	if fails != 3 {
+		t.Fatalf("setup: fails=%d", fails)
+	}
+
+	nodeB, tcpB, _, _ := mkFailNode(t, addrB)
+	defer func() { nodeB.Stop(); tcpB.Close() }()
+	if err := sendTo(tcpA, addrB, 1); err != nil {
+		t.Fatalf("send after peer came up: %v", err)
+	}
+	waitGot(t, nodeB, 1, "delivery after recovery")
+	tcpA.mu.Lock()
+	_, lingering := tcpA.backoff[addrB]
+	tcpA.mu.Unlock()
+	if lingering {
+		t.Fatal("backoff history not cleared by successful dial")
+	}
+}
