@@ -23,8 +23,9 @@ check:
 	$(GO) run ./cmd/boomlint -severity=error
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
-	$(GO) test -race ./internal/chaos/...
+	$(GO) test -race ./internal/chaos/... ./internal/sim
 	$(MAKE) chaos
+	$(GO) run ./cmd/boom-evalbench -smoke -out /dev/null
 
 # chaos: a short deterministic fault-injection sweep — every scenario
 # (replicated-FS master failover, Paxos leader churn, MapReduce worker
@@ -54,8 +55,16 @@ race:
 	$(GO) test -race ./...
 
 # Every table/figure as testing.B benchmarks (plus runtime ablations).
-bench:
+bench-paper:
 	$(GO) test -bench=. -benchmem .
+
+# Evaluator microbenchmarks (internal/evalbench) plus the quick
+# experiment suite, recorded into BENCH_evaluator.json: ns/op,
+# allocs/op, B/op per workload, experiment-suite wall time, and the
+# pre-optimization baseline for comparison.
+bench:
+	$(GO) run ./cmd/boom-evalbench -benchtime 2s -experiments -out BENCH_evaluator.json
+	$(GO) test -bench=. -benchmem ./internal/overlog
 
 # The paper's evaluation with full parameters, printed as reports.
 experiments:

@@ -1,0 +1,188 @@
+// Command boom-evalbench runs the Overlog evaluator microbenchmarks
+// (internal/evalbench) through testing.Benchmark and writes a JSON
+// report so evaluator performance is tracked as a repo artifact, not
+// just a local `go test -bench` printout.
+//
+// Usage:
+//
+//	boom-evalbench                      # print the report to stdout
+//	boom-evalbench -out BENCH_evaluator.json
+//	boom-evalbench -experiments        # also time the boom-bench suite
+//	boom-evalbench -smoke              # 1 iteration per bench (CI gate)
+//
+// The -experiments flag runs the paper-evaluation experiment suite
+// (the same code paths as `boom-bench all -quick`) and records its
+// wall time, tying the microbenchmark numbers to the end-to-end cost
+// they are meant to predict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/evalbench"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// BenchResult is one microbenchmark row.
+type BenchResult struct {
+	Name        string  `json:"name,omitempty"`
+	Iterations  int     `json:"iterations,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// Report is the BENCH_evaluator.json schema.
+type Report struct {
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// ExperimentSuiteSeconds is the wall time of the quick paper-
+	// evaluation suite (-experiments), or 0 when it was not run.
+	ExperimentSuiteSeconds float64 `json:"experiment_suite_seconds,omitempty"`
+	TotalWallSeconds       float64 `json:"total_wall_seconds"`
+	// Baseline pins the pre-optimization numbers (string-keyed storage,
+	// per-probe key building) measured on the same workloads, so the
+	// speedup this file documents stays legible without git archaeology.
+	Baseline map[string]BenchResult `json:"baseline,omitempty"`
+}
+
+// preOptBaseline: measured before the fingerprint-storage/probe-plan
+// rework, benchtime=2s, same machine class as CI. Kept as data (not
+// prose) so tooling can diff current numbers against it.
+var preOptBaseline = map[string]BenchResult{
+	"FixpointTransitiveClosure/n=64":  {NsPerOp: 9148258, AllocsPerOp: 55118, BytesPerOp: 3983933},
+	"FixpointTransitiveClosure/n=256": {NsPerOp: 261595828, AllocsPerOp: 884667, BytesPerOp: 68646304},
+	"FixpointMultiWayJoin":            {NsPerOp: 251014174, AllocsPerOp: 1067410, BytesPerOp: 60728292},
+	"FixpointAggHeavy":                {NsPerOp: 25730935, AllocsPerOp: 73214, BytesPerOp: 12035200},
+	"SteadyStateProbe":                {NsPerOp: 519100, AllocsPerOp: 1553, BytesPerOp: 133980},
+	"TableInsertLookup":               {NsPerOp: 297483, AllocsPerOp: 2846, BytesPerOp: 196241},
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON report to this path (default stdout)")
+	exps := flag.Bool("experiments", false, "also run the quick paper-evaluation suite and record wall time")
+	smoke := flag.Bool("smoke", false, "single-iteration run: checks the benchmarks still execute, numbers not meaningful")
+	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	flag.Parse()
+
+	start := time.Now()
+	rep := Report{Baseline: preOptBaseline}
+	for _, bm := range evalbench.Suite() {
+		bstart := time.Now()
+		var res BenchResult
+		if *smoke {
+			// One untimed execution of the iteration body: verifies the
+			// workload still runs; numbers are wall time only.
+			if err := bm.Once(); err != nil {
+				fmt.Fprintf(os.Stderr, "boom-evalbench: %s: %v\n", bm.Name, err)
+				os.Exit(1)
+			}
+			res = BenchResult{Name: bm.Name, Iterations: 1, WallSeconds: time.Since(bstart).Seconds()}
+		} else {
+			r := benchFor(bm.Fn, *benchtime)
+			res = BenchResult{
+				Name:        bm.Name,
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				WallSeconds: time.Since(bstart).Seconds(),
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, res)
+		fmt.Fprintf(os.Stderr, "%-34s %10d ns/op %8d allocs/op %10d B/op\n",
+			bm.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+
+	if *exps {
+		estart := time.Now()
+		if err := runQuickExperiments(); err != nil {
+			fmt.Fprintf(os.Stderr, "boom-evalbench: experiment suite: %v\n", err)
+			os.Exit(1)
+		}
+		rep.ExperimentSuiteSeconds = time.Since(estart).Seconds()
+		fmt.Fprintf(os.Stderr, "experiment suite (quick): %.1fs wall\n", rep.ExperimentSuiteSeconds)
+	}
+	rep.TotalWallSeconds = time.Since(start).Seconds()
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boom-evalbench: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "boom-evalbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// benchFor runs fn under testing.Benchmark with an approximate time
+// target: testing.Benchmark has no benchtime knob, so wrap the body
+// and let the framework's own iteration scaling do the work (its
+// default target is 1s; for longer targets, rerun with the iteration
+// count scaled to the requested duration).
+func benchFor(fn func(*testing.B), target time.Duration) testing.BenchmarkResult {
+	r := testing.Benchmark(fn)
+	if target <= time.Second || r.T >= target {
+		return r
+	}
+	n := int(float64(r.N) * float64(target) / float64(r.T))
+	if n <= r.N {
+		return r
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.N = n
+		fn(b)
+	})
+}
+
+// runQuickExperiments exercises the same experiment code paths as
+// `boom-bench all -quick`, without the report printing.
+func runQuickExperiments() error {
+	pp := experiments.DefaultPerfParams()
+	pp.DataNodes, pp.TaskTrackers, pp.NumSplits, pp.BytesPerSplit, pp.NumReduce = 4, 4, 8, 8<<10, 2
+	if _, err := experiments.RunPerf(pp); err != nil {
+		return err
+	}
+	fp := experiments.DefaultFailoverParams()
+	fp.Ops, fp.KillAtOp, fp.DataNodes = 20, 8, 2
+	if _, err := experiments.RunFailover(fp); err != nil {
+		return err
+	}
+	sp := experiments.DefaultScaleupParams()
+	sp.Partitions = []int{1, 2}
+	sp.Clients, sp.OpsPerClient = 4, 30
+	if _, err := experiments.RunScaleup(sp); err != nil {
+		return err
+	}
+	lp := experiments.DefaultLateParams()
+	lp.TaskTrackers, lp.NumSplits, lp.BytesPerSplit = 4, 8, 24<<10
+	lp.Plan = workload.OneStraggler(8)
+	if _, err := experiments.RunLate(lp); err != nil {
+		return err
+	}
+	mp := experiments.DefaultMonitoringParams()
+	mp.Ops, mp.DataNodes = 40, 2
+	if _, err := experiments.RunMonitoring(mp); err != nil {
+		return err
+	}
+	xp := experiments.DefaultPaxosParams()
+	xp.ReplicaCounts = []int{1, 3}
+	xp.Commands = 12
+	if _, err := experiments.RunPaxosBench(xp); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+// Package evalbench defines the Overlog evaluator's microbenchmark
+// workloads in importable form. The same drivers back two consumers:
+// `go test -bench` (via thin wrappers in internal/overlog's test
+// files) and cmd/boom-evalbench, which runs them through
+// testing.Benchmark and emits BENCH_evaluator.json so evaluator
+// regressions are visible as numbers in the repo, not just locally.
+//
+// Each workload isolates one axis of the evaluator's cost model (see
+// DESIGN.md §11): fixpoint recursion, multi-way index probing,
+// aggregate recomputation, the duplicate-derivation fast path, and raw
+// table insert/probe throughput. Every workload exposes its
+// per-iteration body as a plain function so smoke runs can execute it
+// once without the benchmark framework's iteration scaling.
+package evalbench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/overlog"
+)
+
+// Bench names one workload for suite runners. Fn is the `go bench`
+// driver; Once runs the iteration body a single time (smoke checks).
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+	Once func() error
+}
+
+// Suite returns every evaluator workload in report order.
+func Suite() []Bench {
+	return []Bench{
+		{
+			Name: "FixpointTransitiveClosure/n=64",
+			Fn:   func(b *testing.B) { TransitiveClosure(b, 64) },
+			Once: func() error { return tcOnce(tcFacts(64)) },
+		},
+		{
+			Name: "FixpointTransitiveClosure/n=256",
+			Fn:   func(b *testing.B) { TransitiveClosure(b, 256) },
+			Once: func() error { return tcOnce(tcFacts(256)) },
+		},
+		{Name: "FixpointMultiWayJoin", Fn: MultiWayJoin, Once: func() error { return multiJoinOnce(multiJoinFacts()) }},
+		{Name: "FixpointAggHeavy", Fn: AggHeavy, Once: aggHeavyOnce},
+		{Name: "SteadyStateProbe", Fn: SteadyStateProbe, Once: steadyOnce},
+		{Name: "TableInsertLookup", Fn: TableInsertLookup, Once: insertLookupOnce},
+	}
+}
+
+// tcProgram is the classic transitive-closure workload: one linear rule
+// and one recursive join, both driven through the semi-naive loop.
+const tcProgram = `
+	table edge(A: int, B: int) keys(0,1);
+	table reach(A: int, B: int) keys(0,1);
+	r1 reach(A, B) :- edge(A, B);
+	r2 reach(A, C) :- edge(A, B), reach(B, C);
+`
+
+// tcFacts builds a graph of n chain edges plus n/4 shortcut edges
+// (deterministic, no RNG) so the closure has real fan-out.
+func tcFacts(n int) []overlog.Tuple {
+	facts := make([]overlog.Tuple, 0, n+n/4)
+	for i := 0; i < n; i++ {
+		facts = append(facts, overlog.NewTuple("edge", overlog.Int(int64(i)), overlog.Int(int64(i+1))))
+	}
+	for i := 0; i < n/4; i++ {
+		from := (i * 7) % n
+		to := (from + 13 + i) % n
+		facts = append(facts, overlog.NewTuple("edge", overlog.Int(int64(from)), overlog.Int(int64(to))))
+	}
+	return facts
+}
+
+func tcOnce(facts []overlog.Tuple) error {
+	rt := overlog.NewRuntime("bench")
+	if err := rt.InstallSource(tcProgram); err != nil {
+		return err
+	}
+	if _, err := rt.Step(1, facts); err != nil {
+		return err
+	}
+	if rt.Table("reach").Len() == 0 {
+		return fmt.Errorf("empty closure")
+	}
+	return nil
+}
+
+// TransitiveClosure is the headline join-heavy fixpoint workload
+// referenced by BENCH_evaluator.json.
+func TransitiveClosure(b *testing.B, n int) {
+	facts := tcFacts(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tcOnce(facts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// multiJoinProgram exercises a 4-atom join pipeline where every
+// non-frontier atom is reached through a secondary-index probe.
+const multiJoinProgram = `
+	table r(A: int, B: int) keys(0,1);
+	table s(B: int, C: int) keys(0,1);
+	table u(C: int, D: int) keys(0,1);
+	table q(A: int, D: int) keys(0,1);
+	j1 q(A, D) :- r(A, B), s(B, C), u(C, D), A != D;
+`
+
+func multiJoinFacts() []overlog.Tuple {
+	const n = 400
+	var facts []overlog.Tuple
+	for i := 0; i < n; i++ {
+		facts = append(facts, overlog.NewTuple("r", overlog.Int(int64(i)), overlog.Int(int64(i%40))))
+		facts = append(facts, overlog.NewTuple("s", overlog.Int(int64(i%40)), overlog.Int(int64(i%20))))
+		facts = append(facts, overlog.NewTuple("u", overlog.Int(int64(i%20)), overlog.Int(int64(i))))
+	}
+	return facts
+}
+
+func multiJoinOnce(facts []overlog.Tuple) error {
+	rt := overlog.NewRuntime("bench")
+	if err := rt.InstallSource(multiJoinProgram); err != nil {
+		return err
+	}
+	if _, err := rt.Step(1, facts); err != nil {
+		return err
+	}
+	if rt.Table("q").Len() == 0 {
+		return fmt.Errorf("empty join result")
+	}
+	return nil
+}
+
+// MultiWayJoin drives the 4-atom join pipeline to fixpoint.
+func MultiWayJoin(b *testing.B) {
+	facts := multiJoinFacts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := multiJoinOnce(facts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// aggProgram recomputes grouped aggregates over a growing base table
+// across many steps — the materialized-view maintenance path.
+const aggProgram = `
+	table obs(K: int, V: int) keys(0,1);
+	table stat(K: int, C: int, S: int, Mn: int, Mx: int) keys(0);
+	a1 stat(K, count<V>, sum<V>, min<V>, max<V>) :- obs(K, V);
+`
+
+func aggHeavyOnce() error {
+	const steps, perStep = 40, 25
+	rt := overlog.NewRuntime("bench")
+	if err := rt.InstallSource(aggProgram); err != nil {
+		return err
+	}
+	v := int64(0)
+	for s := 1; s <= steps; s++ {
+		batch := make([]overlog.Tuple, 0, perStep)
+		for j := 0; j < perStep; j++ {
+			batch = append(batch, overlog.NewTuple("obs", overlog.Int(v%16), overlog.Int(v)))
+			v++
+		}
+		if _, err := rt.Step(int64(s), batch); err != nil {
+			return err
+		}
+	}
+	if rt.Table("stat").Len() != 16 {
+		return fmt.Errorf("stat groups: %d", rt.Table("stat").Len())
+	}
+	return nil
+}
+
+// AggHeavy steps an aggregate view under a stream of inserts.
+func AggHeavy(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := aggHeavyOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SteadyProgram is the duplicate-derivation workload: every step
+// re-joins an event against a warm table and derives tuples that are
+// already stored, so the evaluator should do probe work only.
+const SteadyProgram = `
+	table big(A: int, B: int) keys(0,1);
+	table out(A: int, B: int) keys(0,1);
+	event tick(Ord: int, T: int);
+	p1 out(A, B) :- tick(_, _), big(A, B);
+`
+
+func steadyWarm() (*overlog.Runtime, error) {
+	rt := overlog.NewRuntime("bench")
+	if err := rt.InstallSource(SteadyProgram); err != nil {
+		return nil, err
+	}
+	var warm []overlog.Tuple
+	for i := 0; i < 512; i++ {
+		warm = append(warm, overlog.NewTuple("big", overlog.Int(int64(i)), overlog.Int(int64(i*3))))
+	}
+	if _, err := rt.Step(1, warm); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+func steadyOnce() error {
+	rt, err := steadyWarm()
+	if err != nil {
+		return err
+	}
+	_, err = rt.Step(2, []overlog.Tuple{overlog.NewTuple("tick", overlog.Int(0), overlog.Int(0))})
+	return err
+}
+
+// SteadyStateProbe measures the duplicate-derivation fast path.
+func SteadyStateProbe(b *testing.B) {
+	rt, err := steadyWarm()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Step(int64(i+2), []overlog.Tuple{overlog.NewTuple("tick", overlog.Int(int64(i)), overlog.Int(0))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func insertLookupOnce() error {
+	decl := &overlog.TableDecl{Name: "t", Cols: []overlog.ColDecl{
+		{Name: "A", Type: overlog.KindInt},
+		{Name: "B", Type: overlog.KindString},
+	}, KeyCols: []int{0}}
+	vals := make([]overlog.Value, 256)
+	for i := range vals {
+		vals[i] = overlog.Int(int64(i))
+	}
+	tbl := overlog.NewTable(decl)
+	for j := 0; j < 256; j++ {
+		if _, _, err := tbl.Insert(overlog.NewTuple("t", vals[j], overlog.Str("payload"))); err != nil {
+			return err
+		}
+	}
+	hits := 0
+	for j := 0; j < 256; j++ {
+		hits += len(tbl.Match([]int{0}, vals[j:j+1]))
+	}
+	if hits != 256 {
+		return fmt.Errorf("hits: %d", hits)
+	}
+	return nil
+}
+
+// TableInsertLookup isolates raw storage: insert-heavy then
+// probe-heavy phases against one table.
+func TableInsertLookup(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := insertLookupOnce(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package overlog
+
+import "testing"
+
+// steadyProgram mirrors evalbench.SteadyProgram; duplicated here
+// because this file needs package-internal access (raceEnabled) while
+// the evalbench package sits outside overlog's test binary.
+const steadyProgram = `
+	table big(A: int, B: int) keys(0,1);
+	table out(A: int, B: int) keys(0,1);
+	event tick(Ord: int, T: int);
+	p1 out(A, B) :- tick(_, _), big(A, B);
+`
+
+// TestProbePathAllocGuard pins the allocation budget of the evaluator's
+// steady-state hot path: an event joining a warm table where every
+// derived tuple is already stored. With fingerprint storage, prepared
+// probe plans, and clone-on-store this is probe work only — the budget
+// below has ~3x slack over the measured cost (≈10 allocs per step for
+// the event-tuple routing itself), so it catches an accidental
+// per-probe or per-candidate allocation (which shows up as hundreds)
+// without flaking on incidental churn.
+func TestProbePathAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	rt := NewRuntime("guard")
+	if err := rt.InstallSource(steadyProgram); err != nil {
+		t.Fatal(err)
+	}
+	var warm []Tuple
+	for i := 0; i < 256; i++ {
+		warm = append(warm, NewTuple("big", Int(int64(i)), Int(int64(i*3))))
+	}
+	if _, err := rt.Step(1, warm); err != nil {
+		t.Fatal(err)
+	}
+	step := int64(1)
+	// Warm the plan caches (first post-load step may build indexes).
+	for i := 0; i < 3; i++ {
+		step++
+		if _, err := rt.Step(step, []Tuple{NewTuple("tick", Int(step), Int(0))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		step++
+		if _, err := rt.Step(step, []Tuple{NewTuple("tick", Int(step), Int(0))}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 32
+	if avg > budget {
+		t.Fatalf("steady-state step allocates %.1f/run, budget %d — a per-probe or per-candidate allocation crept into the hot path", avg, budget)
+	}
+}
+
+// TestDuplicateInsertAllocGuard pins the cheapest storage path: an
+// insert that is already present must reject without cloning.
+func TestDuplicateInsertAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	decl := &TableDecl{Name: "t", Cols: []ColDecl{
+		{Name: "A", Type: KindInt},
+		{Name: "B", Type: KindString},
+	}, KeyCols: []int{0, 1}}
+	tbl := NewTable(decl)
+	tp := NewTuple("t", Int(42), Str("payload"))
+	if _, _, err := tbl.Insert(tp); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		added, _, err := tbl.Insert(tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added {
+			t.Fatal("duplicate insert reported as added")
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("duplicate insert allocates %.1f/run, want 0", avg)
+	}
+}

@@ -1,0 +1,130 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// Regression tests for KindAny determinism. The original comparison
+// keyed unregistered opaque values by fmt.Sprintf("%p"), i.e. by heap
+// address — so sort order (and thus table dumps, index iteration, and
+// replay) changed from process to process. Opaque values now order by
+// stable dynamic type name, then by a registered comparator or a
+// rendered key, never by pointer identity.
+
+type anyPayload struct{ X int }
+
+type anyOther struct{ Y string }
+
+// TestAnyCompareIgnoresAllocation: two separately allocated pointers
+// with identical contents must compare equal — under %p keying they
+// compared by whichever address the allocator handed out.
+func TestAnyCompareIgnoresAllocation(t *testing.T) {
+	a := Any(&anyPayload{X: 7})
+	b := Any(&anyPayload{X: 7})
+	if c := a.Compare(b); c != 0 {
+		t.Fatalf("equal-content pointers compare %d, want 0", c)
+	}
+	c := Any(&anyPayload{X: 9})
+	if a.Compare(c) == 0 {
+		t.Fatal("distinct-content pointers compare equal")
+	}
+	// Antisymmetry must hold however the allocator ordered the pointers.
+	if a.Compare(c) != -c.Compare(a) {
+		t.Fatal("comparison not antisymmetric")
+	}
+}
+
+// TestAnyOrderByTypeName: values of different dynamic types group by
+// type name, so a mixed column sorts the same in every process.
+func TestAnyOrderByTypeName(t *testing.T) {
+	vals := []Value{
+		Any(&anyOther{Y: "z"}),
+		Any(&anyPayload{X: 3}),
+		Any(&anyOther{Y: "a"}),
+		Any(&anyPayload{X: 1}),
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].Compare(vals[j]) < 0 })
+	// *overlog.anyOther < *overlog.anyPayload lexically; within a type,
+	// the rendered key (&{a} < &{z}, &{1} < &{3}) decides.
+	want := []string{"&{a}", "&{z}", "&{1}", "&{3}"}
+	for i, v := range vals {
+		if got := fmt.Sprintf("%v", v.AsAny()); got != want[i] {
+			t.Fatalf("sorted[%d] = %s, want %s (full order %v)", i, got, want[i], vals)
+		}
+	}
+}
+
+type anyRegistered struct{ rank int }
+
+// TestRegisterAnyType: a registered comparator and keyer fully control
+// ordering and encoding for their type.
+func TestRegisterAnyType(t *testing.T) {
+	RegisterAnyType(&anyRegistered{},
+		func(v interface{}) string { return fmt.Sprintf("rank=%d", v.(*anyRegistered).rank) },
+		func(a, b interface{}) int {
+			ra, rb := a.(*anyRegistered).rank, b.(*anyRegistered).rank
+			switch {
+			case ra < rb:
+				return -1
+			case ra > rb:
+				return 1
+			}
+			return 0
+		})
+	lo, hi := Any(&anyRegistered{rank: 1}), Any(&anyRegistered{rank: 2})
+	if lo.Compare(hi) != -1 || hi.Compare(lo) != 1 || lo.Compare(lo) != 0 {
+		t.Fatal("registered comparator not used")
+	}
+	// The registered key feeds encode(), so storage keying is stable.
+	enc1 := string(Any(&anyRegistered{rank: 5}).encode(nil))
+	enc2 := string(Any(&anyRegistered{rank: 5}).encode(nil))
+	if enc1 != enc2 {
+		t.Fatalf("encodings differ: %q vs %q", enc1, enc2)
+	}
+	if enc1 == string(Any(&anyRegistered{rank: 6}).encode(nil)) {
+		t.Fatal("distinct ranks encode identically")
+	}
+}
+
+// TestAnyEncodeHashAgree: the incremental hash must consume exactly
+// what encode renders, and keyEqual must match encode equality — the
+// storage layer depends on this triple staying in lockstep.
+func TestAnyEncodeHashAgree(t *testing.T) {
+	vals := []Value{
+		Any(&anyPayload{X: 1}),
+		Any(&anyPayload{X: 1}),
+		Any(&anyPayload{X: 2}),
+		Any(&anyOther{Y: "a"}),
+		Any(nil),
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			encEq := string(a.encode(nil)) == string(b.encode(nil))
+			if keyEq := a.keyEqual(b); keyEq != encEq {
+				t.Fatalf("vals[%d] vs vals[%d]: keyEqual=%v, encode equality=%v", i, j, keyEq, encEq)
+			}
+			if encEq && a.hash(fnvOffset64) != b.hash(fnvOffset64) {
+				t.Fatalf("vals[%d] vs vals[%d]: equal encodings, different hashes", i, j)
+			}
+		}
+	}
+}
+
+// TestAnyUncomparableTypes: slices/maps behind KindAny must not panic
+// in Equal (Go == would) and must stay deterministic.
+func TestAnyUncomparableTypes(t *testing.T) {
+	a := Any([]int{1, 2})
+	b := Any([]int{1, 2})
+	c := Any([]int{1, 3})
+	if !a.Equal(b) {
+		t.Fatal("identical slices unequal")
+	}
+	if a.Equal(c) {
+		t.Fatal("distinct slices equal")
+	}
+	if a.Compare(c) == 0 || a.Compare(c) != -c.Compare(a) {
+		t.Fatal("slice ordering broken")
+	}
+}

@@ -198,6 +198,15 @@ type bodyOp struct {
 	assignExpr cexpr // opAssign
 
 	line int
+
+	// Prepared probe plan (built once at install): boundSlots short-cuts
+	// expression evaluation when every bound column is a plain variable;
+	// valsBuf and candBuf are reusable evaluation buffers. Reuse is safe
+	// because execOps only ever advances through the body, so the same
+	// operator is never active twice, and a Runtime is single-threaded.
+	boundSlots []int
+	valsBuf    []Value
+	candBuf    []Tuple
 }
 
 // aggSpec describes one aggregate head position.
@@ -242,6 +251,55 @@ type compiledRule struct {
 	// the frontier first and index-joins the rest (sideways information
 	// passing). nil when the rule has at most one body element.
 	deltaVariants []*compiledRule
+	// deltaForPos is the dispatch table derived from deltaVariants: it
+	// maps a body position directly to the variant to run when that
+	// position carries the frontier (nil = evaluate in original order).
+	deltaForPos []*compiledRule
+
+	// Reusable evaluation buffers (see bodyOp's plan fields for the
+	// safety argument). headBuf backs head materialization: duplicate
+	// derivations are rejected against storage without allocating.
+	envBuf  []Value
+	headBuf []Value
+}
+
+// prepare allocates the rule's evaluation buffers and per-operator
+// probe plans. Called once per compilation (including delta variants).
+func (cr *compiledRule) prepare() {
+	cr.envBuf = make([]Value, cr.nslots)
+	cr.headBuf = make([]Value, len(cr.head.exprs))
+	for _, op := range cr.body {
+		if op.kind != opScan && op.kind != opNotin {
+			continue
+		}
+		op.valsBuf = make([]Value, len(op.boundExprs))
+		allSlots := len(op.boundExprs) > 0
+		for _, ce := range op.boundExprs {
+			if _, ok := ce.(cslot); !ok {
+				allSlots = false
+				break
+			}
+		}
+		if allSlots {
+			op.boundSlots = make([]int, len(op.boundExprs))
+			for i, ce := range op.boundExprs {
+				op.boundSlots[i] = ce.(cslot).idx
+			}
+		}
+	}
+}
+
+// finalizeDelta builds the delta dispatch table once the variants
+// exist. Entries stay nil when no (safe) reordered variant is
+// available, which evalRuleDelta reads as "original order".
+func (cr *compiledRule) finalizeDelta() {
+	cr.deltaForPos = make([]*compiledRule, len(cr.body))
+	if len(cr.deltaVariants) != len(cr.scanPositions) {
+		return
+	}
+	for i, p := range cr.scanPositions {
+		cr.deltaForPos[p] = cr.deltaVariants[i]
+	}
 }
 
 // ruleCompiler tracks variable slot allocation for one rule.
@@ -518,6 +576,7 @@ func (rc *ruleCompiler) compileRule(seq int) (*compiledRule, error) {
 	}
 	cr.nslots = len(rc.names)
 	cr.slotNames = rc.names
+	cr.prepare()
 	return cr, nil
 }
 

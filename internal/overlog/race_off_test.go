@@ -1,0 +1,5 @@
+//go:build !race
+
+package overlog
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package overlog
+
+// raceEnabled reports whether the race detector is active; alloc-budget
+// guards skip under it because instrumentation changes allocation counts.
+const raceEnabled = true

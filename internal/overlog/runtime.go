@@ -323,6 +323,7 @@ func (r *Runtime) Install(prog *Program) error {
 		if err := buildDeltaVariants(r.cat, cr, base+i); err != nil {
 			return err
 		}
+		cr.finalizeDelta()
 		r.cat.rules = append(r.cat.rules, cr)
 	}
 	r.cat.programs = append(r.cat.programs, progName(prog))
@@ -552,13 +553,15 @@ func (r *Runtime) maintainFireStats() error {
 }
 
 // insertLocal stores a tuple, records it in the step deltas when new,
-// and emits watch events. viaRule is "" for external inserts.
+// and emits watch events. viaRule is "" for external inserts. tp.Vals
+// may be a reusable scratch buffer: storage clones before retaining,
+// and the emitted events carry the stored copy.
 func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
 	tbl, ok := r.tables[tp.Table]
 	if !ok {
 		return false, fmt.Errorf("overlog: %s: insert into undeclared table %q", r.addr, tp.Table)
 	}
-	inserted, displaced, err := tbl.Insert(tp)
+	inserted, displaced, norm, err := tbl.insertChecked(tp)
 	if err != nil {
 		return false, err
 	}
@@ -566,7 +569,6 @@ func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
 		return false, nil
 	}
 	r.insertCt++
-	norm, _ := tbl.LookupKey(tp)
 	r.stepDeltas[tp.Table] = append(r.stepDeltas[tp.Table], norm)
 	if displaced != nil {
 		r.nextDirty[tp.Table] = true
@@ -739,8 +741,11 @@ func (r *Runtime) runStratumNaive(rules []*compiledRule) error {
 
 // evalRuleFull evaluates a rule against full table contents: used for
 // aggregate rules (recomputed once per step) and scan-free rules.
+// Evaluation borrows the rule's prepared buffers (env, probe values,
+// candidate lists); a Runtime is single-threaded and execOps never
+// re-enters an operator, so reuse is safe.
 func (r *Runtime) evalRuleFull(cr *compiledRule) error {
-	env := make([]Value, cr.nslots)
+	env := cr.envBuf
 	if cr.isAgg {
 		agg := newAggCollector(cr, r)
 		if err := r.execOps(cr, 0, -1, nil, env, agg.collect); err != nil {
@@ -754,28 +759,23 @@ func (r *Runtime) evalRuleFull(cr *compiledRule) error {
 }
 
 // evalRuleDelta evaluates a rule with one scan position restricted to
-// the frontier tuples. When a reordered variant exists for that
-// position (the common case), it runs with the frontier scan first so
-// the remaining atoms are index-probed with bound values.
+// the frontier tuples. The compile-time dispatch table maps the delta
+// position straight to its reordered variant (frontier scan first, so
+// the remaining atoms are index-probed with bound values); nil entries
+// fall back to original-order evaluation.
 func (r *Runtime) evalRuleDelta(cr *compiledRule, deltaPos int, frontier []Tuple) error {
 	if cr.isAgg {
 		return nil // aggregates are recomputed via evalRuleFull only
 	}
 	run := cr
 	pos := deltaPos
-	if len(cr.deltaVariants) == len(cr.scanPositions) {
-		for i, p := range cr.scanPositions {
-			if p == deltaPos {
-				if v := cr.deltaVariants[i]; v != nil {
-					run = v
-					pos = run.scanPositions[0]
-				}
-				break
-			}
+	if deltaPos < len(cr.deltaForPos) {
+		if v := cr.deltaForPos[deltaPos]; v != nil {
+			run = v
+			pos = run.scanPositions[0]
 		}
 	}
-	env := make([]Value, run.nslots)
-	return r.execOps(run, 0, pos, frontier, env, func(env []Value) error {
+	return r.execOps(run, 0, pos, frontier, run.envBuf, func(env []Value) error {
 		return r.emitHead(run, env)
 	})
 }
@@ -809,16 +809,12 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 		return r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
 
 	case opNotin:
-		vals := make([]Value, len(op.boundExprs))
-		for i, ce := range op.boundExprs {
-			v, err := ce.eval(env, r)
-			if err != nil {
-				return fmt.Errorf("rule %s: %w", cr.name, err)
-			}
-			vals[i] = v
+		vals, err := op.probeVals(env, r, cr)
+		if err != nil {
+			return err
 		}
-		tbl := r.tables[op.table]
-		for _, cand := range tbl.Match(op.boundCols, vals) {
+		op.candBuf = r.tables[op.table].MatchInto(op.candBuf[:0], op.boundCols, vals)
+		for _, cand := range op.candBuf {
 			if r.passesFilters(op, cand, env) {
 				return nil // a matching tuple exists; notin fails
 			}
@@ -826,19 +822,16 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 		return r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
 
 	case opScan:
-		vals := make([]Value, len(op.boundExprs))
-		for i, ce := range op.boundExprs {
-			v, err := ce.eval(env, r)
-			if err != nil {
-				return fmt.Errorf("rule %s: %w", cr.name, err)
-			}
-			vals[i] = v
+		vals, err := op.probeVals(env, r, cr)
+		if err != nil {
+			return err
 		}
 		var candidates []Tuple
 		if opIdx == deltaPos {
 			candidates = frontier
 		} else {
-			candidates = r.tables[op.table].Match(op.boundCols, vals)
+			op.candBuf = r.tables[op.table].MatchInto(op.candBuf[:0], op.boundCols, vals)
+			candidates = op.candBuf
 		}
 		for _, cand := range candidates {
 			if opIdx == deltaPos {
@@ -867,6 +860,27 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 		return nil
 	}
 	return fmt.Errorf("overlog: rule %s: unknown op kind", cr.name)
+}
+
+// probeVals evaluates an atom's bound-column expressions into the op's
+// reusable buffer. The common all-variables case copies slots directly,
+// skipping the expression interface entirely.
+func (op *bodyOp) probeVals(env []Value, r *Runtime, cr *compiledRule) ([]Value, error) {
+	vals := op.valsBuf
+	if op.boundSlots != nil {
+		for i, s := range op.boundSlots {
+			vals[i] = env[s]
+		}
+		return vals, nil
+	}
+	for i, ce := range op.boundExprs {
+		v, err := ce.eval(env, r)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", cr.name, err)
+		}
+		vals[i] = v
+	}
+	return vals, nil
 }
 
 // passesFilters checks repeated-variable columns within one atom.
@@ -899,11 +913,14 @@ func (r *Runtime) passesFilters(op *bodyOp, cand Tuple, env []Value) bool {
 	return true
 }
 
-// emitHead materializes the head for one satisfied body binding.
+// emitHead materializes the head for one satisfied body binding. The
+// head evaluates into the rule's scratch buffer: duplicate derivations
+// (the bulk of a fixpoint's head firings) are rejected by storage
+// without ever allocating a tuple.
 func (r *Runtime) emitHead(cr *compiledRule, env []Value) error {
 	r.ruleFires[cr.name]++
 	r.derivedCt++
-	vals := make([]Value, len(cr.head.exprs))
+	vals := cr.headBuf
 	for i, ce := range cr.head.exprs {
 		v, err := ce.eval(env, r)
 		if err != nil {
@@ -911,14 +928,18 @@ func (r *Runtime) emitHead(cr *compiledRule, env []Value) error {
 		}
 		vals[i] = v
 	}
-	tp := NewTuple(cr.head.table, vals...)
-	return r.routeHead(cr, tp)
+	return r.routeHead(cr, Tuple{Table: cr.head.table, Vals: vals}, true)
 }
 
 // routeHead delivers a derived head tuple: deletion list, remote
-// outbox, or local insertion.
-func (r *Runtime) routeHead(cr *compiledRule, tp Tuple) error {
+// outbox, or local insertion. scratch marks tuples whose Vals slice is
+// a reusable buffer; any path that retains the tuple clones it first
+// (local insertion clones inside storage, on actual store only).
+func (r *Runtime) routeHead(cr *compiledRule, tp Tuple, scratch bool) error {
 	if cr.isDelete {
+		if scratch {
+			tp = cloneTuple(tp)
+		}
 		r.pendDel = append(r.pendDel, tp)
 		return nil
 	}
@@ -930,6 +951,9 @@ func (r *Runtime) routeHead(cr *compiledRule, tp Tuple) error {
 		if loc.AsString() != r.addr {
 			// Remote sends are never deferred further: network delivery
 			// already lands on a later step of the destination.
+			if scratch {
+				tp = cloneTuple(tp)
+			}
 			r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Sent: true,
 				Rule: cr.name, Tuple: tp})
 			r.outbox = append(r.outbox, Envelope{To: loc.AsString(), Tuple: tp})
@@ -937,6 +961,9 @@ func (r *Runtime) routeHead(cr *compiledRule, tp Tuple) error {
 		}
 	}
 	if cr.isDeferred {
+		if scratch {
+			tp = cloneTuple(tp)
+		}
 		r.deferredIns = append(r.deferredIns, tp)
 		return nil
 	}
@@ -969,6 +996,10 @@ type aggCollector struct {
 	rt     *Runtime
 	groups map[string]*aggGroup
 	order  []string
+	// Scratch buffers: group columns evaluate and encode here first, so
+	// bindings that land in an existing group allocate nothing.
+	valBuf []Value
+	keyBuf []byte
 }
 
 func newAggCollector(cr *compiledRule, rt *Runtime) *aggCollector {
@@ -979,21 +1010,25 @@ func newAggCollector(cr *compiledRule, rt *Runtime) *aggCollector {
 func (a *aggCollector) collect(env []Value) error {
 	cr := a.cr
 	// Group key = evaluated non-aggregate head columns.
-	groupVals := make([]Value, 0, len(cr.head.exprs))
-	for i, ce := range cr.head.exprs {
+	a.valBuf = a.valBuf[:0]
+	for _, ce := range cr.head.exprs {
 		if ce == nil {
 			continue // aggregate position
 		}
-		_ = i
 		v, err := ce.eval(env, a.rt)
 		if err != nil {
 			return fmt.Errorf("rule %s aggregate group column: %w", cr.name, err)
 		}
-		groupVals = append(groupVals, v)
+		a.valBuf = append(a.valBuf, v)
 	}
-	key := Tuple{Vals: groupVals}.Identity()
-	g, ok := a.groups[key]
+	a.keyBuf = a.keyBuf[:0]
+	for _, v := range a.valBuf {
+		a.keyBuf = v.encode(a.keyBuf)
+	}
+	g, ok := a.groups[string(a.keyBuf)] // no alloc: map-index conversion
 	if !ok {
+		groupVals := append([]Value(nil), a.valBuf...)
+		key := string(a.keyBuf)
 		g = &aggGroup{groupVals: groupVals, accs: make([]accumulator, len(cr.head.aggs))}
 		a.groups[key] = g
 		a.order = append(a.order, key)
@@ -1028,9 +1063,9 @@ func (a *aggCollector) collect(env []Value) error {
 			if acc.setSeen == nil {
 				acc.setSeen = make(map[string]bool)
 			}
-			k := string(v.encode(nil))
-			if !acc.setSeen[k] {
-				acc.setSeen[k] = true
+			a.keyBuf = v.encode(a.keyBuf[:0])
+			if !acc.setSeen[string(a.keyBuf)] {
+				acc.setSeen[string(a.keyBuf)] = true
 				acc.setVals = append(acc.setVals, v)
 			}
 		}
@@ -1094,7 +1129,7 @@ func (a *aggCollector) emit(r *Runtime) error {
 		if maintain {
 			cur[key] = tp
 		}
-		if err := r.routeHead(cr, tp); err != nil {
+		if err := r.routeHead(cr, tp, false); err != nil {
 			return err
 		}
 	}

@@ -12,35 +12,82 @@ import (
 // on primary-key collision (JOL/P2 semantics). Event tables hold tuples
 // for the duration of a single timestep only.
 //
-// Storage is a hash map from encoded key columns to the row, plus
-// lazily built secondary indexes on whatever column subsets the
-// evaluator joins on.
+// Storage is a hash map from a 64-bit fingerprint of the key columns to
+// a (almost always singleton) chain of rows, plus lazily built
+// secondary indexes on whatever column subsets the evaluator joins on.
+// Fingerprints hash the same canonical byte stream the old string-key
+// encoding produced, so key semantics are unchanged; a fingerprint
+// collision merely lengthens one chain, and every probe re-verifies
+// with encoding-equality (keyEqual) before trusting a bucket hit.
 type Table struct {
 	decl *TableDecl
 	keys []int // effective key columns (all columns when unspecified)
 
-	rows map[string]Tuple // key-encoding -> tuple
+	rows map[uint64][]Tuple // key fingerprint -> rows (collision chain)
+	n    int                // live tuple count
 
-	// indexes maps an index signature (sorted column list) to a map from
-	// encoded column values to tuple key-encodings.
-	indexes map[string]*index
+	// indexes maps an integer-encoded column-set signature to a
+	// secondary index; ixAll additionally lists every index (including
+	// the vanishingly rare signature-collision overflow) for the
+	// add/remove maintenance walk.
+	indexes    map[uint64]*index
+	ixOverflow []*index
+	ixAll      []*index
 
-	// generation increments on every mutation; used by iterators that
-	// must detect concurrent modification during fixpoint bugs.
+	// generation increments on every mutation; used to invalidate the
+	// sorted-scan cache and by iterators that must detect concurrent
+	// modification during fixpoint bugs.
 	generation uint64
+
+	// sorted caches Tuples() output between mutations: full scans inside
+	// fixpoints re-read it instead of re-sorting per probe.
+	sorted    []Tuple
+	sortedGen uint64
+	sortedOK  bool
 }
 
 type index struct {
 	cols    []int
-	buckets map[string][]string // encoded col values -> row keys
+	buckets map[uint64][]Tuple // fingerprint of col values -> rows
 }
 
-func indexSig(cols []int) string {
-	parts := make([]string, len(cols))
-	for i, c := range cols {
-		parts[i] = fmt.Sprintf("%d", c)
+// indexSig packs a column list into a 64-bit signature: 8 bits per
+// column for up to 8 small column numbers (the common case, and
+// collision-free there), FNV-mixed beyond that. Lookups always verify
+// the column list, so a colliding signature costs an overflow scan,
+// never a wrong index.
+func indexSig(cols []int) uint64 {
+	if len(cols) <= 8 {
+		sig := uint64(0)
+		ok := true
+		for _, c := range cols {
+			if c >= 254 {
+				ok = false
+				break
+			}
+			sig = sig<<8 | uint64(c+1)
+		}
+		if ok {
+			return sig
+		}
 	}
-	return strings.Join(parts, ",")
+	h := fnvOffset64
+	for _, c := range cols {
+		h = fnvUint64(h, uint64(c))
+	}
+	return h
+}
+
+func colsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NewTable creates storage for the given declaration.
@@ -55,8 +102,8 @@ func NewTable(decl *TableDecl) *Table {
 	return &Table{
 		decl:    decl,
 		keys:    keys,
-		rows:    make(map[string]Tuple),
-		indexes: make(map[string]*index),
+		rows:    make(map[uint64][]Tuple),
+		indexes: make(map[uint64]*index),
 	}
 }
 
@@ -67,9 +114,10 @@ func (t *Table) Decl() *TableDecl { return t.decl }
 func (t *Table) Name() string { return t.decl.Name }
 
 // Len returns the current tuple count.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return t.n }
 
-// KeyOf encodes a tuple's primary key.
+// KeyOf encodes a tuple's primary key (debugging/compat; storage itself
+// keys by fingerprint).
 func (t *Table) KeyOf(tp Tuple) string { return tp.Key(t.keys) }
 
 // checkTuple validates arity and column types. KindAny columns accept
@@ -99,7 +147,7 @@ func (t *Table) checkTuple(tp Tuple) error {
 
 // normalize coerces string values destined for addr columns (and vice
 // versa) so identity hashing is stable regardless of how the tuple was
-// constructed.
+// constructed. It rewrites tp.Vals in place.
 func (t *Table) normalize(tp Tuple) Tuple {
 	for i := range tp.Vals {
 		want := t.decl.Cols[i].Type
@@ -118,32 +166,63 @@ func (t *Table) normalize(tp Tuple) Tuple {
 	return tp
 }
 
+// findRow locates the row in a key-fingerprint chain whose key columns
+// encoding-equal tp's, or -1.
+func (t *Table) findRow(bucket []Tuple, tp Tuple) int {
+	for i := range bucket {
+		if bucket[i].keyEqualCols(tp, t.keys) {
+			return i
+		}
+	}
+	return -1
+}
+
+// cloneVals copies a tuple so storage never aliases a caller's (or the
+// evaluator's reusable) value slice.
+func cloneTuple(tp Tuple) Tuple {
+	vals := make([]Value, len(tp.Vals))
+	copy(vals, tp.Vals)
+	return Tuple{Table: tp.Table, Vals: vals}
+}
+
 // Insert adds the tuple. The returns are (inserted, displaced):
 // inserted is false when an identical tuple was already stored;
-// displaced holds a tuple evicted by primary-key replacement.
+// displaced holds a tuple evicted by primary-key replacement. The
+// stored copy never aliases tp.Vals.
 func (t *Table) Insert(tp Tuple) (bool, *Tuple, error) {
+	ins, displaced, _, err := t.insertChecked(tp)
+	return ins, displaced, err
+}
+
+// insertChecked is Insert returning the stored (normalized, owned)
+// tuple as well, so the evaluator's hot path avoids a second probe.
+func (t *Table) insertChecked(tp Tuple) (bool, *Tuple, Tuple, error) {
 	if err := t.checkTuple(tp); err != nil {
-		return false, nil, err
+		return false, nil, Tuple{}, err
 	}
 	tp = t.normalize(tp)
-	key := t.KeyOf(tp)
-	old, exists := t.rows[key]
-	if exists {
+	fp := tp.hashCols(t.keys)
+	bucket := t.rows[fp]
+	if i := t.findRow(bucket, tp); i >= 0 {
+		old := bucket[i]
 		if old.Equal(tp) {
-			return false, nil, nil
+			return false, nil, old, nil
 		}
 		// Same key, different non-key columns: replace.
-		t.removeFromIndexes(key, old)
-		t.rows[key] = tp
-		t.addToIndexes(key, tp)
+		stored := cloneTuple(tp)
+		t.removeFromIndexes(old)
+		bucket[i] = stored
+		t.addToIndexes(stored)
 		t.generation++
 		displaced := old
-		return true, &displaced, nil
+		return true, &displaced, stored, nil
 	}
-	t.rows[key] = tp
-	t.addToIndexes(key, tp)
+	stored := cloneTuple(tp)
+	t.rows[fp] = append(bucket, stored)
+	t.n++
+	t.addToIndexes(stored)
 	t.generation++
-	return true, nil, nil
+	return true, nil, stored, nil
 }
 
 // Delete removes the stored tuple matching tp's key columns if the full
@@ -153,13 +232,15 @@ func (t *Table) Delete(tp Tuple) (bool, error) {
 		return false, err
 	}
 	tp = t.normalize(tp)
-	key := t.KeyOf(tp)
-	old, exists := t.rows[key]
-	if !exists || !old.Equal(tp) {
+	fp := tp.hashCols(t.keys)
+	bucket := t.rows[fp]
+	i := t.findRow(bucket, tp)
+	if i < 0 || !bucket[i].Equal(tp) {
 		return false, nil
 	}
-	delete(t.rows, key)
-	t.removeFromIndexes(key, old)
+	old := bucket[i]
+	t.removeRow(fp, i)
+	t.removeFromIndexes(old)
 	t.generation++
 	return true, nil
 }
@@ -171,15 +252,30 @@ func (t *Table) DeleteByKey(tp Tuple) (*Tuple, error) {
 		return nil, fmt.Errorf("overlog: table %s: arity mismatch in DeleteByKey", t.decl.Name)
 	}
 	tp = t.normalize(tp)
-	key := t.KeyOf(tp)
-	old, exists := t.rows[key]
-	if !exists {
+	fp := tp.hashCols(t.keys)
+	i := t.findRow(t.rows[fp], tp)
+	if i < 0 {
 		return nil, nil
 	}
-	delete(t.rows, key)
-	t.removeFromIndexes(key, old)
+	old := t.rows[fp][i]
+	t.removeRow(fp, i)
+	t.removeFromIndexes(old)
 	t.generation++
 	return &old, nil
+}
+
+// removeRow deletes chain position i of the fp bucket.
+func (t *Table) removeRow(fp uint64, i int) {
+	bucket := t.rows[fp]
+	last := len(bucket) - 1
+	bucket[i] = bucket[last]
+	bucket[last] = Tuple{}
+	if last == 0 {
+		delete(t.rows, fp)
+	} else {
+		t.rows[fp] = bucket[:last]
+	}
+	t.n--
 }
 
 // Contains reports whether an identical tuple is stored.
@@ -188,113 +284,168 @@ func (t *Table) Contains(tp Tuple) bool {
 		return false
 	}
 	tp = t.normalize(tp)
-	old, exists := t.rows[t.KeyOf(tp)]
-	return exists && old.Equal(tp)
+	bucket := t.rows[tp.hashCols(t.keys)]
+	i := t.findRow(bucket, tp)
+	return i >= 0 && bucket[i].Equal(tp)
 }
 
 // LookupKey returns the tuple stored under the same primary key as tp.
 func (t *Table) LookupKey(tp Tuple) (Tuple, bool) {
+	if len(tp.Vals) != len(t.decl.Cols) {
+		return Tuple{}, false
+	}
 	tp = t.normalize(tp)
-	old, exists := t.rows[t.KeyOf(tp)]
-	return old, exists
+	bucket := t.rows[tp.hashCols(t.keys)]
+	if i := t.findRow(bucket, tp); i >= 0 {
+		return bucket[i], true
+	}
+	return Tuple{}, false
 }
 
 // Scan calls fn for every stored tuple; fn must not mutate the table.
 func (t *Table) Scan(fn func(Tuple) bool) {
-	for _, tp := range t.rows {
-		if !fn(tp) {
-			return
+	for _, bucket := range t.rows {
+		for _, tp := range bucket {
+			if !fn(tp) {
+				return
+			}
 		}
 	}
 }
 
-// Tuples returns all stored tuples in deterministic order.
-func (t *Table) Tuples() []Tuple {
-	out := make([]Tuple, 0, len(t.rows))
-	for _, tp := range t.rows {
-		out = append(out, tp)
+// sortedTuples returns all rows in deterministic order, rebuilding the
+// cache only after mutations. The returned slice is the cache itself:
+// callers inside the package must copy before the next table mutation;
+// external callers go through Tuples, which copies.
+func (t *Table) sortedTuples() []Tuple {
+	if t.sortedOK && t.sortedGen == t.generation {
+		return t.sorted
+	}
+	out := t.sorted[:0]
+	if cap(out) < t.n {
+		out = make([]Tuple, 0, t.n)
+	}
+	for _, bucket := range t.rows {
+		out = append(out, bucket...)
 	}
 	SortTuples(out)
+	t.sorted = out
+	t.sortedGen = t.generation
+	t.sortedOK = true
 	return out
+}
+
+// Tuples returns all stored tuples in deterministic order.
+func (t *Table) Tuples() []Tuple {
+	return append([]Tuple(nil), t.sortedTuples()...)
 }
 
 // Clear removes all tuples (used for event tables at end of step).
 func (t *Table) Clear() {
-	if len(t.rows) == 0 {
+	if t.n == 0 {
 		return
 	}
-	t.rows = make(map[string]Tuple)
-	for _, ix := range t.indexes {
-		ix.buckets = make(map[string][]string)
+	t.rows = make(map[uint64][]Tuple)
+	t.n = 0
+	for _, ix := range t.ixAll {
+		ix.buckets = make(map[uint64][]Tuple)
 	}
+	t.sorted = nil
+	t.sortedOK = false
 	t.generation++
 }
 
 // Match returns stored tuples whose columns cols equal vals, using (and
 // lazily building) a secondary index when cols is non-empty.
 func (t *Table) Match(cols []int, vals []Value) []Tuple {
+	return t.MatchInto(nil, cols, vals)
+}
+
+// MatchInto appends the tuples Match would return to dst and returns
+// it. The evaluator calls it with per-operator reusable buffers so
+// steady-state probes allocate nothing; results are copies of the
+// bucket, so the table may be mutated while dst is iterated.
+func (t *Table) MatchInto(dst []Tuple, cols []int, vals []Value) []Tuple {
 	if len(cols) == 0 {
-		return t.Tuples()
+		return append(dst, t.sortedTuples()...)
 	}
 	ix := t.ensureIndex(cols)
-	probe := Tuple{Vals: vals}
-	keyCols := make([]int, len(cols))
-	for i := range cols {
-		keyCols[i] = i
-	}
-	bucket := ix.buckets[probe.Key(keyCols)]
-	out := make([]Tuple, 0, len(bucket))
-	for _, rk := range bucket {
-		if tp, ok := t.rows[rk]; ok {
-			out = append(out, tp)
+	for _, tp := range ix.buckets[hashVals(vals)] {
+		match := true
+		for i, c := range cols {
+			if !tp.Vals[c].keyEqual(vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			dst = append(dst, tp)
 		}
 	}
-	return out
+	return dst
 }
 
 func (t *Table) ensureIndex(cols []int) *index {
 	sig := indexSig(cols)
 	if ix, ok := t.indexes[sig]; ok {
-		return ix
+		if colsEqual(ix.cols, cols) {
+			return ix
+		}
+		for _, ox := range t.ixOverflow {
+			if colsEqual(ox.cols, cols) {
+				return ox
+			}
+		}
 	}
-	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[string][]string)}
-	for key, tp := range t.rows {
-		b := tp.Key(ix.cols)
-		ix.buckets[b] = append(ix.buckets[b], key)
+	// Pre-size buckets for the current population: secondary keys are
+	// usually near-unique, so one bucket per row is the right guess.
+	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[uint64][]Tuple, t.n)}
+	for _, bucket := range t.rows {
+		for _, tp := range bucket {
+			fp := tp.hashCols(ix.cols)
+			ix.buckets[fp] = append(ix.buckets[fp], tp)
+		}
 	}
-	t.indexes[sig] = ix
+	if prev, ok := t.indexes[sig]; ok && !colsEqual(prev.cols, cols) {
+		t.ixOverflow = append(t.ixOverflow, ix)
+	} else {
+		t.indexes[sig] = ix
+	}
+	t.ixAll = append(t.ixAll, ix)
 	return ix
 }
 
-func (t *Table) addToIndexes(key string, tp Tuple) {
-	for _, ix := range t.indexes {
-		b := tp.Key(ix.cols)
-		ix.buckets[b] = append(ix.buckets[b], key)
+func (t *Table) addToIndexes(tp Tuple) {
+	for _, ix := range t.ixAll {
+		fp := tp.hashCols(ix.cols)
+		ix.buckets[fp] = append(ix.buckets[fp], tp)
 	}
 }
 
-func (t *Table) removeFromIndexes(key string, tp Tuple) {
-	for _, ix := range t.indexes {
-		b := tp.Key(ix.cols)
-		bucket := ix.buckets[b]
-		for i, rk := range bucket {
-			if rk == key {
-				bucket[i] = bucket[len(bucket)-1]
-				bucket = bucket[:len(bucket)-1]
+func (t *Table) removeFromIndexes(tp Tuple) {
+	for _, ix := range t.ixAll {
+		fp := tp.hashCols(ix.cols)
+		bucket := ix.buckets[fp]
+		for i := range bucket {
+			if bucket[i].keyEqualCols(tp, t.keys) {
+				last := len(bucket) - 1
+				bucket[i] = bucket[last]
+				bucket[last] = Tuple{}
+				bucket = bucket[:last]
 				break
 			}
 		}
 		if len(bucket) == 0 {
-			delete(ix.buckets, b)
+			delete(ix.buckets, fp)
 		} else {
-			ix.buckets[b] = bucket
+			ix.buckets[fp] = bucket
 		}
 	}
 }
 
 // Dump renders the table contents for debugging, sorted.
 func (t *Table) Dump() string {
-	tuples := t.Tuples()
+	tuples := t.sortedTuples()
 	lines := make([]string, len(tuples))
 	for i, tp := range tuples {
 		lines[i] = tp.String()

@@ -21,9 +21,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind enumerates the runtime types an Overlog value may take.
@@ -31,7 +33,10 @@ type Kind uint8
 
 // Value kinds. KindAny holds an opaque Go value (used for payloads such
 // as chunk bytes or map/reduce function handles); two KindAny values
-// compare equal only if they are the identical interface value.
+// compare equal only if they are the identical interface value. Their
+// ordering and storage keying are deterministic — stable dynamic type
+// name first, then a per-type comparator/keyer (see RegisterAnyType) —
+// so replay is bit-identical across processes.
 const (
 	KindNil Kind = iota
 	KindBool
@@ -192,6 +197,11 @@ func (v Value) Equal(o Value) bool {
 		}
 		return true
 	case KindAny:
+		if !anyComparable(v.any) || !anyComparable(o.any) {
+			// Uncomparable dynamic types (slices, maps, funcs) would make
+			// == panic; fall back to deterministic key identity.
+			return anyTypeName(v.any) == anyTypeName(o.any) && anyKey(v.any) == anyKey(o.any)
+		}
 		return v.any == o.any
 	}
 	return false
@@ -243,9 +253,85 @@ func (v Value) Compare(o Value) int {
 		}
 		return cmpInt64(int64(len(v.list)), int64(len(o.list)))
 	default:
-		// Opaque values are unordered; fall back to formatted identity.
-		return strings.Compare(fmt.Sprintf("%p", v.any), fmt.Sprintf("%p", o.any))
+		// Opaque values order by stable dynamic type name, then by the
+		// registered comparator (or deterministic key) within a type.
+		// Never by pointer identity: addresses differ across processes
+		// and would break replay determinism.
+		if c := strings.Compare(anyTypeName(v.any), anyTypeName(o.any)); c != 0 {
+			return c
+		}
+		if h, ok := lookupAnyHandler(v.any); ok && h.cmp != nil {
+			return h.cmp(v.any, o.any)
+		}
+		return strings.Compare(anyKey(v.any), anyKey(o.any))
 	}
+}
+
+// --- opaque (KindAny) determinism support ---
+
+// anyHandler carries the registered keying/ordering hooks for one
+// concrete Go type stored behind KindAny.
+type anyHandler struct {
+	key func(interface{}) string
+	cmp func(a, b interface{}) int
+}
+
+var (
+	anyRegMu sync.RWMutex
+	anyReg   = map[reflect.Type]anyHandler{}
+)
+
+// RegisterAnyType installs deterministic keying and ordering for opaque
+// values whose dynamic type matches sample's. key must return a string
+// that identifies the value's logical identity (it feeds tuple hashing
+// and set semantics); cmp, when non-nil, totally orders two values of
+// the type. Types that are plain data need no registration — the
+// default %v rendering is already stable — but types holding pointers
+// or other process-local identity should register so replay stays
+// bit-identical across processes. Typically called from init.
+func RegisterAnyType(sample interface{}, key func(interface{}) string, cmp func(a, b interface{}) int) {
+	if sample == nil || key == nil {
+		panic("overlog: RegisterAnyType requires a sample value and key function")
+	}
+	anyRegMu.Lock()
+	anyReg[reflect.TypeOf(sample)] = anyHandler{key: key, cmp: cmp}
+	anyRegMu.Unlock()
+}
+
+func lookupAnyHandler(v interface{}) (anyHandler, bool) {
+	if v == nil {
+		return anyHandler{}, false
+	}
+	anyRegMu.RLock()
+	h, ok := anyReg[reflect.TypeOf(v)]
+	anyRegMu.RUnlock()
+	return h, ok
+}
+
+// anyTypeName names the dynamic type of an opaque value; stable across
+// processes, unlike a pointer rendering.
+func anyTypeName(v interface{}) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return reflect.TypeOf(v).String()
+}
+
+// anyKey renders an opaque value's identity for hashing/keying: the
+// registered key function when present, else the %v rendering (stable
+// for value-like payloads; pointer-bearing types should register).
+func anyKey(v interface{}) string {
+	if h, ok := lookupAnyHandler(v); ok {
+		return h.key(v)
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+func anyComparable(v interface{}) bool {
+	if v == nil {
+		return true
+	}
+	return reflect.TypeOf(v).Comparable()
 }
 
 func compareRank(k Kind) int {
@@ -306,9 +392,121 @@ func (v Value) encode(b []byte) []byte {
 			b = e.encode(b)
 		}
 	case KindAny:
-		b = append(b, fmt.Sprintf("%p/%T", v.any, v.any)...)
+		b = append(b, anyTypeName(v.any)...)
+		b = append(b, '/')
+		b = append(b, anyKey(v.any)...)
 	}
 	return b
+}
+
+// --- hashing and encoding-equivalent equality ---
+//
+// The storage layer keys tuples by a 64-bit FNV-1a fingerprint of the
+// same byte stream encode produces, computed without materializing it.
+// Collisions are survivable: fingerprint buckets chain rows and every
+// probe re-checks with keyEqual, which mirrors encode's equality
+// exactly (addr folds into string, int and float stay distinct, floats
+// compare by bit pattern).
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+func fnvUint32(h uint64, v uint32) uint64 {
+	for i := 0; i < 4; i++ {
+		h = fnvByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// hash folds v into a running FNV-1a state, consuming byte-for-byte
+// what encode would append (so the injectivity properties the encoding
+// tests establish carry over to fingerprints, modulo 64-bit collisions
+// handled by bucket chains).
+func (v Value) hash(h uint64) uint64 {
+	k := v.kind
+	if k == KindAddr {
+		k = KindString
+	}
+	h = fnvByte(h, byte(k))
+	switch v.kind {
+	case KindBool, KindInt:
+		h = fnvUint64(h, uint64(v.i))
+	case KindFloat:
+		h = fnvUint64(h, math.Float64bits(v.f))
+	case KindString, KindAddr:
+		h = fnvUint32(h, uint32(len(v.s)))
+		h = fnvString(h, v.s)
+	case KindList:
+		h = fnvUint32(h, uint32(len(v.list)))
+		for _, e := range v.list {
+			h = e.hash(h)
+		}
+	case KindAny:
+		h = fnvString(h, anyTypeName(v.any))
+		h = fnvByte(h, '/')
+		h = fnvString(h, anyKey(v.any))
+	}
+	return h
+}
+
+// keyEqual reports equality under the canonical encoding: true iff
+// encode(v) == encode(o) byte-for-byte. It is stricter than Equal for
+// cross-kind numerics (Int(3) != Float(3.0) as keys) and bitwise for
+// floats, matching the string-keyed storage this replaces.
+func (v Value) keyEqual(o Value) bool {
+	vk, ok := v.kind, o.kind
+	if vk == KindAddr {
+		vk = KindString
+	}
+	if ok == KindAddr {
+		ok = KindString
+	}
+	if vk != ok {
+		return false
+	}
+	switch v.kind {
+	case KindNil:
+		return true
+	case KindBool, KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return math.Float64bits(v.f) == math.Float64bits(o.f)
+	case KindString, KindAddr:
+		return v.s == o.s
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].keyEqual(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindAny:
+		return anyTypeName(v.any) == anyTypeName(o.any) && anyKey(v.any) == anyKey(o.any)
+	}
+	return false
 }
 
 // String renders the value in Overlog literal syntax.
@@ -359,6 +557,35 @@ func (t Tuple) Key(cols []int) string {
 		b = t.Vals[c].encode(b)
 	}
 	return string(b)
+}
+
+// hashCols fingerprints the column subset: the FNV-1a hash of the
+// bytes Key(cols) would build, without building them.
+func (t Tuple) hashCols(cols []int) uint64 {
+	h := fnvOffset64
+	for _, c := range cols {
+		h = t.Vals[c].hash(h)
+	}
+	return h
+}
+
+// keyEqualCols reports encoding-equality with o on the given columns.
+func (t Tuple) keyEqualCols(o Tuple, cols []int) bool {
+	for _, c := range cols {
+		if !t.Vals[c].keyEqual(o.Vals[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// hashVals fingerprints a probe-value slice (column order implied).
+func hashVals(vals []Value) uint64 {
+	h := fnvOffset64
+	for _, v := range vals {
+		h = v.hash(h)
+	}
+	return h
 }
 
 // Identity encodes all columns as a map key.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/overlog"
 	"repro/internal/telemetry"
@@ -173,6 +174,10 @@ type Cluster struct {
 	MaxSteps int64
 	steps    int64
 
+	// parallel ≥ 2 steps co-timed nodes concurrently (see
+	// WithParallelStep). 0 or 1 means serial.
+	parallel int
+
 	// Optional telemetry: a registry shared by every node (metrics are
 	// labelled per node) and a cluster-wide event journal recording
 	// inter-node sends with trace IDs — the simulated counterpart of
@@ -199,6 +204,27 @@ func WithClusterSeed(seed int64) Option {
 // 0 for tuples/nodes that should remain free.
 func WithServiceTime(fn func(node, table string) int64) Option {
 	return func(c *Cluster) { c.serviceTime = fn }
+}
+
+// WithParallelStep steps nodes whose next events share a virtual
+// instant concurrently on a bounded pool of `workers` goroutines.
+// Replay stays bit-identical with parallelism on or off:
+//
+//   - Phase 1 (concurrent) runs each runnable node's fixpoint
+//     (Runtime.Step), which touches only node-local state — each
+//     runtime owns its tables, its watch buffer, and its own seeded
+//     RNG, so co-timed fixpoints never observe one another.
+//   - Phase 2 (serial, fixed creation order) merges the effects:
+//     outbound envelopes go through the network model and service
+//     handlers inject follow-ups. Everything that draws from the
+//     cluster RNG or allocates delivery sequence numbers happens here,
+//     in exactly the order the serial scheduler would have used, and
+//     every in-step injection carries delay ≥ 1 so it cannot affect
+//     the instant being merged.
+//
+// workers ≤ 1 keeps the serial scheduler.
+func WithParallelStep(workers int) Option {
+	return func(c *Cluster) { c.parallel = workers }
 }
 
 // WithTelemetry installs a metrics registry (every node added later is
@@ -293,7 +319,7 @@ func (c *Cluster) Kill(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = true
 		delete(c.busyUntil, addr)
-		c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "kill"})
+		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "kill"})
 	}
 }
 
@@ -301,7 +327,7 @@ func (c *Cluster) Kill(addr string) {
 func (c *Cluster) Revive(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = false
-		c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "revive"})
+		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "revive"})
 	}
 }
 
@@ -350,7 +376,7 @@ func (c *Cluster) Restart(addr string) error {
 	}
 	n.killed = false
 	delete(c.busyUntil, addr)
-	c.journal.Record(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "restart"})
+	c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "restart"})
 	return nil
 }
 
@@ -364,14 +390,14 @@ func (c *Cluster) Killed(addr string) bool {
 func (c *Cluster) Partition(a, b string) {
 	c.partitions[[2]string{a, b}] = true
 	c.partitions[[2]string{b, a}] = true
-	c.journal.Record(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "partition from " + b})
+	c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "partition from " + b})
 }
 
 // Heal restores the link between a and b.
 func (c *Cluster) Heal(a, b string) {
 	delete(c.partitions, [2]string{a, b})
 	delete(c.partitions, [2]string{b, a})
-	c.journal.Record(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "heal with " + b})
+	c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: a, Kind: "fault", Detail: "heal with " + b})
 }
 
 // SetDropRate replaces the inter-node loss probability (loss-burst
@@ -440,20 +466,20 @@ func (c *Cluster) Journal() *telemetry.Journal { return c.journal }
 func (c *Cluster) send(from string, env overlog.Envelope) {
 	if c.partitions[[2]string{from, env.To}] {
 		c.Dropped++
-		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
 			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
 			Detail: "partitioned from " + env.To})
 		return
 	}
 	if from != env.To && c.dropRate > 0 && c.rng.Float64() < c.dropRate {
 		c.Dropped++
-		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
 			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
 			Detail: "lossy link to " + env.To})
 		return
 	}
 	if c.journal != nil && from != env.To {
-		c.journal.Record(telemetry.Event{WallMS: c.now, Node: from, Kind: "send",
+		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: from, Kind: "send",
 			Table: env.Tuple.Table, TraceID: telemetry.TraceIDOf(env.Tuple),
 			Detail: "to " + env.To})
 	}
@@ -505,7 +531,14 @@ func (c *Cluster) Step() (bool, error) {
 	}
 
 	// Step every node that has deliveries or a due periodic, in
-	// deterministic creation order.
+	// deterministic creation order. Phase 1 runs each runnable node's
+	// fixpoint (node-local state only), phase 2 merges the effects —
+	// sends and service injections — serially in creation order. The
+	// split is what makes WithParallelStep deterministic: phase 1 may
+	// run concurrently because nothing in it touches the cluster RNG,
+	// sequence counter, or journal; phase 2 touches them in the same
+	// order regardless of how phase 1 was scheduled.
+	runnable := make([]*stepResult, 0, len(c.order))
 	for _, addr := range c.order {
 		n := c.nodes[addr]
 		if n.killed {
@@ -516,9 +549,39 @@ func (c *Cluster) Step() (bool, error) {
 		if !hasIn && (wake < 0 || wake > c.now) {
 			continue
 		}
-		if err := c.stepNode(n, in); err != nil {
-			return false, err
+		runnable = append(runnable, &stepResult{n: n, in: in})
+	}
+	if c.parallel >= 2 && len(runnable) >= 2 {
+		workers := c.parallel
+		if workers > len(runnable) {
+			workers = len(runnable)
 		}
+		work := make(chan *stepResult)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for r := range work {
+					r.out, r.err = c.runNode(r.n, r.in)
+				}
+			}()
+		}
+		for _, r := range runnable {
+			work <- r
+		}
+		close(work)
+		wg.Wait()
+	} else {
+		for _, r := range runnable {
+			r.out, r.err = c.runNode(r.n, r.in)
+		}
+	}
+	for _, r := range runnable {
+		if r.err != nil {
+			return false, r.err
+		}
+		c.flushNode(r.n, r.out)
 	}
 	c.steps++
 	if c.steps > c.MaxSteps {
@@ -527,12 +590,32 @@ func (c *Cluster) Step() (bool, error) {
 	return true, nil
 }
 
-func (c *Cluster) stepNode(n *node, in []overlog.Tuple) error {
+// stepResult carries one node's phase-1 output to its phase-2 merge.
+type stepResult struct {
+	n   *node
+	in  []overlog.Tuple
+	out []overlog.Envelope
+	err error
+}
+
+// runNode is phase 1: the node's local fixpoint. Safe to run
+// concurrently with other nodes' runNode calls — it only touches the
+// node's own runtime (tables, per-runtime RNG, watch buffer) plus the
+// telemetry registry, whose metric updates are locked and commutative.
+func (c *Cluster) runNode(n *node, in []overlog.Tuple) ([]overlog.Envelope, error) {
 	n.buffer = n.buffer[:0]
 	out, err := n.rt.Step(c.now, in)
 	if err != nil {
-		return fmt.Errorf("sim: node %s: %w", n.addr, err)
+		return nil, fmt.Errorf("sim: node %s: %w", n.addr, err)
 	}
+	return out, nil
+}
+
+// flushNode is phase 2: merge one node's effects into cluster state.
+// Must run serially in creation order — it draws from the cluster RNG
+// (latency, loss), allocates delivery sequence numbers, and appends to
+// the journal.
+func (c *Cluster) flushNode(n *node, out []overlog.Envelope) {
 	for _, env := range out {
 		c.send(n.addr, env)
 	}
@@ -558,7 +641,6 @@ func (c *Cluster) stepNode(n *node, in []overlog.Tuple) error {
 		}
 	}
 	n.buffer = n.buffer[:0]
-	return nil
 }
 
 // Run processes events until the queue drains or the clock passes

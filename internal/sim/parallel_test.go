@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/overlog"
+	"repro/internal/telemetry"
+)
+
+// gossipProgram is a chatty multi-node workload: every node pings a
+// ring neighbour on a periodic, remote rules fan replies back, and an
+// aggregate view summarizes what each node has heard. It keeps many
+// nodes co-timed (all periodics share phase), which is exactly the
+// case parallel stepping accelerates — and exactly the case where a
+// scheduling bug would show up as divergent state.
+const gossipProgram = `
+	program gossip;
+	periodic beat interval 10;
+	event ping(Addr: addr, From: addr, N: int);
+	event pong(Addr: addr, From: addr, N: int);
+	table heard(From: addr, N: int) keys(0,1);
+	table stats(C: int, Mx: int) keys(0,1);
+	r1 ping(@Next, Me, Ord) :- beat(Ord, _), next_hop(Next), Me := localaddr();
+	r2 pong(@From, Me, N) :- ping(@Me, From, N);
+	r3 heard(From, N) :- pong(@Me, From, N), Me == localaddr();
+	r4 stats(count<N>, max<N>) :- heard(_, N);
+	table next_hop(Next: addr) keys(0);
+`
+
+// clusterFingerprint reduces every observable the simulator promises
+// to keep deterministic into one string: per-node table contents, the
+// delivery/drop counters, the virtual clock, and the full telemetry
+// journal (which records sends, drops, and faults in order).
+func clusterFingerprint(c *Cluster, j *telemetry.Journal) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "now=%d dropped=%d delivered=%d\n", c.Now(), c.Dropped, c.DeliveredTotal())
+	for _, dt := range c.DeliveredByTable() {
+		fmt.Fprintf(&b, "delivered[%s]=%d\n", dt.Table, dt.Count)
+	}
+	for _, addr := range c.Nodes() {
+		rt := c.Node(addr)
+		for _, tbl := range rt.TableNames() {
+			fmt.Fprintf(&b, "-- %s.%s --\n%s", addr, tbl, rt.Table(tbl).Dump())
+		}
+	}
+	for _, ev := range j.Events() {
+		fmt.Fprintf(&b, "journal %d %s %s %s %s %s\n", ev.WallMS, ev.Node, ev.Kind, ev.Table, ev.TraceID, ev.Detail)
+	}
+	return b.String()
+}
+
+// runGossip builds an 8-node ring with lossy, jittered links, a fault
+// timer, and a service, runs it to completion, and fingerprints it.
+func runGossip(t *testing.T, opts ...Option) string {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	j := telemetry.NewJournal(1 << 16)
+	base := []Option{
+		WithClusterSeed(7),
+		WithLatency(UniformLatency(1, 15)),
+		WithDropRate(0.1),
+		WithTelemetry(reg, j),
+	}
+	c := NewCluster(append(base, opts...)...)
+	const nodes = 8
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("n%d", i)
+	}
+	for i, addr := range addrs {
+		rt := c.MustAddNode(addr)
+		if err := rt.InstallSource(gossipProgram); err != nil {
+			t.Fatal(err)
+		}
+		next := addrs[(i+1)%nodes]
+		if _, _, err := rt.Table("next_hop").Insert(overlog.NewTuple("next_hop", overlog.Addr(next))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fault mid-run: co-timed stepping must respect kills identically.
+	c.At(120, func() error { c.Kill("n3"); return nil })
+	c.At(240, func() error { c.Revive("n3"); return nil })
+	if err := c.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	return clusterFingerprint(c, j)
+}
+
+// TestParallelStepMatchesSerial is the tentpole determinism check:
+// with parallel stepping on, every observable — node table states, the
+// virtual clock, delivery and drop counters, and the cross-node trace
+// journal — must be bit-identical to the serial scheduler's.
+func TestParallelStepMatchesSerial(t *testing.T) {
+	serial := runGossip(t)
+	for _, workers := range []int{2, 4, 8} {
+		par := runGossip(t, WithParallelStep(workers))
+		if par != serial {
+			t.Fatalf("parallel(workers=%d) diverged from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serial, par)
+		}
+	}
+	if !strings.Contains(serial, "journal") {
+		t.Fatal("fingerprint recorded no journal events; test is vacuous")
+	}
+}
+
+// TestParallelStepServices checks service-driven injection under
+// parallel stepping: OnEvent handlers run in phase 2, so their
+// cluster-RNG draws (latency) happen in node order.
+func TestParallelStepServices(t *testing.T) {
+	run := func(opts ...Option) (string, int64) {
+		c := NewCluster(append([]Option{
+			WithClusterSeed(11),
+			WithLatency(UniformLatency(1, 9)),
+		}, opts...)...)
+		a := c.MustAddNode("a")
+		b := c.MustAddNode("b")
+		for _, rt := range []*overlog.Runtime{a, b} {
+			if err := rt.InstallSource(pingPong); err != nil {
+				t.Fatal(err)
+			}
+		}
+		svc := &echoService{}
+		if err := c.AttachService("a", svc); err != nil {
+			t.Fatal(err)
+		}
+		c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Addr("a"), overlog.Int(1)), 0)
+		if _, err := c.RunUntil(func() bool { return len(svc.got) >= 8 }, 10_000); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(svc.got, "\n"), c.Now()
+	}
+	sGot, sNow := run()
+	pGot, pNow := run(WithParallelStep(4))
+	if sGot != pGot || sNow != pNow {
+		t.Fatalf("service divergence:\nserial(now=%d):\n%s\nparallel(now=%d):\n%s", sNow, sGot, pNow, pGot)
+	}
+}
+
+// TestPropParallelStepRandomSeeds sweeps random cluster seeds, sizes,
+// and loss rates: for each configuration the parallel scheduler must
+// reproduce the serial fingerprint exactly.
+func TestPropParallelStepRandomSeeds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nodes := 2 + r.Intn(7)
+		drop := float64(r.Intn(30)) / 100
+		latLo, latHi := int64(1), int64(1+r.Intn(20))
+		workers := 2 + r.Intn(7)
+		build := func(par bool) string {
+			j := telemetry.NewJournal(1 << 14)
+			opts := []Option{
+				WithClusterSeed(seed),
+				WithLatency(UniformLatency(latLo, latHi)),
+				WithDropRate(drop),
+				WithTelemetry(telemetry.NewRegistry(), j),
+			}
+			if par {
+				opts = append(opts, WithParallelStep(workers))
+			}
+			c := NewCluster(opts...)
+			addrs := make([]string, nodes)
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("n%d", i)
+			}
+			for i, addr := range addrs {
+				rt := c.MustAddNode(addr)
+				if err := rt.InstallSource(gossipProgram); err != nil {
+					t.Fatal(err)
+				}
+				next := addrs[(i+1)%nodes]
+				if _, _, err := rt.Table("next_hop").Insert(overlog.NewTuple("next_hop", overlog.Addr(next))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := c.Run(300); err != nil {
+				t.Fatal(err)
+			}
+			return clusterFingerprint(c, j)
+		}
+		return build(false) == build(true)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -50,6 +50,17 @@ func (j *Journal) Record(ev Event) {
 	if ev.WallMS == 0 {
 		ev.WallMS = time.Now().UnixMilli()
 	}
+	j.RecordAt(ev)
+}
+
+// RecordAt appends one event verbatim, trusting the caller's WallMS.
+// Virtual-time drivers must use this: their clocks legitimately read 0,
+// which Record would interpret as "unset" and replace with the real
+// wall clock, making otherwise-identical replays diverge at t=0.
+func (j *Journal) RecordAt(ev Event) {
+	if j == nil {
+		return
+	}
 	j.mu.Lock()
 	j.buf[j.next] = ev
 	j.next++
