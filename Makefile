@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race bench bench-paper chaos examples experiments clean
+.PHONY: all build test check lint race bench bench-paper chaos examples experiments profile clean
 
 all: build test
 
@@ -24,6 +24,7 @@ check:
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
 	$(GO) test -race ./internal/chaos/... ./internal/sim
+	$(GO) test -run AllocGuard ./internal/overlog
 	$(MAKE) chaos
 	$(GO) run ./cmd/boom-evalbench -smoke -out /dev/null
 
@@ -70,6 +71,14 @@ bench:
 experiments:
 	$(GO) run ./cmd/boom-bench all
 
+# profile: both profiler views from one boom-bench run — the Go CPU
+# profile (inspect with `go tool pprof cpu.pprof`) and the Overlog
+# per-rule fixpoint profile (wall time, fires, retractions per rule,
+# stratum iteration histograms, plus a sample lineage DAG).
+profile:
+	$(GO) run ./cmd/boom-bench -cpuprofile cpu.pprof -ruleprofile ruleprofile.txt profile
+	@echo "wrote cpu.pprof and ruleprofile.txt"
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/wordcount
@@ -80,4 +89,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f boom boom-bench test_output.txt bench_output.txt
+	rm -f boom boom-bench test_output.txt bench_output.txt cpu.pprof ruleprofile.txt

@@ -11,6 +11,7 @@
 //	boom-bench late                # F4: LATE speculative scheduling
 //	boom-bench monitor             # T2: metaprogrammed tracing overhead
 //	boom-bench paxos               # F5: Paxos commit latency vs group size
+//	boom-bench profile             # per-rule fixpoint profile + sample lineage
 //	boom-bench all                 # everything, in order
 //
 // Add -quick for reduced sizes (CI-friendly).
@@ -20,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -29,11 +31,28 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	cdf := flag.Bool("cdf", false, "also print ASCII CDF plots for the figure experiments")
+	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the run to this file")
+	ruleprofile := flag.String("ruleprofile", "", "write the per-rule profile artifact to this file (profile subcommand)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boom-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "boom-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	cmd := flag.Arg(0)
 	start := time.Now()
@@ -55,6 +74,8 @@ func main() {
 		err = runPaxos(*quick)
 	case "fair":
 		err = runFair(*quick)
+	case "profile":
+		err = runProfile(*quick, *ruleprofile)
 	case "all":
 		for _, f := range []func() error{
 			runCodesize,
@@ -85,8 +106,32 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `boom-bench regenerates the BOOM Analytics evaluation.
 
-usage: boom-bench [-quick] <codesize|perf|failover|scaleup|late|monitor|paxos|fair|all>
+usage: boom-bench [-quick] [-cpuprofile F] [-ruleprofile F]
+                  <codesize|perf|failover|scaleup|late|monitor|paxos|fair|profile|all>
 `)
+}
+
+// runProfile drives the fixpoint profiler over a metadata workload and
+// optionally writes the per-rule artifact (make profile pairs it with
+// -cpuprofile so the Overlog- and Go-level views come from one run).
+func runProfile(quick bool, artifact string) error {
+	p := experiments.DefaultRuleProfileParams()
+	if quick {
+		p.Ops, p.DataNodes = 60, 2
+	}
+	res, err := experiments.RunRuleProfile(p)
+	if err != nil {
+		return err
+	}
+	report := res.Report()
+	fmt.Print(report)
+	if artifact != "" {
+		if err := os.WriteFile(artifact, []byte(report), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\n[per-rule profile written to %s]\n", artifact)
+	}
+	return nil
 }
 
 func runCodesize() error {

@@ -71,6 +71,13 @@ func main() {
 				if res.Shrunk != nil {
 					fmt.Printf("    shrunk to %d action(s):\n%s", len(res.Shrunk),
 						indent(res.Shrunk.String(), "      "))
+					if res.ShrunkOutcome != nil && res.ShrunkOutcome.Provenance != "" {
+						fmt.Printf("    first violation's provenance (minimal schedule):\n%s",
+							indent(res.ShrunkOutcome.Provenance, "      "))
+					}
+				} else if res.Outcome.Provenance != "" {
+					fmt.Printf("    first violation's provenance:\n%s",
+						indent(res.Outcome.Provenance, "    "))
 				}
 			default:
 				fmt.Printf("  seed %d: ok (%d-action schedule)\n", res.Seed, len(res.Schedule))

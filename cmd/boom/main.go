@@ -79,16 +79,16 @@ func usage() {
 	fmt.Fprint(os.Stderr, `boom — BOOM-FS over real TCP, plus a local Overlog runner.
 
 subcommands:
-  master   -listen ADDR [-status ADDR] [-restore F] [-checkpoint F]
+  master   -listen ADDR [-status ADDR] [-profile] [-restore F] [-checkpoint F]
                                                serve a BOOM-FS master
-  datanode -listen ADDR -master ADDR [-status ADDR]   serve a datanode
+  datanode -listen ADDR -master ADDR [-status ADDR] [-profile]   serve a datanode
   fs       -master ADDR [-trace] OP [ARGS...]  client operations:
              mkdir|create|rm|exists PATH
              ls PATH
              mv OLD NEW
              put PATH DATA
              get PATH
-  olg      FILE [-steps N] [-analyze]         run or analyze an Overlog file
+  olg      FILE [-steps N] [-analyze] [-profile]   run or analyze an Overlog file
   mr-demo  [-trackers N] [-status ADDR]        wordcount over real TCP sockets
   repl                                         interactive Overlog shell
   rules    [name]                              print a shipped rule set
@@ -112,6 +112,7 @@ func runMaster(args []string) error {
 	ckptPath := fs.String("checkpoint", "", "write periodic checkpoints to this file")
 	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint period")
 	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
+	profile := fs.Bool("profile", false, "collect per-rule wall time from boot (see /debug/profile)")
 	fs.Parse(args)
 	cfg := boomfs.DefaultConfig()
 	cfg.ReplicationFactor = *repl
@@ -120,6 +121,7 @@ func runMaster(args []string) error {
 		return err
 	}
 	defer srv.Close()
+	enableProfiling(srv, *profile)
 	if err := serveStatus(srv, *status); err != nil {
 		return err
 	}
@@ -146,12 +148,14 @@ func runDataNode(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:7071", "address to serve")
 	master := fs.String("master", "127.0.0.1:7070", "master address")
 	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
+	profile := fs.Bool("profile", false, "collect per-rule wall time from boot (see /debug/profile)")
 	fs.Parse(args)
 	srv, err := rtfs.StartDataNode(*listen, *master, boomfs.DefaultConfig())
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	enableProfiling(srv, *profile)
 	if err := serveStatus(srv, *status); err != nil {
 		return err
 	}
@@ -167,9 +171,20 @@ func serveStatus(srv *rtfs.Server, addr string) error {
 	if err := srv.ServeStatus(addr); err != nil {
 		return err
 	}
-	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace}\n",
+	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace,prov,profile,pprof}\n",
 		srv.Status.URL())
 	return nil
+}
+
+// enableProfiling turns the per-rule fixpoint profiler on before the
+// step loop starts, so /debug/profile covers the node's whole life.
+// Capture and profiling can also be toggled later at runtime via
+// /debug/prov?watch= and /debug/profile?enable=1.
+func enableProfiling(srv *rtfs.Server, on bool) {
+	if !on {
+		return
+	}
+	srv.Node.Runtime(func(rt *overlog.Runtime) { rt.SetProfiling(true) })
 }
 
 func runFS(args []string) error {
@@ -408,6 +423,7 @@ func runOlg(args []string) error {
 	steps := fs.Int("steps", 1, "timesteps to execute")
 	dump := fs.Bool("dump", true, "dump table contents after the run")
 	analyze := fs.Bool("analyze", false, "print the CALM monotonicity analysis and plans instead of running")
+	profile := fs.Bool("profile", false, "print the per-rule fixpoint profile after the run")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		return fmt.Errorf("olg: missing program file")
@@ -436,6 +452,7 @@ func runOlg(args []string) error {
 	if err := rt.InstallSource(string(src)); err != nil {
 		return err
 	}
+	rt.SetProfiling(*profile)
 	for i := 0; i < *steps; i++ {
 		out, err := rt.Step(int64(i+1), nil)
 		if err != nil {
@@ -443,6 +460,16 @@ func runOlg(args []string) error {
 		}
 		for _, env := range out {
 			fmt.Printf("[send -> %s] %s\n", env.To, env.Tuple)
+		}
+	}
+	if *profile {
+		fmt.Printf("%-24s %5s %10s %10s %12s\n", "rule", "strat", "fires", "retracted", "wall")
+		for _, p := range rt.RuleProfiles() {
+			fmt.Printf("%-24s %5d %10d %10d %12s\n",
+				p.Rule, p.Stratum, p.Fires, p.Retracted, time.Duration(p.WallNS))
+		}
+		for _, s := range rt.StratumProfiles() {
+			fmt.Printf("stratum %d: steps=%d iters=%d max=%d\n", s.Stratum, s.Steps, s.Iters, s.Max)
 		}
 	}
 	if *dump {

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/overlog"
@@ -70,6 +71,16 @@ func TestWeakDurabilityViolatesAndShrinks(t *testing.T) {
 	if replay.Err != nil || !replay.Violated() {
 		t.Fatalf("shrunk schedule must still violate (err=%v violated=%v)",
 			replay.Err, replay.Violated())
+	}
+	// The minimal counterexample carries its own causal explanation: the
+	// derivation DAG of the first inv_violation, reaching the monitor
+	// rule that fired.
+	if replay.Provenance == "" {
+		t.Fatal("shrunk replay has no violation provenance")
+	}
+	if !strings.Contains(replay.Provenance, "inv_violation(") ||
+		!strings.Contains(replay.Provenance, "<- rule iv") {
+		t.Fatalf("provenance does not reach a monitor rule:\n%s", replay.Provenance)
 	}
 	for _, a := range shrunk {
 		if a.Kind != Kill {

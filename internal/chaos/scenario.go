@@ -6,9 +6,12 @@ import (
 
 // Outcome is one scenario run's result. Err reports infrastructure
 // failures (the simulation itself broke); Violations report the system
-// under test breaking its invariants.
+// under test breaking its invariants. Provenance, when non-empty, is
+// the rendered derivation DAG of the first violation — which monitor
+// rule fired, from which tuples, chased across nodes.
 type Outcome struct {
 	Violations []Violation
+	Provenance string
 	Journal    *telemetry.Journal
 	Err        error
 }

@@ -105,7 +105,8 @@ func (p fsParams) schedule(seed int64) Schedule {
 func (p fsParams) run(seed int64, sched Schedule) Outcome {
 	journal := telemetry.NewJournal(8192)
 	reg := telemetry.NewRegistry()
-	c := sim.NewCluster(sim.WithClusterSeed(seed), sim.WithTelemetry(reg, journal))
+	c := sim.NewCluster(sim.WithClusterSeed(seed), sim.WithTelemetry(reg, journal),
+		sim.WithProvenance(256))
 	out := Outcome{Journal: journal}
 	fail := func(err error) Outcome { out.Err = err; return out }
 
@@ -212,5 +213,6 @@ func (p fsParams) run(seed int64, sched Schedule) Outcome {
 	}
 
 	out.Violations = Collect(c)
+	out.Provenance = ExplainViolation(c, out.Violations)
 	return out
 }

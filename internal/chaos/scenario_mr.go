@@ -53,7 +53,8 @@ func (p mrParams) schedule(seed int64) Schedule {
 func (p mrParams) run(seed int64, sched Schedule) Outcome {
 	journal := telemetry.NewJournal(8192)
 	treg := telemetry.NewRegistry()
-	c := sim.NewCluster(sim.WithClusterSeed(seed), sim.WithTelemetry(treg, journal))
+	c := sim.NewCluster(sim.WithClusterSeed(seed), sim.WithTelemetry(treg, journal),
+		sim.WithProvenance(256))
 	out := Outcome{Journal: journal}
 	fail := func(err error) Outcome { out.Err = err; return out }
 
@@ -108,5 +109,6 @@ func (p mrParams) run(seed int64, sched Schedule) Outcome {
 	}
 
 	out.Violations = Collect(c)
+	out.Provenance = ExplainViolation(c, out.Violations)
 	return out
 }

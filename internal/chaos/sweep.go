@@ -14,8 +14,12 @@ type SweepResult struct {
 	Schedule Schedule
 	Outcome  Outcome
 	// Shrunk is the minimal violating schedule (nil when the run was
-	// clean or shrinking was disabled).
-	Shrunk Schedule
+	// clean or shrinking was disabled). ShrunkOutcome is the replay of
+	// that minimal schedule — its Provenance field explains the first
+	// violation of the counterexample itself, not of the noisier
+	// original run.
+	Shrunk        Schedule
+	ShrunkOutcome *Outcome
 }
 
 // Seeds returns n consecutive seeds starting at base.
@@ -37,6 +41,8 @@ func Sweep(sc Scenario, seeds []int64, shrink bool) []SweepResult {
 		res := SweepResult{Seed: seed, Schedule: sched, Outcome: out}
 		if shrink && out.Err == nil && out.Violated() {
 			res.Shrunk = Shrink(sc, seed, sched)
+			replay := sc.Run(seed, res.Shrunk)
+			res.ShrunkOutcome = &replay
 		}
 		results = append(results, res)
 	}

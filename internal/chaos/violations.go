@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/overlog"
+	"repro/internal/provenance"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -80,6 +81,40 @@ func RecordViolation(rt *overlog.Runtime, v Violation) {
 	}
 	_, _, _ = tbl.Insert(overlog.NewTuple("inv_violation",
 		overlog.Str(v.Inv), overlog.Addr(v.Node), overlog.Int(v.TimeMS), overlog.Str(v.Detail)))
+}
+
+// ExplainViolation renders the derivation DAG of the first violation:
+// which monitor rule derived the inv_violation tuple, from which body
+// tuples, chased across every node in the cluster. It returns "" when
+// there is nothing to explain (no violations, or the node is gone).
+// Scenarios run with lineage capture on (sim.WithProvenance), so the
+// shrunk counterexample comes with its own causal explanation.
+func ExplainViolation(c *sim.Cluster, vs []Violation) string {
+	opt := provenance.Options{Peers: c.Runtimes(), TraceID: telemetry.TraceIDOf}
+	if j := c.Journal(); j != nil {
+		opt.TraceEvents = j.RenderTrace
+	}
+	// Prefer the earliest violation a monitor rule derived — harness
+	// findings (RecordViolation) are direct inserts with no lineage, so
+	// fall back to rendering the first one only when nothing else
+	// explains.
+	var fallback string
+	for _, v := range vs {
+		rt := c.Node(v.Node)
+		if rt == nil {
+			continue
+		}
+		tp := overlog.NewTuple("inv_violation",
+			overlog.Str(v.Inv), overlog.Addr(v.Node), overlog.Int(v.TimeMS), overlog.Str(v.Detail))
+		root := provenance.Why(rt, "inv_violation", tp, opt)
+		if !root.External {
+			return provenance.Format(root)
+		}
+		if fallback == "" {
+			fallback = provenance.Format(root)
+		}
+	}
+	return fallback
 }
 
 // Report renders violations plus the tail of the telemetry journal —

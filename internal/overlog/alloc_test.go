@@ -55,6 +55,57 @@ func TestProbePathAllocGuard(t *testing.T) {
 	}
 }
 
+// TestProvenanceDisabledAllocGuard pins the cost of the provenance and
+// profiling hooks when both are off: zero extra allocations per step.
+// It measures the same steady-state workload twice on one runtime —
+// before capture was ever enabled, and after an enable/disable cycle
+// (so the sys::prov sync path has run) — and requires both to stay at
+// the baseline.
+func TestProvenanceDisabledAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	rt := NewRuntime("guard")
+	if err := rt.InstallSource(steadyProgram); err != nil {
+		t.Fatal(err)
+	}
+	var warm []Tuple
+	for i := 0; i < 256; i++ {
+		warm = append(warm, NewTuple("big", Int(int64(i)), Int(int64(i*3))))
+	}
+	if _, err := rt.Step(1, warm); err != nil {
+		t.Fatal(err)
+	}
+	step := int64(1)
+	measure := func() float64 {
+		for i := 0; i < 3; i++ {
+			step++
+			if _, err := rt.Step(step, []Tuple{NewTuple("tick", Int(step), Int(0))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(50, func() {
+			step++
+			if _, err := rt.Step(step, []Tuple{NewTuple("tick", Int(step), Int(0))}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	before := measure()
+	rt.EnableProvenance("out", 64)
+	rt.SetProfiling(true)
+	step++
+	if _, err := rt.Step(step, []Tuple{NewTuple("tick", Int(step), Int(0))}); err != nil {
+		t.Fatal(err)
+	}
+	rt.DisableProvenance("")
+	rt.SetProfiling(false)
+	after := measure()
+	if after > before {
+		t.Fatalf("capture-disabled step allocates %.1f/run vs %.1f baseline — the provenance/profiling hooks leak allocations when off", after, before)
+	}
+}
+
 // TestDuplicateInsertAllocGuard pins the cheapest storage path: an
 // insert that is already present must reject without cloning.
 func TestDuplicateInsertAllocGuard(t *testing.T) {

@@ -261,6 +261,11 @@ type compiledRule struct {
 	// derivations are rejected against storage without allocating.
 	envBuf  []Value
 	headBuf []Value
+
+	// stats accumulates firing/retraction/wall-time counters; delta
+	// variants share their parent's block so counts aggregate no matter
+	// which variant ran (see profile.go).
+	stats *ruleStats
 }
 
 // prepare allocates the rule's evaluation buffers and per-operator
@@ -466,6 +471,7 @@ func (rc *ruleCompiler) compileRule(seq int) (*compiledRule, error) {
 		isDelete:   r.Delete,
 		isDeferred: r.Deferred,
 		isAgg:      r.HasAggregate(),
+		stats:      &ruleStats{},
 	}
 	cr.name = r.Name
 	if cr.name == "" {
@@ -631,6 +637,7 @@ func buildDeltaVariants(cat *catalog, cr *compiledRule, seq int) error {
 			continue
 		}
 		vcr.name = cr.name
+		vcr.stats = cr.stats
 		cr.deltaVariants = append(cr.deltaVariants, vcr)
 	}
 	return nil

@@ -168,7 +168,7 @@ func ReplayJournal(rt *Runtime, r io.Reader) (int64, error) {
 				return applied, err
 			}
 		} else {
-			if err := rt.deleteLocal(tp); err != nil {
+			if _, err := rt.deleteLocal(tp); err != nil {
 				return applied, err
 			}
 		}

@@ -1,0 +1,302 @@
+package overlog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple provenance: bounded derivation-lineage capture.
+//
+// When capture is enabled for a table, every rule firing whose head
+// lands in that table records a Derivation — the deriving rule, the
+// materialized head, and the 64-bit fingerprints of the body tuples
+// that satisfied the rule — into a capped per-table ring. Fingerprints
+// are the same FNV-1a hashes the storage layer keys on, so capture on
+// the hot path is a few integer stores and one ring append; lineage is
+// reconstructed lazily by Why (internal/provenance), which chases body
+// fingerprints back through the rings.
+//
+// Like sys::lint and sys::invariant, the capture configuration is
+// itself a relation: sys::prov(Table, Cap). Inserting a row (locally,
+// or from another node via a rule with a location specifier) enables
+// capture for that table at the next step; deleting it disables.
+// Table "*" enables capture for every non-sys table. The runtime syncs
+// its compiled capture set from the relation whenever the relation's
+// generation changes, so the check on the steady-state path is one
+// integer comparison per step.
+//
+// Limits, by design:
+//   - negative atoms (notin) record nothing — a derivation's lineage
+//     lists the tuples that were present, not the ones that weren't;
+//   - aggregate rules record the group's binding count instead of the
+//     (unboundedly many) contributing tuples;
+//   - the ring is bounded, so Why on a long-dead derivation reports
+//     the tuple as external once the record has been overwritten.
+
+// DefaultProvenanceCap is the per-table ring capacity used when a
+// sys::prov row carries no positive cap.
+const DefaultProvenanceCap = 512
+
+// DerivRef identifies one body tuple of a derivation by table and
+// full-tuple fingerprint.
+type DerivRef struct {
+	Table string
+	FP    uint64
+}
+
+// Derivation is one captured rule firing.
+type Derivation struct {
+	Rule   string // deriving rule name
+	Node   string // runtime address that ran the rule
+	Time   int64  // step clock at derivation
+	Head   Tuple  // materialized head (owned copy)
+	HeadFP uint64 // fingerprint of Head (hash of all columns)
+	Body   []DerivRef
+	Agg    int64  // >0: aggregate over this many body bindings (Body empty)
+	To     string // non-empty: head was routed to this node, not stored here
+	Delete bool   // head was a deletion, not an insertion
+}
+
+// String renders a derivation one-line, fingerprints in hex.
+func (d Derivation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s := %s", d.Head, d.Rule)
+	if d.Delete {
+		b.WriteString(" (delete)")
+	}
+	if d.To != "" {
+		fmt.Fprintf(&b, " -> %s", d.To)
+	}
+	if d.Agg > 0 {
+		fmt.Fprintf(&b, " (aggregate over %d bindings)", d.Agg)
+	}
+	for _, ref := range d.Body {
+		fmt.Fprintf(&b, " %s#%016x", ref.Table, ref.FP)
+	}
+	return b.String()
+}
+
+// Fingerprint returns the tuple's full-column FNV-1a fingerprint — the
+// identity provenance rings and Why lookups are keyed by.
+func (t Tuple) Fingerprint() uint64 { return hashVals(t.Vals) }
+
+// provRing is a bounded per-table derivation log.
+type provRing struct {
+	buf  []Derivation
+	next int
+	full bool
+}
+
+func (p *provRing) add(d Derivation) {
+	p.buf[p.next] = d
+	p.next++
+	if p.next == len(p.buf) {
+		p.next = 0
+		p.full = true
+	}
+}
+
+// list returns retained derivations oldest-first.
+func (p *provRing) list() []Derivation {
+	if !p.full {
+		return append([]Derivation(nil), p.buf[:p.next]...)
+	}
+	out := make([]Derivation, 0, len(p.buf))
+	out = append(out, p.buf[p.next:]...)
+	out = append(out, p.buf[:p.next]...)
+	return out
+}
+
+// EnableProvenance turns on derivation capture for table (or every
+// non-sys table when table is "*" or ""), with a per-table ring of
+// capN records (DefaultProvenanceCap when capN <= 0). It writes the
+// sys::prov relation; rules metaprogramming over sys::prov and remote
+// toggles reach the identical state.
+func (r *Runtime) EnableProvenance(table string, capN int) {
+	if table == "" {
+		table = "*"
+	}
+	if capN <= 0 {
+		capN = DefaultProvenanceCap
+	}
+	t := r.tables["sys::prov"]
+	_, _, _ = t.Insert(NewTuple("sys::prov", Str(table), Int(int64(capN))))
+	r.syncProv(t)
+}
+
+// DisableProvenance removes the capture row for table and drops its
+// ring; table "" (or "*") clears the whole relation, disabling capture
+// entirely.
+func (r *Runtime) DisableProvenance(table string) {
+	t := r.tables["sys::prov"]
+	if table == "" || table == "*" {
+		t.Clear()
+	} else {
+		_, _ = t.DeleteByKey(NewTuple("sys::prov", Str(table), Int(0)))
+	}
+	r.syncProv(t)
+}
+
+// ProvenanceEnabled reports whether any table is being captured.
+func (r *Runtime) ProvenanceEnabled() bool { return r.provOn }
+
+// ProvenanceTables lists tables with non-empty derivation rings,
+// sorted.
+func (r *Runtime) ProvenanceTables() []string {
+	out := make([]string, 0, len(r.provRings))
+	for name := range r.provRings {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Derivations returns the retained derivations whose head landed in
+// table, oldest-first.
+func (r *Runtime) Derivations(table string) []Derivation {
+	ring, ok := r.provRings[table]
+	if !ok {
+		return nil
+	}
+	return ring.list()
+}
+
+// DerivationsOf returns the retained derivations of the tuple with the
+// given fingerprint in table, oldest-first. Deletions are excluded —
+// they explain a tuple's absence, not its presence.
+func (r *Runtime) DerivationsOf(table string, fp uint64) []Derivation {
+	var out []Derivation
+	for _, d := range r.Derivations(table) {
+		if d.HeadFP == fp && !d.Delete {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// syncProv recompiles the capture set from the sys::prov relation.
+func (r *Runtime) syncProv(t *Table) {
+	r.provGen = t.generation
+	r.provAll = 0
+	r.provTables = nil
+	t.Scan(func(tp Tuple) bool {
+		name := tp.Vals[0].AsString()
+		capN := int(tp.Vals[1].AsInt())
+		if capN <= 0 {
+			capN = DefaultProvenanceCap
+		}
+		if name == "*" {
+			r.provAll = capN
+		} else {
+			if r.provTables == nil {
+				r.provTables = make(map[string]int)
+			}
+			r.provTables[name] = capN
+		}
+		return true
+	})
+	r.provOn = r.provAll > 0 || len(r.provTables) > 0
+	for name := range r.provRings {
+		if r.provCap(name) == 0 {
+			delete(r.provRings, name)
+		}
+	}
+}
+
+// provCap returns the ring capacity for a table, 0 when not captured.
+func (r *Runtime) provCap(table string) int {
+	if c, ok := r.provTables[table]; ok {
+		return c
+	}
+	if r.provAll > 0 && !strings.HasPrefix(table, "sys::") {
+		return r.provAll
+	}
+	return 0
+}
+
+// provRingFor returns (creating if needed) the ring for a captured
+// table.
+func (r *Runtime) provRingFor(table string) *provRing {
+	if ring, ok := r.provRings[table]; ok {
+		return ring
+	}
+	if r.provRings == nil {
+		r.provRings = make(map[string]*provRing)
+	}
+	ring := &provRing{buf: make([]Derivation, r.provCap(table))}
+	r.provRings[table] = ring
+	return ring
+}
+
+// recordDeriv captures one rule firing. Only called when provActive —
+// the head's table is being captured — so the clone is deliberate: the
+// scratch head buffer is reused by the next firing.
+func (r *Runtime) recordDeriv(cr *compiledRule, tp Tuple, to string, del bool) {
+	d := Derivation{
+		Rule:   cr.name,
+		Node:   r.addr,
+		Time:   r.now,
+		Head:   cloneTuple(tp),
+		HeadFP: hashVals(tp.Vals),
+		To:     to,
+		Delete: del,
+	}
+	if cr.isAgg {
+		d.Agg = r.provAggN
+	} else if len(r.provStack) > 0 {
+		d.Body = append([]DerivRef(nil), r.provStack...)
+	}
+	r.provRingFor(tp.Table).add(d)
+}
+
+// FindPattern parses src as one atom pattern — constants match
+// exactly, wildcards and variables match anything, e.g.
+//
+//	chunk(42, _, Owner)
+//
+// — and returns the table name plus the stored tuples matching the
+// ground columns. This is the lookup behind the REPL's \why and the
+// status server's tuple queries.
+func (r *Runtime) FindPattern(src string) (string, []Tuple, error) {
+	src = strings.TrimSpace(src)
+	src = strings.TrimSuffix(src, ";")
+	prog, err := Parse(src + ";")
+	if err != nil {
+		return "", nil, err
+	}
+	if len(prog.Facts) != 1 || len(prog.Rules) != 0 || len(prog.Tables) != 0 {
+		return "", nil, fmt.Errorf("overlog: pattern must be a single atom, e.g. chunk(42, _, X)")
+	}
+	atom := prog.Facts[0].Atom
+	tbl, ok := r.tables[atom.Table]
+	if !ok {
+		return "", nil, fmt.Errorf("overlog: pattern names undeclared table %q", atom.Table)
+	}
+	if len(atom.Terms) != len(tbl.decl.Cols) {
+		return "", nil, fmt.Errorf("overlog: table %s has arity %d, pattern supplies %d terms",
+			atom.Table, len(tbl.decl.Cols), len(atom.Terms))
+	}
+	var cols []int
+	var vals []Value
+	for i, term := range atom.Terms {
+		switch term.Expr.(type) {
+		case *WildcardExpr, *VarExpr:
+			continue
+		}
+		rc := &ruleCompiler{cat: r.cat, prog: "pattern", slots: map[string]int{}, rule: &Rule{Head: atom}}
+		ce, err := rc.compileExpr(term.Expr, atom.Line)
+		if err != nil {
+			return "", nil, err
+		}
+		v, err := ce.eval(nil, r)
+		if err != nil {
+			return "", nil, fmt.Errorf("overlog: pattern argument %d is not ground: %w", i, err)
+		}
+		cols = append(cols, i)
+		vals = append(vals, v)
+	}
+	tuples := tbl.Match(cols, vals)
+	SortTuples(tuples)
+	return atom.Table, tuples, nil
+}

@@ -120,3 +120,16 @@ func TestStepNeverPanicsOnBadExternalTuples(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestStepEmptyRuntime: stepping a runtime before any program is
+// installed (a fresh REPL, a node whose install failed) must be a
+// no-op, not an out-of-range panic on the empty strata slice.
+func TestStepEmptyRuntime(t *testing.T) {
+	rt := NewRuntime("n1")
+	rt.SetProfiling(true)
+	for now := int64(1); now <= 3; now++ {
+		if _, err := rt.Step(now, nil); err != nil {
+			t.Fatalf("step %d: %v", now, err)
+		}
+	}
+}

@@ -88,9 +88,32 @@ type Runtime struct {
 	maxIterations int
 	naiveEval     bool
 
-	ruleFires map[string]int64
 	derivedCt int64 // total tuples derived (including duplicates suppressed)
 	insertCt  int64 // tuples actually inserted (post-dedup)
+	retractCt int64 // stored tuples removed (deletions + key replacements)
+
+	// Provenance capture state (see provenance.go). provOn/provTables
+	// are compiled from the sys::prov relation; provActive is armed per
+	// rule evaluation when the head's table is captured; provStack holds
+	// the body-tuple fingerprints along the current execOps descent.
+	provOn     bool
+	provGen    uint64
+	provAll    int
+	provTables map[string]int
+	provRings  map[string]*provRing
+	provActive bool
+	provStack  []DerivRef
+	provAggN   int64
+
+	// Profiling state (see profile.go).
+	profOn    bool
+	stratIter []int32
+	stratProf []StratumProfile
+
+	// pendDelBy attributes each pending deletion to the rule-stats block
+	// of the rule that requested it (nil for unattributed), index-aligned
+	// with pendDel.
+	pendDelBy []*ruleStats
 
 	stepHook func(StepStats)
 }
@@ -102,8 +125,14 @@ type StepStats struct {
 	External   int   // external tuples consumed (incl. deferred+periodic)
 	Derived    int64 // rule head derivations this step (pre-dedup)
 	Inserted   int64 // tuples inserted this step (post-dedup)
+	Retracted  int64 // stored tuples removed this step (deletions + key replacements)
 	Envelopes  int   // tuples emitted toward other nodes
 	Stored     int64 // total tuples held across all tables at step end
+	// StratumIters holds this step's fixpoint iteration count per
+	// evaluated stratum, in stratum order. Nil unless profiling is on;
+	// the slice is the runtime's scratch buffer — hooks must not retain
+	// it past their return.
+	StratumIters []int32
 }
 
 // SetStepHook installs a callback invoked at the end of every
@@ -146,7 +175,6 @@ func NewRuntime(addr string, opts ...Option) *Runtime {
 		cat:           newCatalog(),
 		tables:        make(map[string]*Table),
 		stepDeltas:    make(map[string][]Tuple),
-		ruleFires:     make(map[string]int64),
 		dirty:         make(map[string]bool),
 		nextDirty:     make(map[string]bool),
 		maxIterations: 1 << 20,
@@ -198,11 +226,13 @@ func (r *Runtime) AddWatch(table, modes string) error {
 	return nil
 }
 
-// RuleStats returns a copy of per-rule firing counts.
+// RuleStats returns a copy of per-rule firing counts, merged by rule
+// name (distinct rules sharing a label sum together, as they did when
+// this was a map keyed by name).
 func (r *Runtime) RuleStats() map[string]int64 {
-	out := make(map[string]int64, len(r.ruleFires))
-	for k, v := range r.ruleFires {
-		out[k] = v
+	out := make(map[string]int64, len(r.cat.rules))
+	for _, cr := range r.cat.rules {
+		out[cr.name] += cr.stats.fires
 	}
 	return out
 }
@@ -252,6 +282,15 @@ func (r *Runtime) declareSysTables() {
 			{Name: "Line", Type: KindInt},
 			{Name: "Msg", Type: KindString},
 		}},
+		// sys::prov configures derivation-lineage capture (see
+		// provenance.go): a row (Table, Cap) enables a Cap-entry
+		// derivation ring for Table; Table "*" captures every non-sys
+		// table. Being a relation, capture can be toggled by rules —
+		// including rules on other nodes via location specifiers.
+		{Name: "sys::prov", Cols: []ColDecl{
+			{Name: "Table", Type: KindString},
+			{Name: "Cap", Type: KindInt},
+		}, KeyCols: []int{0}},
 		// sys::invariant holds runtime invariant violations observed by
 		// monitor rules (populated by the chaos harness from each node's
 		// inv_violation table); like sys::lint, no keys = set semantics.
@@ -441,14 +480,18 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 		return nil, fmt.Errorf("overlog: %s: clock moved backwards (%d < %d)", r.addr, now, r.now)
 	}
 	var hookStart time.Time
-	var derived0, inserted0 int64
+	var derived0, inserted0, retracted0 int64
 	if r.stepHook != nil {
 		hookStart = time.Now()
-		derived0, inserted0 = r.derivedCt, r.insertCt
+		derived0, inserted0, retracted0 = r.derivedCt, r.insertCt, r.retractCt
+	}
+	if r.profOn {
+		r.stratIter = r.stratIter[:0]
 	}
 	r.now = now
 	r.outbox = nil
 	r.pendDel = nil
+	r.pendDelBy = nil
 	// stepDeltas is NOT reset here: tuples inserted since the previous
 	// step (facts and state loaded by Install) must seed this step's
 	// semi-naive frontier. It is cleared at the end of the step.
@@ -482,6 +525,13 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 		}
 	}
 
+	// Sync the provenance capture set when sys::prov changed (local
+	// API call, rule derivation, or a remote toggle that just arrived
+	// as an external tuple). One integer compare on the steady path.
+	if t := r.tables["sys::prov"]; t.generation != r.provGen {
+		r.syncProv(t)
+	}
+
 	// Stratified semi-naive fixpoint.
 	for s := 0; s <= r.cat.maxStratum; s++ {
 		if err := r.runStratum(s); err != nil {
@@ -490,9 +540,13 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	}
 
 	// Deferred deletions.
-	for _, tp := range r.pendDel {
-		if err := r.deleteLocal(tp); err != nil {
+	for i, tp := range r.pendDel {
+		removed, err := r.deleteLocal(tp)
+		if err != nil {
 			return nil, err
+		}
+		if removed && r.pendDelBy[i] != nil {
+			r.pendDelBy[i].retracted++
 		}
 	}
 
@@ -518,15 +572,20 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 		for _, tbl := range r.tables {
 			stored += int64(tbl.Len())
 		}
-		r.stepHook(StepStats{
+		st := StepStats{
 			NowMS:      now,
 			DurationNS: time.Since(hookStart).Nanoseconds(),
 			External:   externalIn,
 			Derived:    r.derivedCt - derived0,
 			Inserted:   r.insertCt - inserted0,
+			Retracted:  r.retractCt - retracted0,
 			Envelopes:  len(out),
 			Stored:     stored,
-		})
+		}
+		if r.profOn {
+			st.StratumIters = r.stratIter
+		}
+		r.stepHook(st)
 	}
 	return out, nil
 }
@@ -544,7 +603,7 @@ func (r *Runtime) maintainFireStats() error {
 	if !needed {
 		return nil
 	}
-	for name, count := range r.ruleFires {
+	for name, count := range r.RuleStats() {
 		if _, err := r.insertLocal(NewTuple("sys::fire", Str(name), Int(count)), "sys"); err != nil {
 			return err
 		}
@@ -571,6 +630,7 @@ func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
 	r.insertCt++
 	r.stepDeltas[tp.Table] = append(r.stepDeltas[tp.Table], norm)
 	if displaced != nil {
+		r.retractCt++
 		r.nextDirty[tp.Table] = true
 		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: viaRule, Tuple: *displaced})
 	}
@@ -578,20 +638,21 @@ func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
 	return true, nil
 }
 
-func (r *Runtime) deleteLocal(tp Tuple) error {
+func (r *Runtime) deleteLocal(tp Tuple) (bool, error) {
 	tbl, ok := r.tables[tp.Table]
 	if !ok {
-		return fmt.Errorf("overlog: %s: delete from undeclared table %q", r.addr, tp.Table)
+		return false, fmt.Errorf("overlog: %s: delete from undeclared table %q", r.addr, tp.Table)
 	}
 	removed, err := tbl.Delete(tp)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if removed {
+		r.retractCt++
 		r.nextDirty[tp.Table] = true
 		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: "delete", Tuple: tp})
 	}
-	return nil
+	return removed, nil
 }
 
 func (r *Runtime) emitWatch(ev WatchEvent) {
@@ -635,12 +696,17 @@ func (r *Runtime) emitWatch(ev WatchEvent) {
 // runStratum evaluates one stratum: aggregate (and scan-free) rules
 // once at entry, then a semi-naive loop over the rest.
 func (r *Runtime) runStratum(s int) error {
+	// An empty catalog (no rules installed yet) has no strata at all
+	// even though maxStratum is 0.
+	if s >= len(r.cat.strata) {
+		return nil
+	}
 	rules := r.cat.strata[s]
 	if len(rules) == 0 {
 		return nil
 	}
 	if r.naiveEval {
-		return r.runStratumNaive(rules)
+		return r.runStratumNaive(s, rules)
 	}
 
 	var loopRules []*compiledRule
@@ -661,6 +727,9 @@ func (r *Runtime) runStratum(s int) error {
 		loopRules = append(loopRules, cr)
 	}
 	if len(loopRules) == 0 {
+		if r.profOn {
+			r.recordStratumIters(s, 1)
+		}
 		return nil
 	}
 
@@ -683,6 +752,9 @@ func (r *Runtime) runStratum(s int) error {
 			}
 		}
 		if !progress {
+			if r.profOn {
+				r.recordStratumIters(s, iter)
+			}
 			return nil
 		}
 		for t, w := range window {
@@ -721,7 +793,7 @@ func (r *Runtime) ruleInputsChanged(cr *compiledRule) bool {
 
 // runStratumNaive is the ablation path: iterate full re-derivation of
 // every rule until no new tuples appear.
-func (r *Runtime) runStratumNaive(rules []*compiledRule) error {
+func (r *Runtime) runStratumNaive(s int, rules []*compiledRule) error {
 	for iter := 0; ; iter++ {
 		if iter > r.maxIterations {
 			return fmt.Errorf("overlog: %s: naive fixpoint did not converge", r.addr)
@@ -734,6 +806,9 @@ func (r *Runtime) runStratumNaive(rules []*compiledRule) error {
 			cr.ranOnce = true
 		}
 		if r.insertCt == before {
+			if r.profOn {
+				r.recordStratumIters(s, iter+1)
+			}
 			return nil
 		}
 	}
@@ -745,6 +820,11 @@ func (r *Runtime) runStratumNaive(rules []*compiledRule) error {
 // candidate lists); a Runtime is single-threaded and execOps never
 // re-enters an operator, so reuse is safe.
 func (r *Runtime) evalRuleFull(cr *compiledRule) error {
+	if r.profOn {
+		start := time.Now()
+		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }()
+	}
+	r.armProv(cr)
 	env := cr.envBuf
 	if cr.isAgg {
 		agg := newAggCollector(cr, r)
@@ -758,6 +838,17 @@ func (r *Runtime) evalRuleFull(cr *compiledRule) error {
 	})
 }
 
+// armProv decides whether the rule evaluation about to run records
+// derivations. Off is the common case and costs one branch.
+func (r *Runtime) armProv(cr *compiledRule) {
+	if !r.provOn {
+		r.provActive = false
+		return
+	}
+	r.provActive = r.provCap(cr.head.table) > 0
+	r.provStack = r.provStack[:0]
+}
+
 // evalRuleDelta evaluates a rule with one scan position restricted to
 // the frontier tuples. The compile-time dispatch table maps the delta
 // position straight to its reordered variant (frontier scan first, so
@@ -767,6 +858,11 @@ func (r *Runtime) evalRuleDelta(cr *compiledRule, deltaPos int, frontier []Tuple
 	if cr.isAgg {
 		return nil // aggregates are recomputed via evalRuleFull only
 	}
+	if r.profOn {
+		start := time.Now()
+		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }()
+	}
+	r.armProv(cr)
 	run := cr
 	pos := deltaPos
 	if deltaPos < len(cr.deltaForPos) {
@@ -853,7 +949,17 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 			for i, col := range op.bindCols {
 				env[op.bindSlots[i]] = cand.Vals[col]
 			}
-			if err := r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit); err != nil {
+			// Provenance capture: remember this body tuple's identity for
+			// the duration of the descent, so emitHead sees the full set of
+			// satisfying body tuples on the stack.
+			if r.provActive {
+				r.provStack = append(r.provStack, DerivRef{Table: op.table, FP: hashVals(cand.Vals)})
+			}
+			err := r.execOps(cr, opIdx+1, deltaPos, frontier, env, emit)
+			if r.provActive {
+				r.provStack = r.provStack[:len(r.provStack)-1]
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -918,7 +1024,7 @@ func (r *Runtime) passesFilters(op *bodyOp, cand Tuple, env []Value) bool {
 // (the bulk of a fixpoint's head firings) are rejected by storage
 // without ever allocating a tuple.
 func (r *Runtime) emitHead(cr *compiledRule, env []Value) error {
-	r.ruleFires[cr.name]++
+	cr.stats.fires++
 	r.derivedCt++
 	vals := cr.headBuf
 	for i, ce := range cr.head.exprs {
@@ -940,7 +1046,11 @@ func (r *Runtime) routeHead(cr *compiledRule, tp Tuple, scratch bool) error {
 		if scratch {
 			tp = cloneTuple(tp)
 		}
+		if r.provActive {
+			r.recordDeriv(cr, tp, "", true)
+		}
 		r.pendDel = append(r.pendDel, tp)
+		r.pendDelBy = append(r.pendDelBy, cr.stats)
 		return nil
 	}
 	if cr.head.locCol >= 0 {
@@ -954,11 +1064,20 @@ func (r *Runtime) routeHead(cr *compiledRule, tp Tuple, scratch bool) error {
 			if scratch {
 				tp = cloneTuple(tp)
 			}
+			// Record the send in the local ring with To set: when the
+			// destination node is asked Why about the delivered tuple, the
+			// cross-node chase finds this record here, on the origin.
+			if r.provActive {
+				r.recordDeriv(cr, tp, loc.AsString(), false)
+			}
 			r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Sent: true,
 				Rule: cr.name, Tuple: tp})
 			r.outbox = append(r.outbox, Envelope{To: loc.AsString(), Tuple: tp})
 			return nil
 		}
+	}
+	if r.provActive {
+		r.recordDeriv(cr, tp, "", false)
 	}
 	if cr.isDeferred {
 		if scratch {
@@ -1123,11 +1242,16 @@ func (a *aggCollector) emit(r *Runtime) error {
 				vals[spec.col] = List(sorted...)
 			}
 		}
-		r.ruleFires[cr.name]++
+		cr.stats.fires++
 		r.derivedCt++
 		tp := NewTuple(cr.head.table, vals...)
 		if maintain {
 			cur[key] = tp
+		}
+		if r.provActive && len(g.accs) > 0 {
+			// Aggregate lineage records the group's binding count, not the
+			// (unboundedly many) contributing tuples.
+			r.provAggN = g.accs[0].count
 		}
 		if err := r.routeHead(cr, tp, false); err != nil {
 			return err
@@ -1137,6 +1261,7 @@ func (a *aggCollector) emit(r *Runtime) error {
 		for key, old := range cr.prevAgg {
 			if _, ok := cur[key]; !ok {
 				r.pendDel = append(r.pendDel, old)
+				r.pendDelBy = append(r.pendDelBy, cr.stats)
 			}
 		}
 		cr.prevAgg = cur

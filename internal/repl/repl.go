@@ -11,9 +11,11 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/overlog"
 	"repro/internal/overlog/analysis"
+	"repro/internal/provenance"
 )
 
 // REPL wraps a runtime with an interactive loop.
@@ -50,6 +52,11 @@ const help = `commands:
   .plan <rule>                      show a rule's compiled plan
   .analyze                          CALM monotonicity analysis of installed rules
   .lint (or \lint)                  static analysis of the live catalog (sys::lint)
+  .why <pattern>  (or \why)         derivation DAG for matching tuples, e.g. .why path(1, _)
+  .why on [table] [cap]             enable lineage capture (default: all tables)
+  .why off [table]                  disable capture; bare .why shows capture state
+  .profile        (or \profile)     per-rule wall time / fires / retractions + stratum iterations
+  .profile on|off                   toggle wall-clock profiling (fire counts are always on)
   .help                             this text
   .quit                             leave
 `
@@ -234,8 +241,108 @@ func (r *REPL) command(line string) bool {
 			fmt.Fprintf(r.out, "  %s\n", d.String())
 		}
 		fmt.Fprintf(r.out, "%d finding(s); also in sys::lint (try ?- sys::lint(C, S, P, R, Sub, L, M);).\n", len(ds))
+	case ".why":
+		r.why(fields[1:])
+	case ".profile":
+		r.profile(fields[1:])
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try .help)\n", fields[0])
 	}
 	return false
+}
+
+// why implements .why: capture toggles and provenance queries.
+func (r *REPL) why(args []string) {
+	switch {
+	case len(args) == 0:
+		if !r.rt.ProvenanceEnabled() {
+			fmt.Fprintln(r.out, "capture off. enable with: .why on [table] [cap]")
+			return
+		}
+		for _, name := range r.rt.ProvenanceTables() {
+			fmt.Fprintf(r.out, "  %-24s %d derivation(s) buffered\n", name, len(r.rt.Derivations(name)))
+		}
+		return
+	case args[0] == "on":
+		table, capN := "*", overlog.DefaultProvenanceCap
+		if len(args) > 1 {
+			table = args[1]
+		}
+		if len(args) > 2 {
+			fmt.Sscanf(args[2], "%d", &capN)
+		}
+		r.rt.EnableProvenance(table, capN)
+		fmt.Fprintf(r.out, "capturing %s (ring %d).\n", table, capN)
+		return
+	case args[0] == "off":
+		table := "*"
+		if len(args) > 1 {
+			table = args[1]
+		}
+		r.rt.DisableProvenance(table)
+		fmt.Fprintln(r.out, "ok.")
+		return
+	}
+	pattern := strings.TrimSuffix(strings.Join(args, " "), ";")
+	roots, err := provenance.WhyPattern(r.rt, pattern, provenance.Options{})
+	if err != nil {
+		fmt.Fprintf(r.out, "error: %v\n", err)
+		return
+	}
+	if len(roots) == 0 {
+		fmt.Fprintln(r.out, "no matching tuples.")
+		return
+	}
+	if !r.rt.ProvenanceEnabled() {
+		fmt.Fprintln(r.out, "(capture is off — derivations made before .why on are unexplained)")
+	}
+	fmt.Fprint(r.out, provenance.FormatAll(roots))
+}
+
+// profile implements .profile: the per-rule fixpoint profiler.
+func (r *REPL) profile(args []string) {
+	if len(args) > 0 {
+		switch args[0] {
+		case "on":
+			r.rt.SetProfiling(true)
+			fmt.Fprintln(r.out, "profiling on.")
+		case "off":
+			r.rt.SetProfiling(false)
+			fmt.Fprintln(r.out, "profiling off.")
+		default:
+			fmt.Fprintln(r.out, "usage: .profile [on|off]")
+		}
+		return
+	}
+	profiles := r.rt.RuleProfiles()
+	if len(profiles) == 0 {
+		fmt.Fprintln(r.out, "no rules installed.")
+		return
+	}
+	sort.SliceStable(profiles, func(i, j int) bool {
+		if profiles[i].WallNS != profiles[j].WallNS {
+			return profiles[i].WallNS > profiles[j].WallNS
+		}
+		return profiles[i].Fires > profiles[j].Fires
+	})
+	if !r.rt.Profiling() {
+		fmt.Fprintln(r.out, "(wall-clock profiling off — .profile on to time rules)")
+	}
+	fmt.Fprintf(r.out, "  %-24s %4s %10s %10s %12s\n", "rule", "strat", "fires", "retracted", "wall")
+	for _, p := range profiles {
+		fmt.Fprintf(r.out, "  %-24s %4d %10d %10d %12s\n",
+			p.Rule, p.Stratum, p.Fires, p.Retracted, time.Duration(p.WallNS))
+	}
+	strata := r.rt.StratumProfiles()
+	if len(strata) == 0 {
+		return
+	}
+	fmt.Fprintf(r.out, "  stratum iterations (buckets %s):\n", strings.Join(overlog.IterBuckets[:], " | "))
+	for _, s := range strata {
+		var hist []string
+		for _, n := range s.Hist {
+			hist = append(hist, fmt.Sprintf("%d", n))
+		}
+		fmt.Fprintf(r.out, "    s%-3d steps=%-6d max=%-4d [%s]\n", s.Stratum, s.Steps, s.Max, strings.Join(hist, " "))
+	}
 }

@@ -168,3 +168,67 @@ t(1, 2);
 		t.Fatalf(".lint on a clean catalog:\n%s", out)
 	}
 }
+
+func TestWhyCommand(t *testing.T) {
+	out := drive(t, `
+table link(A: int, B: int) keys(0,1);
+table path(A: int, B: int) keys(0,1);
+p1 path(A, B) :- link(A, B);
+p2 path(A, C) :- link(A, B), path(B, C);
+\why on
+link(1, 2); link(2, 3);
+.step
+\why path(1, 3)
+.why
+.why off
+.why
+.quit
+`)
+	if !strings.Contains(out, "capturing * (ring") {
+		t.Fatalf("no enable ack:\n%s", out)
+	}
+	if !strings.Contains(out, "path(1, 3)") || !strings.Contains(out, "rule p2") {
+		t.Fatalf("why output missing derivation:\n%s", out)
+	}
+	if !strings.Contains(out, "derivation(s) buffered") {
+		t.Fatalf("bare .why did not list rings:\n%s", out)
+	}
+	if !strings.Contains(out, "capture off. enable with") {
+		t.Fatalf(".why after off should report capture off:\n%s", out)
+	}
+}
+
+func TestWhyCommandErrors(t *testing.T) {
+	out := drive(t, `
+table t(A: int) keys(0);
+.why nosuch(_)
+.quit
+`)
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("bad pattern did not error:\n%s", out)
+	}
+}
+
+func TestProfileCommand(t *testing.T) {
+	out := drive(t, `
+table link(A: int, B: int) keys(0,1);
+table path(A: int, B: int) keys(0,1);
+p1 path(A, B) :- link(A, B);
+p2 path(A, C) :- link(A, B), path(B, C);
+\profile on
+link(1, 2); link(2, 3); link(3, 4);
+.step
+\profile
+\profile off
+.quit
+`)
+	if !strings.Contains(out, "profiling on.") || !strings.Contains(out, "profiling off.") {
+		t.Fatalf("toggle acks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rule") || !strings.Contains(out, "p2") {
+		t.Fatalf("profile table missing rules:\n%s", out)
+	}
+	if !strings.Contains(out, "stratum iterations") {
+		t.Fatalf("stratum histogram missing:\n%s", out)
+	}
+}

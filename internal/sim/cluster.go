@@ -184,6 +184,10 @@ type Cluster struct {
 	// the TCP transport's instrumentation, without the HTTP server.
 	reg     *telemetry.Registry
 	journal *telemetry.Journal
+
+	// provCap > 0 enables wildcard derivation capture (sys::prov "*")
+	// on every node, surviving crash-restarts. See WithProvenance.
+	provCap int
 }
 
 // Option configures a Cluster.
@@ -237,6 +241,20 @@ func WithTelemetry(reg *telemetry.Registry, j *telemetry.Journal) Option {
 	}
 }
 
+// WithProvenance enables derivation-lineage capture on every node —
+// current and future, including crash-restarted incarnations — with a
+// per-table ring of capN records (overlog.DefaultProvenanceCap when
+// capN <= 0). Chaos scenarios use this so a violating schedule can
+// explain its first bad tuple.
+func WithProvenance(capN int) Option {
+	return func(c *Cluster) {
+		if capN <= 0 {
+			capN = overlog.DefaultProvenanceCap
+		}
+		c.provCap = capN
+	}
+}
+
 // NewCluster creates an empty cluster.
 func NewCluster(opts ...Option) *Cluster {
 	c := &Cluster{
@@ -266,6 +284,9 @@ func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime
 	if c.reg != nil {
 		telemetry.AttachRuntime(c.reg, addr, rt)
 	}
+	if c.provCap > 0 {
+		rt.EnableProvenance("*", c.provCap)
+	}
 	n := &node{addr: addr, rt: rt}
 	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
 		n.buffer = append(n.buffer, ev)
@@ -294,6 +315,16 @@ func (c *Cluster) Node(addr string) *overlog.Runtime {
 
 // Nodes returns all node addresses in creation order.
 func (c *Cluster) Nodes() []string { return append([]string(nil), c.order...) }
+
+// Runtimes returns every node's current runtime in creation order —
+// the peer set a cross-node provenance chase consults.
+func (c *Cluster) Runtimes() []*overlog.Runtime {
+	out := make([]*overlog.Runtime, 0, len(c.order))
+	for _, addr := range c.order {
+		out = append(out, c.nodes[addr].rt)
+	}
+	return out
+}
 
 // AttachService registers glue code on a node and watches its tables.
 func (c *Cluster) AttachService(addr string, svc Service) error {
@@ -358,6 +389,9 @@ func (c *Cluster) Restart(addr string) error {
 	rt := overlog.NewRuntime(addr)
 	if c.reg != nil {
 		telemetry.AttachRuntime(c.reg, addr, rt)
+	}
+	if c.provCap > 0 {
+		rt.EnableProvenance("*", c.provCap)
 	}
 	n.rt = rt
 	n.services = nil

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -106,6 +107,33 @@ func (j *Journal) ByTrace(id string) []Event {
 		if ev.TraceID == id {
 			out = append(out, ev)
 		}
+	}
+	return out
+}
+
+// String renders an event one-line, e.g. for provenance trace
+// attachments: "t=12 node1 send fs_read_req trace=r42 detail".
+func (ev Event) String() string {
+	s := fmt.Sprintf("t=%d %s %s %s", ev.WallMS, ev.Node, ev.Kind, ev.Table)
+	if ev.TraceID != "" {
+		s += " trace=" + ev.TraceID
+	}
+	if ev.Detail != "" {
+		s += " " + ev.Detail
+	}
+	return s
+}
+
+// RenderTrace returns retained events carrying the trace ID rendered
+// one per line — the shape provenance.Options.TraceEvents expects.
+func (j *Journal) RenderTrace(id string) []string {
+	evs := j.ByTrace(id)
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.String()
 	}
 	return out
 }

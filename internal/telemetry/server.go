@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
@@ -48,6 +49,16 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/catalog", s.handleCatalog)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
 	mux.HandleFunc("/debug/lint", s.handleLint)
+	mux.HandleFunc("/debug/prov", s.handleProv)
+	mux.HandleFunc("/debug/profile", s.handleProfile)
+	// net/http/pprof registers on DefaultServeMux; re-export its
+	// handlers on this custom mux so every node's status port carries
+	// the Go profiler too.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil
@@ -103,18 +114,46 @@ func tupleRows(ts []overlog.Tuple, limit int) [][]string {
 	return rows
 }
 
+// pageParams reads ?limit= and ?offset= (limit falls back to the given
+// default; aliases let older query shapes keep working).
+func pageParams(r *http.Request, defLimit int, limitAliases ...string) (limit, offset int) {
+	limit = defLimit
+	for _, key := range append([]string{"limit"}, limitAliases...) {
+		if n, err := strconv.Atoi(r.URL.Query().Get(key)); err == nil && n > 0 {
+			limit = n
+			break
+		}
+	}
+	if n, err := strconv.Atoi(r.URL.Query().Get("offset")); err == nil && n > 0 {
+		offset = n
+	}
+	return limit, offset
+}
+
+// pageSlice applies (limit, offset) to a length, returning the [lo, hi)
+// window.
+func pageSlice(n, limit, offset int) (lo, hi int) {
+	if offset > n {
+		offset = n
+	}
+	lo, hi = offset, n
+	if limit > 0 && lo+limit < hi {
+		hi = lo + limit
+	}
+	return lo, hi
+}
+
 // handleTables lists every table with its size; ?table=NAME dumps the
-// tuples (?limit=N bounds the dump, default 200).
+// tuples, paginated with ?limit=N (default 200) and ?offset=M over the
+// sorted tuple order, so a loaded master's million-row table pages
+// instead of dumping.
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	if s.src.WithRuntime == nil {
 		http.Error(w, "no runtime attached", http.StatusNotFound)
 		return
 	}
 	name := r.URL.Query().Get("table")
-	limit := 200
-	if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 {
-		limit = n
-	}
+	limit, offset := pageParams(r, 200)
 	if name != "" {
 		var resp interface{}
 		s.src.WithRuntime(func(rt *overlog.Runtime) {
@@ -124,6 +163,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			}
 			ts := tbl.Tuples()
 			overlog.SortTuples(ts)
+			lo, hi := pageSlice(len(ts), limit, offset)
 			cols := make([]string, 0, len(tbl.Decl().Cols))
 			for _, c := range tbl.Decl().Cols {
 				cols = append(cols, c.Name)
@@ -132,7 +172,9 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 				"table":   name,
 				"columns": cols,
 				"tuples":  tbl.Len(),
-				"rows":    tupleRows(ts, limit),
+				"offset":  lo,
+				"limit":   limit,
+				"rows":    tupleRows(ts[lo:hi], 0),
 			}
 		})
 		if resp == nil {
@@ -230,8 +272,10 @@ func (s *Server) handleLint(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleTrace serves the event journal: ?id=TRACE filters to one
-// request-scoped trace; otherwise the most recent ?n= events (default
-// 100) are returned.
+// request-scoped trace; otherwise a page of the newest events is
+// returned — ?limit=N (default 100; ?n= is an older alias) sized, with
+// ?offset=M skipping the M most recent, so a client can walk backwards
+// through the buffer page by page.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if s.src.Journal == nil {
 		http.Error(w, "no journal attached", http.StatusNotFound)
@@ -245,17 +289,22 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	n := 100
-	if q, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && q > 0 {
-		n = q
-	}
+	limit, offset := pageParams(r, 100, "n")
 	evs := s.src.Journal.Events()
-	if len(evs) > n {
-		evs = evs[len(evs)-n:]
+	hi := len(evs) - offset
+	if hi < 0 {
+		hi = 0
+	}
+	lo := hi - limit
+	if lo < 0 {
+		lo = 0
 	}
 	writeJSON(w, map[string]interface{}{
-		"node":   s.src.Addr,
-		"total":  s.src.Journal.Total(),
-		"events": evs,
+		"node":     s.src.Addr,
+		"total":    s.src.Journal.Total(),
+		"buffered": len(evs),
+		"offset":   offset,
+		"limit":    limit,
+		"events":   evs[lo:hi],
 	})
 }

@@ -1,0 +1,114 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/internal/overlog"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestStatusServerConcurrentWithCluster hammers the observability
+// endpoints while a parallel-stepping sim cluster with provenance
+// capture and profiling keeps deriving — run under -race this proves
+// the status server's serialized-runtime access really serializes
+// against the step loop, and that registry/journal reads are safe
+// alongside their writers.
+func TestStatusServerConcurrentWithCluster(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	journal := telemetry.NewJournal(1024)
+	c := sim.NewCluster(
+		sim.WithClusterSeed(3),
+		sim.WithTelemetry(reg, journal),
+		sim.WithProvenance(64),
+		sim.WithParallelStep(4))
+
+	// Two nodes ping tuples back and forth so both step at the same
+	// virtual times (exercising the parallel phase) and keep deriving.
+	prog := func(peer string) string {
+		return fmt.Sprintf(`
+			table seen(K: int) keys(0);
+			event ping(P: addr, K: int);
+			s1 seen(K) :- ping(_, K);
+			s2 ping(@P, K + 1) :- ping(_, K), K < 400, P := %q;
+		`, peer)
+	}
+	rtA := c.MustAddNode("a")
+	rtB := c.MustAddNode("b")
+	if err := rtA.InstallSource(prog("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rtB.InstallSource(prog("a")); err != nil {
+		t.Fatal(err)
+	}
+	rtA.SetProfiling(true)
+	rtB.SetProfiling(true)
+	c.Inject("a", overlog.NewTuple("ping", overlog.Addr("a"), overlog.Int(0)), 1)
+	c.Inject("b", overlog.NewTuple("ping", overlog.Addr("b"), overlog.Int(1)), 1)
+
+	// The cluster steps on its own goroutine; WithRuntime shares the
+	// mutex, exactly how the TCP transport serializes runtime access.
+	var mu sync.Mutex
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.Source{
+		Role: "sim", Addr: "a", Registry: reg, Journal: journal,
+		WithRuntime: func(fn func(*overlog.Runtime)) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn(rtA)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stepDone := make(chan error, 1)
+	go func() {
+		for {
+			mu.Lock()
+			more, err := c.Step()
+			mu.Unlock()
+			if err != nil || !more {
+				stepDone <- err
+				return
+			}
+		}
+	}()
+
+	paths := []string{
+		"/metrics",
+		"/debug/prov",
+		"/debug/prov?table=seen",
+		"/debug/prov?q=seen(_)",
+		"/debug/profile",
+		"/debug/tables?table=seen&limit=5&offset=2",
+		"/debug/trace?limit=10",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(srv.URL() + paths[(w+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-stepDone; err != nil {
+		t.Fatal(err)
+	}
+	if n := rtA.Table("seen").Len() + rtB.Table("seen").Len(); n < 100 {
+		t.Fatalf("cluster derived only %d seen tuples while serving", n)
+	}
+}

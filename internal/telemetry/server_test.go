@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"testing"
@@ -184,13 +185,163 @@ func TestServerTrace(t *testing.T) {
 	}
 }
 
+func TestServerTablesPagination(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	code, body := get(t, srv.URL()+"/debug/tables?table=kv&limit=1")
+	var page struct {
+		Tuples int        `json:"tuples"`
+		Offset int        `json:"offset"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil || code != 200 {
+		t.Fatalf("page %d: %v / %s", code, err, body)
+	}
+	if page.Tuples != 2 || len(page.Rows) != 1 {
+		t.Fatalf("limit=1 page: %s", body)
+	}
+	first := page.Rows[0][0]
+	code, body = get(t, srv.URL()+"/debug/tables?table=kv&limit=1&offset=1")
+	if err := json.Unmarshal([]byte(body), &page); err != nil || code != 200 {
+		t.Fatalf("offset page %d: %v / %s", code, err, body)
+	}
+	if page.Offset != 1 || len(page.Rows) != 1 || page.Rows[0][0] == first {
+		t.Fatalf("offset=1 page should hold the other tuple: %s", body)
+	}
+	// Past-the-end offsets return an empty page, not an error.
+	code, body = get(t, srv.URL()+"/debug/tables?table=kv&offset=99")
+	if err := json.Unmarshal([]byte(body), &page); err != nil || code != 200 || len(page.Rows) != 0 {
+		t.Fatalf("past-end page %d: %s", code, body)
+	}
+}
+
+func TestServerTracePagination(t *testing.T) {
+	srv, _, j := serveTestNode(t)
+	for i := 0; i < 5; i++ {
+		j.Record(Event{WallMS: int64(10 + i), Node: "n1", Kind: "op", Table: "bump"})
+	}
+	// 6 events buffered; limit=2&offset=1 must return the 4th and 5th.
+	code, body := get(t, srv.URL()+"/debug/trace?limit=2&offset=1")
+	var page struct {
+		Buffered int     `json:"buffered"`
+		Events   []Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &page); err != nil || code != 200 {
+		t.Fatalf("trace page %d: %v / %s", code, err, body)
+	}
+	if page.Buffered != 6 || len(page.Events) != 2 {
+		t.Fatalf("trace page: %s", body)
+	}
+	if page.Events[0].WallMS != 12 || page.Events[1].WallMS != 13 {
+		t.Fatalf("offset=1 window = [%d, %d], want [12, 13]",
+			page.Events[0].WallMS, page.Events[1].WallMS)
+	}
+}
+
+func TestServerProvAndProfile(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+
+	// Initially: capture off, no rings.
+	code, body := get(t, srv.URL()+"/debug/prov")
+	if code != 200 || !strings.Contains(body, `"enabled": false`) {
+		t.Fatalf("prov initial %d:\n%s", code, body)
+	}
+	// Toggle capture on over HTTP, then drive a derivation.
+	if code, _ = get(t, srv.URL()+"/debug/prov?watch=kv&cap=8"); code != 200 {
+		t.Fatalf("watch toggle: %d", code)
+	}
+	if code, _ = get(t, srv.URL()+"/debug/profile?enable=1"); code != 200 {
+		t.Fatalf("profile toggle: %d", code)
+	}
+	srv.src.WithRuntime(func(rt *overlog.Runtime) {
+		if _, err := rt.Step(3, []overlog.Tuple{overlog.NewTuple("bump", overlog.Str("z"))}); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	code, body = get(t, srv.URL()+"/debug/prov")
+	if code != 200 || !strings.Contains(body, `"enabled": true`) || !strings.Contains(body, `"kv"`) {
+		t.Fatalf("prov after watch %d:\n%s", code, body)
+	}
+	// Ring dump carries the derivation and its fingerprint.
+	code, body = get(t, srv.URL()+"/debug/prov?table=kv")
+	var ring struct {
+		Captured    int `json:"captured"`
+		Derivations []struct {
+			Rule string `json:"rule"`
+			FP   string `json:"fp"`
+		} `json:"derivations"`
+	}
+	if err := json.Unmarshal([]byte(body), &ring); err != nil || code != 200 {
+		t.Fatalf("ring %d: %v / %s", code, err, body)
+	}
+	if ring.Captured != 1 || ring.Derivations[0].Rule != "r1" {
+		t.Fatalf("ring: %s", body)
+	}
+	// Fingerprint lookup returns the rendered DAG.
+	code, body = get(t, srv.URL()+"/debug/prov?table=kv&fp="+ring.Derivations[0].FP)
+	if code != 200 || !strings.Contains(body, "rule r1") {
+		t.Fatalf("fp DAG %d:\n%s", code, body)
+	}
+	// Pattern query resolves through the same chase.
+	code, body = get(t, srv.URL()+`/debug/prov?q=`+url.QueryEscape(`kv("z", _)`))
+	if code != 200 || !strings.Contains(body, `"matches": 1`) || !strings.Contains(body, "rule r1") {
+		t.Fatalf("pattern DAG %d:\n%s", code, body)
+	}
+	if code, _ = get(t, srv.URL()+"/debug/prov?q=nosuch(_)"); code != 400 {
+		t.Fatalf("bad pattern status: %d", code)
+	}
+
+	// Profiler: r1 fired during the profiled step, so wall time exists.
+	code, body = get(t, srv.URL()+"/debug/profile")
+	var prof struct {
+		Profiling bool `json:"profiling"`
+		Rules     []struct {
+			Rule   string `json:"rule"`
+			Fires  int64  `json:"fires"`
+			WallNS int64  `json:"wall_ns"`
+		} `json:"rules"`
+		Strata []struct {
+			Steps int64 `json:"steps"`
+		} `json:"strata"`
+	}
+	if err := json.Unmarshal([]byte(body), &prof); err != nil || code != 200 {
+		t.Fatalf("profile %d: %v / %s", code, err, body)
+	}
+	if !prof.Profiling || len(prof.Rules) == 0 || prof.Rules[0].Rule != "r1" || prof.Rules[0].Fires != 3 {
+		t.Fatalf("profile: %s", body)
+	}
+	if prof.Rules[0].WallNS == 0 || len(prof.Strata) == 0 || prof.Strata[0].Steps == 0 {
+		t.Fatalf("profiled step attributed no wall time / strata: %s", body)
+	}
+
+	// Toggles off again.
+	get(t, srv.URL()+"/debug/prov?off=*")
+	get(t, srv.URL()+"/debug/profile?disable=1")
+	_, body = get(t, srv.URL()+"/debug/prov")
+	if !strings.Contains(body, `"enabled": false`) {
+		t.Fatalf("prov still enabled after off:\n%s", body)
+	}
+	_, body = get(t, srv.URL()+"/debug/profile")
+	if !strings.Contains(body, `"profiling": false`) {
+		t.Fatalf("profiling still on after disable:\n%s", body)
+	}
+}
+
+func TestServerPprofIndex(t *testing.T) {
+	srv, _, _ := serveTestNode(t)
+	code, body := get(t, srv.URL()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index %d:\n%s", code, body)
+	}
+}
+
 func TestServerWithoutRuntimeOrJournal(t *testing.T) {
 	srv, err := Serve("127.0.0.1:0", Source{Role: "bare", Registry: NewRegistry()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	for _, path := range []string{"/debug/tables", "/debug/rules", "/debug/catalog", "/debug/trace", "/debug/lint"} {
+	for _, path := range []string{"/debug/tables", "/debug/rules", "/debug/catalog", "/debug/trace", "/debug/lint", "/debug/prov", "/debug/profile"} {
 		if code, _ := get(t, srv.URL()+path); code != 404 {
 			t.Fatalf("%s without runtime: %d", path, code)
 		}

@@ -188,7 +188,37 @@ func TestCollectorDeletesTracked(t *testing.T) {
 	if col.Total() != 2 { // one insert + one delete
 		t.Fatalf("total: %d", col.Total())
 	}
-	if len(col.Recent) != 2 {
-		t.Fatalf("recent: %d", len(col.Recent))
+	if len(col.RecentEvents()) != 2 {
+		t.Fatalf("recent: %d", len(col.RecentEvents()))
+	}
+}
+
+// TestCollectorRecentBounded is the memory-bound regression: the recent
+// window must be a fixed ring — the backing array stays at exactly
+// KeepLastN slots no matter how many events pass through, rather than
+// an append-and-reslice that retains stale prefixes between
+// reallocations.
+func TestCollectorRecentBounded(t *testing.T) {
+	col := NewCollector()
+	col.KeepLastN = 8
+	for i := 0; i < 1000; i++ {
+		col.observe(overlog.WatchEvent{
+			Insert: true,
+			Tuple:  overlog.NewTuple("t", overlog.Int(int64(i))),
+		})
+	}
+	if got := cap(col.recent); got != 8 {
+		t.Fatalf("ring backing array has cap %d, want exactly KeepLastN=8", got)
+	}
+	evs := col.RecentEvents()
+	if len(evs) != 8 {
+		t.Fatalf("window holds %d events, want 8", len(evs))
+	}
+	// Oldest-first ordering across the wrap point.
+	for i, ev := range evs {
+		want := overlog.Int(int64(992 + i))
+		if !ev.Tuple.Vals[0].Equal(want) {
+			t.Fatalf("evs[%d] = %s, want t(%d)", i, ev.Tuple, 992+i)
+		}
 	}
 }

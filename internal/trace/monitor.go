@@ -17,8 +17,15 @@ type Collector struct {
 	mu      sync.Mutex
 	inserts map[string]int64
 	deletes map[string]int64
-	// Keep recent events for debugging/invariant checks.
-	Recent    []overlog.WatchEvent
+	// Fixed ring of recent events for debugging/invariant checks. A
+	// ring (rather than append-and-reslice) keeps the backing array at
+	// exactly KeepLastN entries and overwrites evicted slots, so old
+	// events' tuples become collectable as soon as they fall out of the
+	// window.
+	recent []overlog.WatchEvent
+	next   int
+	full   bool
+	// KeepLastN bounds the window; set it before the first event.
 	KeepLastN int
 }
 
@@ -53,11 +60,29 @@ func (col *Collector) observe(ev overlog.WatchEvent) {
 		col.deletes[ev.Tuple.Table]++
 	}
 	if col.KeepLastN > 0 {
-		col.Recent = append(col.Recent, ev)
-		if len(col.Recent) > col.KeepLastN {
-			col.Recent = col.Recent[len(col.Recent)-col.KeepLastN:]
+		if len(col.recent) != col.KeepLastN {
+			col.recent = make([]overlog.WatchEvent, col.KeepLastN)
+			col.next, col.full = 0, false
+		}
+		col.recent[col.next] = ev
+		col.next++
+		if col.next == len(col.recent) {
+			col.next, col.full = 0, true
 		}
 	}
+}
+
+// RecentEvents returns the buffered window oldest-first. The result is
+// a copy; the caller may hold it across further events.
+func (col *Collector) RecentEvents() []overlog.WatchEvent {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if !col.full {
+		return append([]overlog.WatchEvent(nil), col.recent[:col.next]...)
+	}
+	out := make([]overlog.WatchEvent, 0, len(col.recent))
+	out = append(out, col.recent[col.next:]...)
+	return append(out, col.recent[:col.next]...)
 }
 
 // Inserts returns the insert count for a table.
