@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race bench bench-paper chaos examples experiments profile clean
+.PHONY: all build test check lint race bench bench-paper chaos scale examples experiments profile clean
 
 all: build test
 
@@ -23,10 +23,11 @@ check:
 	$(GO) run ./cmd/boomlint -severity=error
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
-	$(GO) test -race ./internal/chaos/... ./internal/sim
-	$(GO) test -run AllocGuard ./internal/overlog
+	$(GO) test -race ./internal/chaos/... ./internal/sim ./internal/loadgen
+	$(GO) test -run AllocGuard ./internal/overlog ./internal/sim
 	$(MAKE) chaos
 	$(GO) run ./cmd/boom-evalbench -smoke -out /dev/null
+	$(GO) run ./cmd/boom-scale -smoke -out /dev/null
 
 # chaos: a short deterministic fault-injection sweep — every scenario
 # (replicated-FS master failover, Paxos leader churn, MapReduce worker
@@ -36,6 +37,13 @@ check:
 # is the full acceptance sweep.
 chaos:
 	$(GO) run ./cmd/boom-chaos -scenario all -seeds 3
+
+# scale: the scale-trajectory artifact — dense/sparse scheduler
+# microbenchmark (does per-step cost track active or total nodes?)
+# plus open-loop FS/MR/KV latency sweeps, written to BENCH_scale.json
+# with the pre-rework baseline pinned for comparison.
+scale:
+	$(GO) run ./cmd/boom-scale -out BENCH_scale.json
 
 # lint: the full static-analysis surface, Go and Overlog alike.
 lint:

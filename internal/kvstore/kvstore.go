@@ -147,6 +147,22 @@ func (cl *Client) nextID() string {
 	return fmt.Sprintf("%s-%d", cl.Addr, cl.seq)
 }
 
+// Runtime exposes the client's runtime, so load generators can watch
+// the kvr response table instead of polling.
+func (cl *Client) Runtime() *overlog.Runtime { return cl.rt }
+
+// SendPut issues a put asynchronously to the preferred replica and
+// returns its request id; the response (if any) materializes as a kvr
+// row on the client node. No retries, no failover — open-loop load
+// generation wants the raw one-shot outcome.
+func (cl *Client) SendPut(key, value string) string {
+	replica := cl.group.Replicas[cl.preferred%len(cl.group.Replicas)]
+	id := cl.nextID()
+	cl.cluster.Inject(replica, overlog.NewTuple("kv_put", overlog.Addr(replica),
+		overlog.Str(id), overlog.Addr(cl.Addr), overlog.Str(key), overlog.Str(value)), 0)
+	return id
+}
+
 // call sends op tuples (a function of replica and id) until a response
 // arrives or the timeout passes.
 func (cl *Client) call(mk func(replica, id string) overlog.Tuple) (bool, string, error) {

@@ -1,0 +1,161 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Generator drives one open-loop operation stream over a sim.Cluster.
+// Arrivals are scheduled as a chain of cluster timers — each timer
+// issues operation i and arms operation i+1 — so issue instants are
+// part of the deterministic event order, not a side channel. Matching
+// completions arrive through Complete, typically called from a
+// watch-table observer on the serving node's runtime.
+type Generator struct {
+	c        *sim.Cluster
+	arrivals Arrivals
+	rng      *rand.Rand
+
+	ops       int64 // total operations to issue
+	timeoutMS int64
+
+	// issue submits operation i and returns the key a later Complete
+	// call will use to match it (e.g. a BOOM-FS request ID). A nil
+	// error with key "" means the op completed synchronously at issue
+	// time (recorded with zero latency).
+	issue func(i int64) (string, error)
+
+	// mu guards inflight and rec: watch callbacks fire during phase 1
+	// of the cluster step, which may run node fixpoints concurrently
+	// under WithParallelStep.
+	mu       sync.Mutex
+	inflight map[string]int64 // key -> issue time (virtual ms)
+	rec      Recorder
+
+	issued    int64
+	completed int64
+	issueErrs int64
+}
+
+// NewGenerator builds a generator over c. ops is the stream length,
+// timeoutMS classifies slow completions (and bounds the final drain).
+func NewGenerator(c *sim.Cluster, arr Arrivals, seed, ops, timeoutMS int64, issue func(i int64) (string, error)) *Generator {
+	return &Generator{
+		c:         c,
+		arrivals:  arr,
+		rng:       rand.New(rand.NewSource(seed)),
+		ops:       ops,
+		timeoutMS: timeoutMS,
+		issue:     issue,
+		inflight:  make(map[string]int64),
+	}
+}
+
+// Start arms the first arrival at virtual time startAt.
+func (g *Generator) Start(startAt int64) {
+	if g.ops > 0 {
+		g.arm(0, startAt)
+	}
+}
+
+func (g *Generator) arm(i, at int64) {
+	g.c.At(at, func() error {
+		key, err := g.issue(i)
+		now := g.c.Now()
+		g.mu.Lock()
+		g.issued++
+		if err != nil {
+			g.issueErrs++
+		} else if key == "" {
+			g.completed++
+			g.rec.Observe(0, g.timeoutMS)
+		} else {
+			g.inflight[key] = now
+		}
+		g.mu.Unlock()
+		if i+1 < g.ops {
+			g.arm(i+1, at+g.arrivals.Next(g.rng))
+		}
+		return nil
+	})
+}
+
+// Complete reports that the operation identified by key finished at
+// virtual time at. Unknown keys (duplicate responses, ops already
+// drained) are ignored. Safe for concurrent use.
+func (g *Generator) Complete(key string, at int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	issuedAt, ok := g.inflight[key]
+	if !ok {
+		return
+	}
+	delete(g.inflight, key)
+	g.completed++
+	g.rec.Observe(at-issuedAt, g.timeoutMS)
+}
+
+// Done reports whether every operation has been issued and resolved.
+func (g *Generator) Done() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.issued == g.ops && len(g.inflight) == 0
+}
+
+// Result is the harvested outcome of one generator run.
+type Result struct {
+	Issued      int64          `json:"issued"`
+	Completed   int64          `json:"completed"`
+	IssueErrors int64          `json:"issue_errors,omitempty"`
+	OfferedRate float64        `json:"offered_rate_per_sec"`
+	VirtualMS   int64          `json:"virtual_ms"`
+	WallSeconds float64        `json:"wall_seconds"`
+	Throughput  float64        `json:"completed_per_virtual_sec"`
+	Latency     LatencySummary `json:"latency"`
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("issued=%d completed=%d rate=%.0f/s virtual=%dms wall=%.2fs tput=%.1f/s %s",
+		r.Issued, r.Completed, r.OfferedRate, r.VirtualMS, r.WallSeconds, r.Throughput, r.Latency)
+}
+
+// Run starts the stream at startAt, steps the cluster until every
+// operation resolves or horizonMS passes, then drains: anything still
+// in flight is counted as unfinished (distinct from per-op timeouts).
+func (g *Generator) Run(startAt, horizonMS int64) (Result, error) {
+	wall := time.Now()
+	g.Start(startAt)
+	if _, err := g.c.RunUntil(g.Done, horizonMS); err != nil {
+		return Result{}, err
+	}
+	// Give stragglers one timeout window past the last issue before
+	// declaring them unfinished.
+	if !g.Done() && g.timeoutMS > 0 {
+		if _, err := g.c.RunUntil(g.Done, g.c.Now()+g.timeoutMS); err != nil {
+			return Result{}, err
+		}
+	}
+	g.mu.Lock()
+	for range g.inflight {
+		g.rec.Unfinished()
+	}
+	g.inflight = make(map[string]int64)
+	res := Result{
+		Issued:      g.issued,
+		Completed:   g.completed,
+		IssueErrors: g.issueErrs,
+		OfferedRate: g.arrivals.Rate(),
+		VirtualMS:   g.c.Now(),
+		WallSeconds: time.Since(wall).Seconds(),
+		Latency:     g.rec.Summary(),
+	}
+	g.mu.Unlock()
+	if res.VirtualMS > 0 {
+		res.Throughput = float64(res.Completed) / (float64(res.VirtualMS) / 1000)
+	}
+	return res, nil
+}

@@ -1,0 +1,136 @@
+// Package loadgen is the open-loop workload generator for the scale
+// harness. Where internal/workload produces closed-loop operation
+// streams (each client keeps one op in flight, so offered load adapts
+// to service capacity), loadgen issues operations on an arrival
+// process that does not wait for completions — the methodology of the
+// log-analysis cloud workloads this repo's PAPERS.md cites, and the
+// only shape that exposes queueing tails: a saturated server under a
+// closed loop just slows the clients down, while an open loop piles
+// work up and the p99/p999 latency shows it.
+//
+// The pieces compose over internal/sim: an Arrivals process picks
+// inter-arrival gaps, a Generator schedules one cluster timer per
+// arrival and matches completions against per-op keys reported by
+// watch-table observers, and a Recorder folds completion latencies
+// into a trace.CDF with drop/timeout accounting. Workload adapters
+// (fs.go, mr.go, kv.go) wire the generator to BOOM-FS metadata
+// operations, MapReduce job submissions, and replicated KV puts.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Arrivals is an arrival process: Next returns the gap in simulated
+// milliseconds between one operation's issue time and the next's.
+type Arrivals interface {
+	Next(r *rand.Rand) int64
+	// Rate returns the nominal offered load in operations per second
+	// (reporting only).
+	Rate() float64
+}
+
+type poisson struct{ perMS float64 }
+
+// Poisson returns a memoryless arrival process with the given mean
+// rate: gaps are exponentially distributed, so bursts and lulls arise
+// naturally — the standard open-loop model for independent clients.
+func Poisson(ratePerSec float64) Arrivals {
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	return poisson{perMS: ratePerSec / 1000}
+}
+
+func (p poisson) Rate() float64 { return p.perMS * 1000 }
+
+func (p poisson) Next(r *rand.Rand) int64 {
+	gap := r.ExpFloat64() / p.perMS
+	if math.IsInf(gap, 0) || gap < 0 {
+		gap = 0
+	}
+	// Round to the simulator's millisecond grain; gaps shorter than
+	// half a tick coalesce into same-instant arrivals, which is exactly
+	// what a burst is.
+	return int64(gap + 0.5)
+}
+
+type fixedRate struct{ gapMS int64 }
+
+// FixedRate returns a deterministic arrival process: one operation
+// every 1000/ratePerSec milliseconds (the paced-load baseline against
+// which Poisson tails are read).
+func FixedRate(ratePerSec float64) Arrivals {
+	gap := int64(1000/ratePerSec + 0.5)
+	if gap < 1 {
+		gap = 1
+	}
+	return fixedRate{gapMS: gap}
+}
+
+func (f fixedRate) Rate() float64         { return 1000 / float64(f.gapMS) }
+func (f fixedRate) Next(*rand.Rand) int64 { return f.gapMS }
+
+// LatencySummary is the percentile digest emitted into
+// BENCH_scale.json for one workload configuration.
+type LatencySummary struct {
+	Count    int64   `json:"count"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    int64   `json:"p50_ms"`
+	P90MS    int64   `json:"p90_ms"`
+	P99MS    int64   `json:"p99_ms"`
+	P999MS   int64   `json:"p999_ms"`
+	MaxMS    int64   `json:"max_ms"`
+	Timeouts int64   `json:"timeouts"`
+	// Unfinished counts operations still in flight when the run's
+	// drain deadline passed (distinct from per-op timeouts).
+	Unfinished int64 `json:"unfinished,omitempty"`
+}
+
+// Recorder accumulates completion latencies and loss accounting for
+// one run.
+type Recorder struct {
+	cdf        trace.CDF
+	timeouts   int64
+	unfinished int64
+}
+
+// Observe records one completed operation's latency, classifying it
+// as a timeout when it exceeds timeoutMS (timeoutMS <= 0 disables).
+func (r *Recorder) Observe(latencyMS, timeoutMS int64) {
+	if timeoutMS > 0 && latencyMS > timeoutMS {
+		r.timeouts++
+		return
+	}
+	r.cdf.Add(latencyMS)
+}
+
+// Unfinished records an operation that never completed.
+func (r *Recorder) Unfinished() { r.unfinished++ }
+
+// CDF exposes the underlying distribution (reports, tests).
+func (r *Recorder) CDF() *trace.CDF { return &r.cdf }
+
+// Summary folds the recorder into the JSON digest.
+func (r *Recorder) Summary() LatencySummary {
+	return LatencySummary{
+		Count:      int64(r.cdf.N()),
+		MeanMS:     r.cdf.Mean(),
+		P50MS:      r.cdf.Percentile(50),
+		P90MS:      r.cdf.Percentile(90),
+		P99MS:      r.cdf.Percentile(99),
+		P999MS:     r.cdf.Percentile(99.9),
+		MaxMS:      r.cdf.Max(),
+		Timeouts:   r.timeouts,
+		Unfinished: r.unfinished,
+	}
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fms p50=%d p90=%d p99=%d p99.9=%d max=%d timeouts=%d unfinished=%d",
+		s.Count, s.MeanMS, s.P50MS, s.P90MS, s.P99MS, s.P999MS, s.MaxMS, s.Timeouts, s.Unfinished)
+}

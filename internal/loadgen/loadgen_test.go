@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestArrivalProcesses(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	p := Poisson(100) // 0.1 ops/ms -> mean gap 10ms
+	var sum int64
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		g := p.Next(r)
+		if g < 0 {
+			t.Fatalf("negative gap %d", g)
+		}
+		sum += g
+	}
+	mean := float64(sum) / n
+	if mean < 8 || mean > 12 {
+		t.Fatalf("poisson(100/s) mean gap = %.2fms, want ~10ms", mean)
+	}
+	f := FixedRate(100)
+	for i := 0; i < 5; i++ {
+		if g := f.Next(r); g != 10 {
+			t.Fatalf("fixed(100/s) gap = %d, want 10", g)
+		}
+	}
+	if got := f.Rate(); got != 100 {
+		t.Fatalf("fixed rate = %v, want 100", got)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var rec Recorder
+	for i := int64(1); i <= 100; i++ {
+		rec.Observe(i, 90) // 91..100 are timeouts
+	}
+	rec.Unfinished()
+	s := rec.Summary()
+	if s.Count != 90 || s.Timeouts != 10 || s.Unfinished != 1 {
+		t.Fatalf("summary accounting wrong: %+v", s)
+	}
+	if s.P50MS < 40 || s.P50MS > 50 {
+		t.Fatalf("p50 = %d, want ~45", s.P50MS)
+	}
+	if s.MaxMS != 90 {
+		t.Fatalf("max = %d, want 90", s.MaxMS)
+	}
+}
+
+func TestRunFSSmoke(t *testing.T) {
+	stats, err := RunFS(FSConfig{
+		Masters: 2, Clients: 2, IdleNodes: 8,
+		Mix: DefaultFSMix(), Seed: 7, Rate: 200, Ops: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Issued != 120 {
+		t.Fatalf("issued %d ops, want 120", stats.Issued)
+	}
+	if stats.Completed < 110 {
+		t.Fatalf("only %d/120 ops completed: %v", stats.Completed, stats.Result)
+	}
+	if stats.Nodes != 2+2+8 {
+		t.Fatalf("nodes = %d, want 12", stats.Nodes)
+	}
+	if stats.Latency.P99MS <= 0 {
+		t.Fatalf("p99 = %d, want > 0", stats.Latency.P99MS)
+	}
+}
+
+func TestRunFSDeterministic(t *testing.T) {
+	cfg := FSConfig{Masters: 2, Clients: 2, Mix: DefaultFSMix(), Seed: 11, Rate: 300, Ops: 80}
+	a, err := RunFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WallSeconds, b.WallSeconds = 0, 0
+	a.Result.WallSeconds, b.Result.WallSeconds = 0, 0
+	if a != b {
+		t.Fatalf("same seed diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestRunMRSmoke(t *testing.T) {
+	stats, err := RunMR(MRConfig{
+		Trackers: 3, Seed: 7, Rate: 2, Jobs: 4,
+		SplitsPerJob: 2, Reduces: 1, BytesPerSplit: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != 4 {
+		t.Fatalf("completed %d/4 jobs: %v", stats.Completed, stats.Result)
+	}
+}
+
+func TestRunKVSmoke(t *testing.T) {
+	stats, err := RunKV(KVConfig{Replicas: 3, Seed: 7, Rate: 50, Ops: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed < 55 {
+		t.Fatalf("completed %d/60 puts: %v", stats.Completed, stats.Result)
+	}
+}
+
+func TestRunSchedSparseVsDense(t *testing.T) {
+	sparse, err := RunSched(SchedConfig{Nodes: 400, Active: 8, VirtualMS: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := RunSched(SchedConfig{Nodes: 400, Active: 400, VirtualMS: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.NodeSteps >= dense.NodeSteps {
+		t.Fatalf("sparse node_steps %d should be far below dense %d",
+			sparse.NodeSteps, dense.NodeSteps)
+	}
+	if sparse.Steps == 0 || sparse.NodeSteps == 0 {
+		t.Fatalf("sparse run did no work: %+v", sparse)
+	}
+}

@@ -116,6 +116,7 @@ type Runtime struct {
 	pendDelBy []*ruleStats
 
 	stepHook func(StepStats)
+	wakeHook func()
 }
 
 // StepStats summarizes one completed timestep for instrumentation.
@@ -140,6 +141,14 @@ type StepStats struct {
 // implementations must not re-enter the runtime. The hook is the
 // telemetry layer's attachment point; nil clears it.
 func (r *Runtime) SetStepHook(fn func(StepStats)) { r.stepHook = fn }
+
+// SetWakeHook installs a callback invoked whenever the runtime's
+// NextWake may have changed outside a Step — today that is Install,
+// which can add periodics and seed facts at any point in a node's
+// life. Schedulers that cache NextWake (the cluster wake index)
+// listen here instead of polling every node every instant. The hook
+// may read NextWake but must not re-enter the runtime; nil clears it.
+func (r *Runtime) SetWakeHook(fn func()) { r.wakeHook = fn }
 
 // Option configures a Runtime.
 type Option func(*Runtime)
@@ -383,6 +392,9 @@ func (r *Runtime) Install(prog *Program) error {
 		}
 	}
 	r.refreshSysCatalog()
+	if r.wakeHook != nil {
+		r.wakeHook()
+	}
 	return nil
 }
 

@@ -137,6 +137,25 @@ type node struct {
 	buffer   []overlog.WatchEvent // events raised during the current step
 	killed   bool
 	spec     NodeSpec // rebuild recipe for crash-restart; nil = Revive only
+
+	// ord is the creation index; step order and wake-heap ties are
+	// resolved by it, which is what keeps the event-driven scheduler's
+	// step order identical to the old full-scan-of-c.order scheduler.
+	ord int
+	// wake caches rt.NextWake() while the node sits in the wake heap
+	// (wpos >= 0; -1 = not in the heap). The cache is refreshed at
+	// every point NextWake can change: after the node steps, on
+	// Install (via the runtime's wake hook), and on kill/revive/
+	// restart. Between those points the cached value is authoritative,
+	// so the scheduler never polls idle nodes.
+	wake int64
+	wpos int
+	// inbox accumulates this step's deliveries (reused scratch — the
+	// per-step pending map of the old scheduler, without the per-step
+	// allocation).
+	inbox []overlog.Tuple
+	// stamp marks membership in the current step's active set.
+	stamp int64
 }
 
 // Cluster is the simulation: a set of nodes, a virtual clock, and a
@@ -188,6 +207,99 @@ type Cluster struct {
 	// provCap > 0 enables wildcard derivation capture (sys::prov "*")
 	// on every node, surviving crash-restarts. See WithProvenance.
 	provCap int
+
+	// wake is the wake index: live nodes with a pending runtime wake
+	// (periodic or deferred tuples), ordered by (wake time, ord). With
+	// it, finding the next instant and the nodes due at it is
+	// O(log n) in *waking* nodes — idle nodes are simply absent.
+	wake wakeHeap
+
+	// Reused per-step scratch (see Step): the active node set, the
+	// phase-1 work items, and a free list for delivery events. All
+	// grow to the high-water mark once and then recycle, keeping the
+	// steady-state dispatch path allocation-free.
+	active    []*node
+	runnable  []stepResult
+	sorter    nodeSorter
+	eventPool []*event
+	stamp     int64
+}
+
+// wakeHeap is an indexed min-heap of nodes keyed by (wake, ord); each
+// node tracks its position (wpos) so refreshWake can Fix/Remove in
+// O(log n) without searching.
+type wakeHeap []*node
+
+func (h wakeHeap) Len() int { return len(h) }
+func (h wakeHeap) Less(i, j int) bool {
+	if h[i].wake != h[j].wake {
+		return h[i].wake < h[j].wake
+	}
+	return h[i].ord < h[j].ord
+}
+func (h wakeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].wpos = i
+	h[j].wpos = j
+}
+func (h *wakeHeap) Push(x interface{}) {
+	n := x.(*node)
+	n.wpos = len(*h)
+	*h = append(*h, n)
+}
+func (h *wakeHeap) Pop() interface{} {
+	old := *h
+	l := len(old)
+	n := old[l-1]
+	old[l-1] = nil
+	n.wpos = -1
+	*h = old[:l-1]
+	return n
+}
+
+// refreshWake re-syncs a node's wake-heap entry with its runtime's
+// NextWake. Call after anything that can change it; cheap when
+// nothing did.
+func (c *Cluster) refreshWake(n *node) {
+	w := int64(-1)
+	if !n.killed {
+		w = n.rt.NextWake()
+	}
+	if n.wpos >= 0 {
+		if w < 0 {
+			heap.Remove(&c.wake, n.wpos)
+		} else if w != n.wake {
+			n.wake = w
+			heap.Fix(&c.wake, n.wpos)
+		}
+		return
+	}
+	if w >= 0 {
+		n.wake = w
+		heap.Push(&c.wake, n)
+	}
+}
+
+// nodeSorter sorts the active set back into creation order without
+// allocating (sort.Slice's closure would).
+type nodeSorter struct{ ns []*node }
+
+func (s *nodeSorter) Len() int           { return len(s.ns) }
+func (s *nodeSorter) Less(i, j int) bool { return s.ns[i].ord < s.ns[j].ord }
+func (s *nodeSorter) Swap(i, j int)      { s.ns[i], s.ns[j] = s.ns[j], s.ns[i] }
+
+func (c *Cluster) getEvent() *event {
+	if l := len(c.eventPool); l > 0 {
+		e := c.eventPool[l-1]
+		c.eventPool = c.eventPool[:l-1]
+		return e
+	}
+	return &event{}
+}
+
+func (c *Cluster) putEvent(e *event) {
+	e.tuple = overlog.Tuple{} // release the payload
+	c.eventPool = append(c.eventPool, e)
 }
 
 // Option configures a Cluster.
@@ -275,6 +387,11 @@ func NewCluster(opts ...Option) *Cluster {
 // Now returns the virtual clock in milliseconds.
 func (c *Cluster) Now() int64 { return c.now }
 
+// Steps returns the number of scheduler steps taken so far (each step
+// advances the clock to one virtual instant and runs every node active
+// at that instant).
+func (c *Cluster) Steps() int64 { return c.steps }
+
 // AddNode creates a runtime for addr and registers it.
 func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime, error) {
 	if _, dup := c.nodes[addr]; dup {
@@ -287,10 +404,14 @@ func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime
 	if c.provCap > 0 {
 		rt.EnableProvenance("*", c.provCap)
 	}
-	n := &node{addr: addr, rt: rt}
+	n := &node{addr: addr, rt: rt, ord: len(c.order), wpos: -1}
 	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
 		n.buffer = append(n.buffer, ev)
 	})
+	// Installing a program can add periodics at any point after
+	// AddNode; the hook keeps the wake index honest without the
+	// cluster having to poll.
+	rt.SetWakeHook(func() { c.refreshWake(n) })
 	c.nodes[addr] = n
 	c.order = append(c.order, addr)
 	return rt, nil
@@ -350,6 +471,7 @@ func (c *Cluster) Kill(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = true
 		delete(c.busyUntil, addr)
+		c.refreshWake(n)
 		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "kill"})
 	}
 }
@@ -358,6 +480,7 @@ func (c *Cluster) Kill(addr string) {
 func (c *Cluster) Revive(addr string) {
 	if n, ok := c.nodes[addr]; ok {
 		n.killed = false
+		c.refreshWake(n)
 		c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "revive"})
 	}
 }
@@ -399,6 +522,10 @@ func (c *Cluster) Restart(addr string) error {
 	rt.RegisterWatcher(func(ev overlog.WatchEvent) {
 		n.buffer = append(n.buffer, ev)
 	})
+	// The wake hook fires during the spec's installs below, while the
+	// node is still marked killed (refreshWake ignores killed nodes);
+	// the explicit refresh after un-killing picks the final state up.
+	rt.SetWakeHook(func() { c.refreshWake(n) })
 	svcs, err := n.spec(prev, rt)
 	if err != nil {
 		return fmt.Errorf("sim: restart %s: %w", addr, err)
@@ -409,6 +536,7 @@ func (c *Cluster) Restart(addr string) error {
 		}
 	}
 	n.killed = false
+	c.refreshWake(n)
 	delete(c.busyUntil, addr)
 	c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: addr, Kind: "fault", Detail: "restart"})
 	return nil
@@ -487,7 +615,9 @@ func (c *Cluster) Inject(to string, tp overlog.Tuple, delayMS int64) {
 		}
 	}
 	c.seq++
-	heap.Push(&c.queue, &event{time: when, seq: c.seq, to: to, tuple: tp})
+	e := c.getEvent()
+	e.time, e.seq, e.to, e.tuple = when, c.seq, to, tp
+	heap.Push(&c.queue, e)
 }
 
 // Telemetry returns the cluster's registry (nil unless WithTelemetry).
@@ -551,40 +681,56 @@ func (c *Cluster) Step() (bool, error) {
 		}
 	}
 
-	// Group deliveries due now by destination.
-	pending := map[string][]overlog.Tuple{}
+	// Collect the active set: nodes with deliveries due now (popped
+	// from the event queue into their reused inboxes) and nodes whose
+	// cached wake time is due (popped from the wake index). Idle nodes
+	// are never visited. The stamp dedups nodes that appear both ways.
+	c.stamp++
+	c.active = c.active[:0]
 	for len(c.queue) > 0 && c.queue[0].time <= c.now {
 		e := heap.Pop(&c.queue).(*event)
 		dst, ok := c.nodes[e.to]
 		if !ok || dst.killed {
 			c.Dropped++
+			c.putEvent(e)
 			continue
 		}
-		pending[e.to] = append(pending[e.to], e.tuple)
+		dst.inbox = append(dst.inbox, e.tuple)
 		c.Delivered[e.tuple.Table]++
+		if dst.stamp != c.stamp {
+			dst.stamp = c.stamp
+			c.active = append(c.active, dst)
+		}
+		c.putEvent(e)
 	}
+	for len(c.wake) > 0 && c.wake[0].wake <= c.now {
+		n := heap.Pop(&c.wake).(*node)
+		if n.stamp != c.stamp {
+			n.stamp = c.stamp
+			c.active = append(c.active, n)
+		}
+	}
+	// Kills only happen in the timer phase above, so nothing in the
+	// active set is dead. Restore creation order: deliveries arrive in
+	// sequence order and wakes in time order, but the step order the
+	// serial scheduler always used — and that phase 2 must replay for
+	// bit-identical parallel runs — is node creation order.
+	c.sorter.ns = c.active
+	sort.Sort(&c.sorter)
+	c.sorter.ns = nil
 
-	// Step every node that has deliveries or a due periodic, in
-	// deterministic creation order. Phase 1 runs each runnable node's
+	// Step every active node. Phase 1 runs each runnable node's
 	// fixpoint (node-local state only), phase 2 merges the effects —
 	// sends and service injections — serially in creation order. The
 	// split is what makes WithParallelStep deterministic: phase 1 may
 	// run concurrently because nothing in it touches the cluster RNG,
 	// sequence counter, or journal; phase 2 touches them in the same
 	// order regardless of how phase 1 was scheduled.
-	runnable := make([]*stepResult, 0, len(c.order))
-	for _, addr := range c.order {
-		n := c.nodes[addr]
-		if n.killed {
-			continue
-		}
-		in, hasIn := pending[addr]
-		wake := n.rt.NextWake()
-		if !hasIn && (wake < 0 || wake > c.now) {
-			continue
-		}
-		runnable = append(runnable, &stepResult{n: n, in: in})
+	c.runnable = c.runnable[:0]
+	for _, n := range c.active {
+		c.runnable = append(c.runnable, stepResult{n: n, in: n.inbox})
 	}
+	runnable := c.runnable
 	if c.parallel >= 2 && len(runnable) >= 2 {
 		workers := c.parallel
 		if workers > len(runnable) {
@@ -601,21 +747,26 @@ func (c *Cluster) Step() (bool, error) {
 				}
 			}()
 		}
-		for _, r := range runnable {
-			work <- r
+		for i := range runnable {
+			work <- &runnable[i]
 		}
 		close(work)
 		wg.Wait()
 	} else {
-		for _, r := range runnable {
+		for i := range runnable {
+			r := &runnable[i]
 			r.out, r.err = c.runNode(r.n, r.in)
 		}
 	}
-	for _, r := range runnable {
+	for i := range runnable {
+		r := &runnable[i]
 		if r.err != nil {
 			return false, r.err
 		}
 		c.flushNode(r.n, r.out)
+		r.n.inbox = r.n.inbox[:0]
+		c.refreshWake(r.n)
+		r.out, r.in = nil, nil
 	}
 	c.steps++
 	if c.steps > c.MaxSteps {
@@ -662,19 +813,45 @@ func (c *Cluster) flushNode(n *node, out []overlog.Envelope) {
 					continue
 				}
 				for _, inj := range svc.OnEvent(c, ev) {
-					delay := inj.DelayMS
-					if inj.To != n.addr {
-						delay += c.latency(n.addr, inj.To, c.rng) + c.linkExtra[[2]string{n.addr, inj.To}]
-					}
-					if delay < 1 {
-						delay = 1
-					}
-					c.Inject(inj.To, inj.Tuple, delay)
+					c.sendInjection(n.addr, inj)
 				}
 			}
 		}
 	}
 	n.buffer = n.buffer[:0]
+}
+
+// sendInjection routes a service injection through the same network
+// fault model as runtime-emitted envelopes (send): cross-node service
+// traffic respects partitions and lossy links; a partitioned datanode
+// cannot keep answering reads just because its data plane is service
+// glue rather than Overlog rules. Self-injections (delayed local
+// work) bypass the network, like self-deliveries in send.
+func (c *Cluster) sendInjection(from string, inj Injection) {
+	if inj.To != from {
+		if c.partitions[[2]string{from, inj.To}] {
+			c.Dropped++
+			c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+				Table: inj.Tuple.Table, TraceID: telemetry.TraceIDOf(inj.Tuple),
+				Detail: "partitioned from " + inj.To})
+			return
+		}
+		if c.dropRate > 0 && c.rng.Float64() < c.dropRate {
+			c.Dropped++
+			c.journal.RecordAt(telemetry.Event{WallMS: c.now, Node: from, Kind: "drop",
+				Table: inj.Tuple.Table, TraceID: telemetry.TraceIDOf(inj.Tuple),
+				Detail: "lossy link to " + inj.To})
+			return
+		}
+	}
+	delay := inj.DelayMS
+	if inj.To != from {
+		delay += c.latency(from, inj.To, c.rng) + c.linkExtra[[2]string{from, inj.To}]
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	c.Inject(inj.To, inj.Tuple, delay)
 }
 
 // Run processes events until the queue drains or the clock passes
@@ -719,6 +896,10 @@ func (c *Cluster) RunUntil(cond func() bool, maxMS int64) (bool, error) {
 	}
 }
 
+// peekNextTime is the earliest pending instant: the heads of the
+// delivery queue, the fault-timer heap, and the wake index. O(1) —
+// this is what lets a 10k-node cluster with sparse traffic step in
+// time proportional to the nodes actually doing something.
 func (c *Cluster) peekNextTime() int64 {
 	next := int64(-1)
 	if len(c.queue) > 0 {
@@ -727,15 +908,8 @@ func (c *Cluster) peekNextTime() int64 {
 	if len(c.timers) > 0 && (next == -1 || c.timers[0].time < next) {
 		next = c.timers[0].time
 	}
-	for _, addr := range c.order {
-		n := c.nodes[addr]
-		if n.killed {
-			continue
-		}
-		w := n.rt.NextWake()
-		if w >= 0 && (next == -1 || w < next) {
-			next = w
-		}
+	if len(c.wake) > 0 && (next == -1 || c.wake[0].wake < next) {
+		next = c.wake[0].wake
 	}
 	return next
 }

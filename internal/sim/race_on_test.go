@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether the race detector is active; alloc-budget
+// guards and the large-cluster fingerprint test skip under it (the
+// former because instrumentation changes allocation counts, the latter
+// because instrumented 5k-node runs are too slow for the race gate).
+const raceEnabled = true
