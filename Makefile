@@ -17,13 +17,16 @@ test: check
 # plus a short fault-injection sweep (see `chaos` below).
 # boomlint runs the Overlog whole-program analyzer over every embedded
 # rule set (and the standalone .olg examples), failing on any
-# error-severity finding.
+# error-severity finding. boomvet does the same for the Go runtime
+# itself: determinism, clone-on-store ownership, and noalloc passes
+# over every package (see internal/govet).
 check:
 	$(GO) vet ./...
+	$(GO) run ./cmd/boomvet -severity=error ./...
 	$(GO) run ./cmd/boomlint -severity=error
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
-	$(GO) test -race ./internal/chaos/... ./internal/sim ./internal/loadgen
+	$(GO) test -race ./internal/chaos/... ./internal/sim ./internal/loadgen ./internal/provenance
 	$(GO) test -run AllocGuard ./internal/overlog ./internal/sim
 	$(MAKE) chaos
 	$(GO) run ./cmd/boom-evalbench -smoke -out /dev/null
@@ -52,6 +55,7 @@ lint:
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/boomvet -severity=error ./...
 	$(GO) run ./cmd/boomlint -severity=error
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	@if command -v govulncheck >/dev/null 2>&1; then \

@@ -1,0 +1,35 @@
+package govet
+
+// The pass scopes. The deterministic packages are the ones whose
+// execution must replay bit-identically from a seed: the evaluator,
+// the simulator, the open-loop load generator, and the chaos harness
+// (fault schedules are replayable data). The order-sensitive set adds
+// the packages that render maps into ordered output (Prometheus
+// exposition, derivation DAGs) without needing full determinism.
+
+// DeterministicPackages must replay bit-identically: wall-clock reads,
+// unseeded randomness, map-order leaks, and unsanctioned goroutines
+// are all bugs here.
+var DeterministicPackages = map[string]bool{
+	"repro/internal/sim":              true,
+	"repro/internal/overlog":          true,
+	"repro/internal/overlog/analysis": true,
+	"repro/internal/loadgen":          true,
+	"repro/internal/chaos":            true,
+}
+
+// OrderSensitivePackages additionally emit ordered output (sorted
+// views, text expositions, journals) that unordered map iteration
+// would scramble.
+var OrderSensitivePackages = map[string]bool{
+	"repro/internal/telemetry":  true,
+	"repro/internal/provenance": true,
+}
+
+func deterministicScope(pkgPath string) bool {
+	return DeterministicPackages[pkgPath]
+}
+
+func orderScope(pkgPath string) bool {
+	return DeterministicPackages[pkgPath] || OrderSensitivePackages[pkgPath]
+}

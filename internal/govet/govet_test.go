@@ -1,0 +1,37 @@
+package govet_test
+
+import (
+	"testing"
+
+	"repro/internal/govet"
+	"repro/internal/govet/govettest"
+)
+
+// Each fixture under testdata/src seeds violations of one pass and
+// declares the expected findings inline with // want comments; the
+// pragma staleness pass always runs after the pass under test.
+
+func TestWalltime(t *testing.T)  { govettest.Run(t, "walltime", govet.WalltimeAnalyzer) }
+func TestSeedrand(t *testing.T)  { govettest.Run(t, "seedrand", govet.SeedrandAnalyzer) }
+func TestGospawn(t *testing.T)   { govettest.Run(t, "gospawn", govet.GospawnAnalyzer) }
+func TestMaporder(t *testing.T)  { govettest.Run(t, "maporder", govet.MaporderAnalyzer) }
+func TestOwnership(t *testing.T) { govettest.Run(t, "ownership", govet.OwnershipAnalyzer) }
+func TestNoalloc(t *testing.T)   { govettest.Run(t, "noalloc", govet.NoallocAnalyzer) }
+
+// TestPragma runs no analyzer at all: every well-formed allow in the
+// fixture is necessarily stale, and malformed directives report
+// regardless.
+func TestPragma(t *testing.T) { govettest.Run(t, "pragma") }
+
+func TestCheckNames(t *testing.T) {
+	names := govet.CheckNames()
+	want := []string{"gospawn", "maporder", "noalloc", "ownership", "pragma", "seedrand", "walltime"}
+	if len(names) != len(want) {
+		t.Fatalf("CheckNames() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("CheckNames() = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package govettest is the fixture runner for boomvet passes,
+// mirroring golang.org/x/tools/go/analysis/analysistest: a golden
+// package under testdata/src/<name> is type-checked and analyzed, and
+// every expected finding is declared in the fixture itself with a
+// trailing comment
+//
+//	// want "regexp"
+//
+// on the line the finding anchors to. Missing findings, unexpected
+// findings, and non-matching messages all fail the test. The pragma
+// staleness pass always runs after the passes under test, so fixtures
+// can pin both suppressed-by-pragma and stale-pragma behavior.
+package govettest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/govet"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run analyzes testdata/src/<fixture> (relative to the caller's
+// directory) with the given passes plus pragma staleness, and checks
+// the findings against the fixture's // want comments. Scope is
+// bypassed: fixtures live under synthetic import paths.
+func Run(t *testing.T, fixture string, analyzers ...*govet.Analyzer) {
+	t.Helper()
+	root, err := govet.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := govet.NewLoader(root)
+	pkg, err := loader.LoadDir(dir, "fixture/"+fixture)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+
+	unscoped := make([]*govet.Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		cp := *a
+		cp.Scope = nil
+		unscoped = append(unscoped, &cp)
+	}
+	ds := govet.RunAll([]*govet.Package{pkg}, unscoped)
+
+	wants := collectWants(t, pkg)
+	for _, d := range ds {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Msg) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *govet.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment %q", position(pkg, c.Pos()), c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", position(pkg, c.Pos()), m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+func position(pkg *govet.Package, pos token.Pos) string {
+	return pkg.Fset.Position(pos).String()
+}

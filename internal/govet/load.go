@@ -1,0 +1,244 @@
+package govet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath is this repository's module path; imports under it are
+// resolved from the module tree rather than the standard library.
+const ModulePath = "repro"
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of this module. The standard
+// library is type-checked from GOROOT source (the build environment is
+// hermetic — no export data, no network), and repro/... imports are
+// resolved from the module tree. Loaded packages are cached, so a
+// ./... sweep type-checks each package once.
+type Loader struct {
+	Root string // module root directory (holds go.mod)
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// NewLoader returns a loader rooted at the module directory.
+func NewLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:  root,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		cache: map[string]*Package{},
+	}
+}
+
+// FindModuleRoot walks up from dir to the directory holding go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("govet: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer over the split namespace.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == ModulePath || strings.HasPrefix(path, ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks one module package by import path.
+func (l *Loader) Load(pkgPath string) (*Package, error) {
+	if p, ok := l.cache[pkgPath]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.Root, strings.TrimPrefix(pkgPath, ModulePath))
+	p, err := l.loadDir(dir, pkgPath)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[pkgPath] = p
+	return p, nil
+}
+
+// LoadDir type-checks the package in an arbitrary directory (used by
+// the fixture runner, whose packages live under testdata/src and are
+// not importable). repro/... imports inside it still resolve.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	return l.loadDir(dir, pkgPath)
+}
+
+func (l *Loader) loadDir(dir, pkgPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("govet: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("govet: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath, Dir: dir, Fset: l.fset,
+		Files: files, Types: tpkg, Info: info,
+	}, nil
+}
+
+// Packages resolves command-line package patterns: "./..." (or "all")
+// sweeps every package under the module root, a "./x/y" or "x/y" path
+// names one directory. testdata and hidden directories are skipped.
+func (l *Loader) Packages(patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch pat {
+		case "./...", "...", "all":
+			err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				base := filepath.Base(path)
+				if base == "testdata" || (strings.HasPrefix(base, ".") && path != l.Root) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			dir := strings.TrimSuffix(pat, "/...")
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(l.Root, strings.TrimPrefix(dir, "./"))
+			}
+			if strings.HasSuffix(pat, "/...") {
+				err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+					if err != nil {
+						return err
+					}
+					if !d.IsDir() {
+						return nil
+					}
+					base := filepath.Base(path)
+					if base == "testdata" || strings.HasPrefix(base, ".") {
+						return filepath.SkipDir
+					}
+					if hasGoFiles(path) {
+						add(path)
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				add(dir)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgPath := ModulePath
+		if rel != "." {
+			pkgPath = ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := l.Load(pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

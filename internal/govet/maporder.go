@@ -1,0 +1,198 @@
+package govet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MaporderAnalyzer flags map iteration whose order escapes: Go
+// randomizes range-over-map order per run, so any map loop that
+// appends to a slice (without a subsequent sort), writes bytes, or
+// sends on a channel produces run-dependent output. In the
+// deterministic packages that breaks replay; in the order-sensitive
+// ones (telemetry exposition, provenance DAG rendering) it scrambles
+// output the tests and dashboards assume stable.
+//
+// Order-insensitive loop bodies — commutative aggregation (x += v,
+// counters, min/max), writes into other maps, deletes — are not
+// flagged. An append is rescued by a later call in the same function
+// whose name contains "sort" and which mentions the appended-to
+// variable (sort.Strings(keys), sort.Slice(out, ...), m.sortRows(rs)).
+var MaporderAnalyzer = &Analyzer{
+	Name:  "maporder",
+	Doc:   "flag unordered map iteration that escapes into slices, writers, or channels",
+	Scope: orderScope,
+	Run:   runMaporder,
+}
+
+// orderedWriters are method/function names that serialize bytes in
+// call order.
+var orderedWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+}
+
+func runMaporder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := p.TypesInfo.TypeOf(rs.X); t == nil || !isMap(t) {
+					return true
+				}
+				checkMapRange(p, fd, rs)
+				return true
+			})
+		}
+	}
+}
+
+func isMap(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRange(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(s.Pos(),
+				"channel send inside map iteration: receive order varies per run")
+		case *ast.CallExpr:
+			if name := calleeName(s); orderedWriters[name] {
+				p.Reportf(s.Pos(),
+					"%s inside map iteration writes in nondeterministic order; collect and sort first", name)
+			}
+		case *ast.AssignStmt:
+			call, ok := appendCall(s)
+			if !ok {
+				return true
+			}
+			target := s.Lhs[0]
+			obj := rootObject(p, target)
+			if obj != nil && sortedAfter(p, fd, rs, obj) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"append inside map iteration builds a nondeterministically-ordered slice (%s is never sorted afterward in this function)",
+				exprString(target))
+		}
+		return true
+	})
+}
+
+// appendCall matches `x = append(x, ...)` / `x := append(y, ...)`.
+func appendCall(s *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(s.Rhs) != 1 || len(s.Lhs) != 1 {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+		return call, true
+	}
+	return nil, false
+}
+
+// rootObject resolves the variable (or field) an lvalue ultimately
+// names: out -> out's object, c.active -> the active field's object.
+func rootObject(p *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if o := p.TypesInfo.Uses[x]; o != nil {
+			return o
+		}
+		return p.TypesInfo.Defs[x]
+	case *ast.SelectorExpr:
+		return p.TypesInfo.Uses[x.Sel]
+	case *ast.IndexExpr:
+		return rootObject(p, x.X)
+	case *ast.StarExpr:
+		return rootObject(p, x.X)
+	}
+	return nil
+}
+
+// sortedAfter reports whether, after the range loop, the function
+// calls something sort-shaped on the object.
+func sortedAfter(p *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(qualifiedCalleeName(call)), "sort") {
+			return true
+		}
+		// The call must mention the object, as an argument or receiver.
+		mentions := false
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && p.TypesInfo.Uses[id] == obj {
+				mentions = true
+				return false
+			}
+			return true
+		})
+		if mentions {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// qualifiedCalleeName keeps the qualifier: "sort.Strings" for
+// sort.Strings, "c.sorter.Sort" for a method — so package-qualified
+// sort calls are recognized as sorts.
+func qualifiedCalleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return exprString(fn)
+	}
+	return ""
+}
+
+// calleeName returns the bare name of a call's function: Fprintf for
+// fmt.Fprintf, WriteString for b.WriteString, sortRows for m.sortRows.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// exprString renders a simple lvalue for messages.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	}
+	return "?"
+}

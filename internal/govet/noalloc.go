@@ -1,0 +1,253 @@
+package govet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoallocAnalyzer is the static twin of the alloc-guard tests: a
+// function whose doc comment carries the line
+//
+//	//boomvet:noalloc
+//
+// asserts its body is allocation-free in steady state, and the pass
+// flags every allocation-shaped construct inside it:
+//
+//   - make/new, slice/map composite literals, &T{...}
+//   - closures (func literals capture their environment)
+//   - go statements
+//   - fmt.* calls (interface boxing plus formatting buffers)
+//   - string concatenation of non-constant operands
+//   - implicit interface boxing at call arguments and explicit
+//     conversions to interface types
+//   - append to a slice declared fresh in the same function (growing
+//     from nil allocates; appends to reused fields, parameters, and
+//     [:0]-reset buffers are the sanctioned pattern)
+//
+// A genuinely cold branch inside a hot function (an error return, a
+// first-call lazy init) is waived line-by-line with
+// //boomvet:allow(noalloc) <reason>. The escape-analysis caveat: a
+// value composite literal that never escapes is stack-allocated, so
+// plain struct literals are not flagged — the pass is a heuristic
+// tripwire to run alongside the runtime guards, not a proof.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "flag allocation-shaped constructs in //boomvet:noalloc-annotated functions",
+	Run:  runNoalloc,
+}
+
+const noallocDirective = "//boomvet:noalloc"
+
+func runNoalloc(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasNoallocDirective(fd) {
+				continue
+			}
+			checkNoalloc(p, fd)
+		}
+	}
+}
+
+func hasNoallocDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == noallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+func checkNoalloc(p *Pass, fd *ast.FuncDecl) {
+	// Locals declared fresh in this function: appending to them grows
+	// from nil. Locals derived from slicing something that already
+	// exists (buf[:0] reuse) are fine.
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					if obj := p.TypesInfo.Defs[name]; obj != nil && isSliceObj(obj) {
+						fresh[obj] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.TypesInfo.Defs[id]
+				if obj == nil || !isSliceObj(obj) {
+					continue
+				}
+				switch rhs := s.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					fresh[obj] = true
+				case *ast.CallExpr:
+					if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" {
+						fresh[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(x.Pos(), "closure in noalloc function: func literals capture their environment on the heap")
+			return false // don't double-report the closure's own body
+		case *ast.GoStmt:
+			p.Reportf(x.Pos(), "go statement in noalloc function allocates a goroutine")
+		case *ast.CompositeLit:
+			t := p.TypesInfo.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				p.Reportf(x.Pos(), "%s literal in noalloc function allocates", kindWord(t))
+			}
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					p.Reportf(x.Pos(), "&composite literal in noalloc function escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op.String() == "+" {
+				if t := p.TypesInfo.TypeOf(x); t != nil && isString(t) && !isConstExpr(p, x) {
+					p.Reportf(x.Pos(), "string concatenation in noalloc function allocates; use a reused buffer")
+				}
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(p, x, fresh)
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(p *Pass, call *ast.CallExpr, fresh map[types.Object]bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		switch fn.Name {
+		case "make", "new":
+			// Only the builtin allocates; a shadowing local resolves to a
+			// *types.Var instead of a *types.Builtin.
+			obj := p.TypesInfo.Uses[fn]
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin || obj == nil {
+				p.Reportf(call.Pos(), "%s in noalloc function allocates", fn.Name)
+			}
+			return
+		case "append":
+			if len(call.Args) > 0 {
+				if obj := rootObject(p, call.Args[0]); obj != nil && fresh[obj] {
+					p.Reportf(call.Pos(), "append to fresh local %s in noalloc function grows from nil; reuse a buffer ([:0] reset) instead", obj.Name())
+				}
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if pkgPathOf(p, fn) == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s in noalloc function allocates (boxing + formatting state)", fn.Sel.Name)
+			return
+		}
+	}
+	// Interface boxing: a non-interface argument passed where the
+	// callee takes an interface, or an explicit conversion.
+	sig := callSignature(p, call)
+	if sig == nil {
+		// Conversion T(x)?
+		if t := p.TypesInfo.TypeOf(call.Fun); t != nil && len(call.Args) == 1 {
+			if tv, ok := p.TypesInfo.Types[call.Fun]; ok && tv.IsType() && isInterface(tv.Type) {
+				if at := p.TypesInfo.TypeOf(call.Args[0]); at != nil && !isInterface(at) && !isConstExpr(p, call.Args[0]) {
+					p.Reportf(call.Pos(), "conversion to interface in noalloc function boxes the value")
+				}
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			last := sig.Params().At(sig.Params().Len() - 1).Type()
+			if sl, ok := last.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		} else if i < sig.Params().Len() {
+			pt = sig.Params().At(i).Type()
+		}
+		if pt == nil || !isInterface(pt) {
+			continue
+		}
+		at := p.TypesInfo.TypeOf(arg)
+		if at == nil || isInterface(at) || isConstExpr(p, arg) || isNil(p, arg) {
+			continue
+		}
+		p.Reportf(arg.Pos(), "argument boxes %s into interface %s in noalloc function", at, pt)
+	}
+}
+
+func isSliceObj(obj types.Object) bool {
+	_, ok := obj.Type().Underlying().(*types.Slice)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isNil(p *Pass, e ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func kindWord(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}
+
+func callSignature(p *Pass, call *ast.CallExpr) *types.Signature {
+	t := p.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}

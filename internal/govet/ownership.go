@@ -1,0 +1,272 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// OwnershipAnalyzer enforces the clone-on-store tuple contract (PR 4):
+// the evaluator reuses scratch buffers, so a Tuple a function receives
+// from its caller may have a Vals slice that the next rule firing will
+// overwrite. Retaining such a tuple — appending it to a struct field
+// or package variable, assigning it into one, or aliasing its Vals
+// slice into one — without cloning first silently corrupts state
+// later.
+//
+// The rule checked: inside a function, a parameter of type Tuple,
+// *Tuple, or []Tuple (and anything plainly aliased from one) is
+// "unowned". Storing an unowned tuple (or its .Vals) into a
+// non-local sink is a finding, unless an assignment from a
+// clone-shaped call (cloneTuple, Clone, NewTuple, ...) re-owns it
+// earlier in the function. Values produced by calls, literals, and
+// storage lookups are owned — ownership transfers only via Clone at
+// function boundaries.
+//
+// This is a source-order heuristic, not an escape analysis: a clone
+// on one branch vouches for a store on another. It is deliberately
+// conservative in the other direction too — stores through local
+// aliases of a field (bucket := t.rows[k]; bucket[i] = tp) are not
+// seen. The fixtures pin exactly what it catches.
+var OwnershipAnalyzer = &Analyzer{
+	Name: "ownership",
+	Doc:  "flag Tuples retained across the storage boundary without Clone (clone-on-store contract)",
+	Run:  runOwnership,
+}
+
+func runOwnership(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkOwnership(p, fd)
+		}
+	}
+}
+
+// isTupleType reports whether t is overlog.Tuple (possibly behind a
+// pointer).
+func isTupleType(t types.Type) bool {
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != "Tuple" || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), "internal/overlog")
+}
+
+// containsTuple reports whether t is, or has a field/element of, the
+// Tuple type (Envelope carries one, []Tuple is a slice of them).
+func containsTuple(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isTupleType(u.Elem()) || containsTuple(u.Elem())
+	case *types.Struct:
+		if isTupleType(t) {
+			return true
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if isTupleType(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return isTupleType(t)
+}
+
+// cloneShaped reports whether a call re-establishes ownership: any
+// callee whose name mentions clone or copy, or a fresh constructor.
+func cloneShaped(call *ast.CallExpr) bool {
+	name := calleeName(call)
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "clone") || strings.Contains(lower, "copy") ||
+		name == "NewTuple"
+}
+
+type ownState struct {
+	p  *Pass
+	fd *ast.FuncDecl
+	// unowned maps a variable object to token.NoPos (never cloned) or
+	// the position of the clone assignment that re-owns it.
+	unowned map[types.Object]token.Pos
+}
+
+func checkOwnership(p *Pass, fd *ast.FuncDecl) {
+	st := &ownState{p: p, fd: fd, unowned: map[types.Object]token.Pos{}}
+
+	// Parameters (and receivers are owned: methods own their struct)
+	// of tuple-carrying type start unowned.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				obj := p.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if isTupleType(obj.Type()) || isTupleSlice(obj.Type()) {
+					st.unowned[obj] = token.NoPos
+				}
+			}
+		}
+	}
+	if len(st.unowned) == 0 {
+		return
+	}
+
+	// First sweep: clone re-ownings and plain aliases, in source order.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 || len(as.Rhs) == 0 {
+			return true
+		}
+		if len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				lhs, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.TypesInfo.Defs[lhs]
+				if obj == nil {
+					obj = p.TypesInfo.Uses[lhs]
+				}
+				if obj == nil {
+					continue
+				}
+				switch rhs := as.Rhs[i].(type) {
+				case *ast.CallExpr:
+					if cloneShaped(rhs) {
+						if cur, tracked := st.unowned[obj]; tracked && cur == token.NoPos {
+							st.unowned[obj] = rhs.Pos()
+						}
+					}
+				case *ast.Ident:
+					if src := p.TypesInfo.Uses[rhs]; src != nil {
+						if _, bad := st.unowned[src]; bad && (isTupleType(obj.Type()) || isTupleSlice(obj.Type())) {
+							if _, seen := st.unowned[obj]; !seen {
+								st.unowned[obj] = token.NoPos
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: retention sinks.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if call, ok := appendCall(s); ok {
+				st.checkAppend(s.Lhs[0], call)
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				if !st.isSink(lhs) {
+					continue
+				}
+				st.checkStored(s.Rhs[i], s.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func isTupleSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && isTupleType(sl.Elem())
+}
+
+// isSink reports whether an lvalue outlives the function: a struct
+// field, a package-level variable, or an index into either.
+func (st *ownState) isSink(e ast.Expr) bool {
+	obj := rootObject(st.p, e)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	// Package-level variable: its parent scope is the package scope.
+	return v.Parent() == st.p.Pkg.Scope()
+}
+
+// checkAppend validates append(sink, elems...) where the sink's
+// element type carries tuples.
+func (st *ownState) checkAppend(dst ast.Expr, call *ast.CallExpr) {
+	if !st.isSink(dst) {
+		return
+	}
+	t := st.p.TypesInfo.TypeOf(dst)
+	if t == nil || !containsTuple(t) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		st.checkStored(arg, arg.Pos())
+	}
+}
+
+// checkStored reports when the stored expression carries an unowned
+// tuple (directly, via .Vals, or inside a composite literal).
+func (st *ownState) checkStored(e ast.Expr, at token.Pos) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if st.unownedAt(x, at) {
+			st.p.Reportf(at,
+				"tuple %s crosses a retention boundary without Clone: it may wrap a reusable scratch buffer (clone-on-store contract)", x.Name)
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			st.checkStored(x.X, at)
+		}
+	case *ast.SelectorExpr:
+		// tp.Vals: aliasing the value slice retains the backing array.
+		if x.Sel.Name == "Vals" {
+			if id, ok := x.X.(*ast.Ident); ok && st.unownedAt(id, at) {
+				st.p.Reportf(at,
+					"%s.Vals aliases a possibly-scratch value slice across a retention boundary; clone the tuple first", id.Name)
+			}
+		}
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				st.checkStored(kv.Value, at)
+			} else {
+				st.checkStored(el, at)
+			}
+		}
+	case *ast.IndexExpr:
+		// p[i] of an unowned []Tuple parameter.
+		if id, ok := x.X.(*ast.Ident); ok && st.unownedAt(id, at) {
+			st.p.Reportf(at,
+				"element of caller-owned slice %s is retained without Clone (clone-on-store contract)", id.Name)
+		}
+	}
+}
+
+// unownedAt reports whether the identifier is still unowned at a
+// position (no clone-shaped reassignment earlier in the source).
+func (st *ownState) unownedAt(id *ast.Ident, at token.Pos) bool {
+	obj := st.p.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	clonedAt, tracked := st.unowned[obj]
+	if !tracked {
+		return false
+	}
+	return clonedAt == token.NoPos || clonedAt > at
+}

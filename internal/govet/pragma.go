@@ -1,0 +1,138 @@
+package govet
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// boomvet pragmas are directive comments mirroring the Overlog layer's
+// //lint: pragmas:
+//
+//	//boomvet:allow(<check>) <reason>   suppress <check> on this line
+//	                                    (or the line below, when the
+//	                                    comment stands alone)
+//	//boomvet:noalloc                   assert the annotated function's
+//	                                    body is allocation-free (doc
+//	                                    comment position; see noalloc.go)
+//
+// Every allow must carry a reason and name a known check, and an allow
+// that suppresses nothing is itself a finding — suppressions cannot
+// silently outlive the code they excused.
+
+const pragmaPrefix = "//boomvet:"
+
+var allowRe = regexp.MustCompile(`^//boomvet:allow\(([^)]*)\)\s*(.*)$`)
+
+// allowPragma is one parsed //boomvet:allow directive.
+type allowPragma struct {
+	check  string
+	reason string
+	file   string
+	line   int // line the pragma suppresses (its own, or the next)
+	pos    token.Pos
+	used   bool
+	// bad carries a parse problem reported by the pragma pass.
+	bad string
+}
+
+// pragmaIndex holds every //boomvet: directive of one package.
+type pragmaIndex struct {
+	fset   *token.FileSet
+	allows []*allowPragma
+}
+
+// buildPragmaIndex scans the comments of every file. A pragma trailing
+// code suppresses its own line; a pragma on a line of its own
+// suppresses the following line (so it can sit above the statement it
+// excuses, stacked with prose comments).
+func buildPragmaIndex(fset *token.FileSet, files []*ast.File) *pragmaIndex {
+	idx := &pragmaIndex{fset: fset}
+	for _, f := range files {
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, pragmaPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if text == "//boomvet:noalloc" {
+					continue // consumed by the noalloc pass via FuncDecl.Doc
+				}
+				pr := &allowPragma{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				m := allowRe.FindStringSubmatch(text)
+				switch {
+				case m == nil:
+					pr.bad = "unknown //boomvet: directive (want allow(<check>) <reason> or noalloc)"
+				case !knownCheck(m[1]):
+					pr.bad = "allow names unknown check " + quote(m[1])
+				case strings.TrimSpace(m[2]) == "":
+					pr.check = m[1]
+					pr.bad = "allow(" + m[1] + ") has no reason; say why the invariant is safe to waive here"
+				default:
+					pr.check = m[1]
+					pr.reason = strings.TrimSpace(m[2])
+				}
+				if !codeLines[pos.Line] {
+					pr.line = pos.Line + 1
+				}
+				idx.allows = append(idx.allows, pr)
+			}
+		}
+	}
+	return idx
+}
+
+func quote(s string) string { return `"` + s + `"` }
+
+// allow reports whether a finding of check at file:line is suppressed,
+// marking the consumed pragma used.
+func (idx *pragmaIndex) allow(check, file string, line int) bool {
+	ok := false
+	for _, pr := range idx.allows {
+		if pr.check == check && pr.bad == "" && pr.file == file && pr.line == line {
+			pr.used = true
+			ok = true
+		}
+	}
+	return ok
+}
+
+// lints returns the pragma pass's findings: malformed directives and
+// stale allows that suppressed nothing this run.
+func (idx *pragmaIndex) lints(pkgPath string) []Diagnostic {
+	var ds []Diagnostic
+	report := func(pr *allowPragma, msg string) {
+		pos := idx.fset.Position(pr.pos)
+		ds = append(ds, finish(Diagnostic{
+			Check: "pragma", Package: pkgPath,
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Msg: msg,
+		}))
+	}
+	for _, pr := range idx.allows {
+		if pr.bad != "" {
+			report(pr, pr.bad)
+			continue
+		}
+		if !pr.used {
+			report(pr, "stale //boomvet:allow("+pr.check+"): it suppresses no finding; remove it")
+		}
+	}
+	return ds
+}

@@ -1,0 +1,23 @@
+// Package gospawn pins the gospawn pass: every `go` statement in a
+// deterministic package is a finding unless a pragma carries the
+// two-phase determinism argument.
+package gospawn
+
+// Fire spawns an unsanctioned goroutine.
+func Fire(done chan struct{}) {
+	go func() { // want "goroutine spawned in a deterministic package"
+		done <- struct{}{}
+	}()
+}
+
+// Pool is a sanctioned worker pool: waived with the determinism
+// argument spelled out.
+func Pool(work chan int) {
+	//boomvet:allow(gospawn) bounded worker pool: results are merged serially in creation order, bit-identical to serial execution
+	go drain(work)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

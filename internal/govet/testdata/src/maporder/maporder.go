@@ -1,0 +1,62 @@
+// Package maporder pins the maporder pass: map iteration whose order
+// escapes (appends never sorted, ordered writers, channel sends) is a
+// finding; sorted-afterward appends and commutative bodies are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys builds a slice in map order and never sorts it.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append inside map iteration builds a nondeterministically-ordered slice"
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned collect-then-sort pattern.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump serializes bytes in map order.
+func Dump(b *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(b, "%s=%d\n", k, v) // want "Fprintf inside map iteration writes in nondeterministic order"
+	}
+}
+
+// Send delivers tuples in map order.
+func Send(ch chan string, m map[string]bool) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+// Count folds commutatively: order cannot be observed.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Waived documents an order-insensitive consumer downstream.
+func Waived(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//boomvet:allow(maporder) consumer treats out as a set; order is irrelevant
+		out = append(out, k)
+	}
+	return out
+}

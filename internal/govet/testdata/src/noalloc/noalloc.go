@@ -1,0 +1,99 @@
+// Package noalloc pins the noalloc pass: allocation-shaped constructs
+// inside //boomvet:noalloc-annotated functions are findings; reused
+// buffers, unannotated functions, and waived cold branches are not.
+package noalloc
+
+import "fmt"
+
+// Sum is genuinely allocation-free.
+//
+//boomvet:noalloc
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// Grow appends to a slice born nil in this function.
+//
+//boomvet:noalloc
+func Grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2) // want "append to fresh local out in noalloc function grows from nil"
+	}
+	return out
+}
+
+// Reuse appends into a caller-provided buffer: the sanctioned pattern.
+//
+//boomvet:noalloc
+func Reuse(buf, xs []int) []int {
+	out := buf[:0]
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// Build allocates outright.
+//
+//boomvet:noalloc
+func Build(n int) []int {
+	return make([]int, n) // want "make in noalloc function allocates"
+}
+
+// Literal allocates a backing array.
+//
+//boomvet:noalloc
+func Literal() []int {
+	return []int{1, 2, 3} // want "slice literal in noalloc function allocates"
+}
+
+// Capture heap-allocates a closure.
+//
+//boomvet:noalloc
+func Capture(n int) func() int {
+	return func() int { return n } // want "closure in noalloc function"
+}
+
+// Concat allocates the joined string.
+//
+//boomvet:noalloc
+func Concat(a, b string) string {
+	return a + b // want "string concatenation in noalloc function allocates"
+}
+
+// Format allocates formatting state and boxes its arguments.
+//
+//boomvet:noalloc
+func Format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want "fmt.Sprintf in noalloc function allocates"
+}
+
+func sink(v interface{}) interface{} { return v }
+
+// Box boxes an int into an interface argument.
+//
+//boomvet:noalloc
+func Box(v int) interface{} {
+	return sink(v) // want "argument boxes int into interface"
+}
+
+// LazyInit waives a genuinely cold branch line-by-line.
+//
+//boomvet:noalloc
+func LazyInit(m map[string]int) map[string]int {
+	if m == nil {
+		//boomvet:allow(noalloc) first-call lazy init: cold branch, never taken in steady state
+		m = make(map[string]int)
+	}
+	return m
+}
+
+// Unannotated functions may allocate freely.
+func Unannotated() []int {
+	return make([]int, 8)
+}

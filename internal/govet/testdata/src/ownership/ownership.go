@@ -1,0 +1,59 @@
+// Package ownership pins the clone-on-store contract pass: a Tuple
+// parameter (or element of a []Tuple parameter) stored into a struct
+// field or package variable without an intervening Clone is a finding;
+// cloned stores, locally-consumed tuples, and waived contract-holders
+// are not.
+package ownership
+
+import "repro/internal/overlog"
+
+type queue struct {
+	pending []overlog.Tuple
+	last    overlog.Tuple
+	scratch []overlog.Value
+}
+
+var journal []overlog.Tuple
+
+// Push retains the caller's tuple: it may wrap a reusable scratch
+// buffer.
+func (q *queue) Push(tp overlog.Tuple) {
+	q.pending = append(q.pending, tp) // want "tuple tp crosses a retention boundary without Clone"
+}
+
+// PushCloned re-owns the tuple before retaining it.
+func (q *queue) PushCloned(tp overlog.Tuple) {
+	tp = tp.Clone()
+	q.pending = append(q.pending, tp)
+}
+
+// Remember stores into a field without cloning.
+func (q *queue) Remember(tp overlog.Tuple) {
+	q.last = tp // want "tuple tp crosses a retention boundary without Clone"
+}
+
+// Journal appends to a package variable without cloning.
+func Journal(tp overlog.Tuple) {
+	journal = append(journal, tp) // want "tuple tp crosses a retention boundary without Clone"
+}
+
+// Alias retains the value slice itself: same bug, one level down.
+func (q *queue) Alias(tp overlog.Tuple) {
+	q.scratch = tp.Vals // want "tp.Vals aliases a possibly-scratch value slice"
+}
+
+// First retains an element of a caller-owned batch.
+func (q *queue) First(batch []overlog.Tuple) {
+	q.last = batch[0] // want "element of caller-owned slice batch is retained without Clone"
+}
+
+// Inspect only reads the tuple: no retention, no finding.
+func (q *queue) Inspect(tp overlog.Tuple) int {
+	return len(tp.Vals)
+}
+
+// Waived documents a contract-holder: the caller transfers ownership.
+func (q *queue) Waived(tp overlog.Tuple) {
+	//boomvet:allow(ownership) caller transfers ownership by documented contract: tp is freshly built at every call site
+	q.last = tp
+}

@@ -1,0 +1,13 @@
+// Package pragma pins the pragma staleness pass on its own: with no
+// other pass running, every well-formed allow is stale, and malformed
+// directives are findings in their own right.
+package pragma
+
+//boomvet:allow(walltime) excuses a line with no finding under it // want "stale //boomvet:allow\(walltime\)"
+var a = 1
+
+//boomvet:allow(bogus) the check name does not exist // want "allow names unknown check \"bogus\""
+var b = 2
+
+//boomvet:frobnicate // want "unknown //boomvet: directive"
+var c = 3

@@ -1,0 +1,35 @@
+// Package seedrand pins the seedrand pass: math/rand package-level
+// functions (global time-seeded source) are findings; the seeded
+// constructors and methods on an injected *rand.Rand are not.
+package seedrand
+
+import "math/rand"
+
+// Pick draws from the global source.
+func Pick() int {
+	return rand.Intn(10) // want "rand.Intn draws from math/rand's global time-seeded source"
+}
+
+// Shuffle draws from the global source too.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want "rand.Shuffle draws from math/rand's global time-seeded source"
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// Seeded builds the sanctioned explicit source: constructors are fine.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Roll uses an injected generator: methods are fine, and naming the
+// rand.Rand type in a signature is not a use of the global source.
+func Roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// Jitter is waived: display-only randomness.
+func Jitter() int {
+	//boomvet:allow(seedrand) demo jitter is display-only and never feeds tuples
+	return rand.Intn(3)
+}

@@ -1,0 +1,37 @@
+// Package walltime pins the walltime pass: wall-clock reads are
+// findings, pragma-waived profiling reads are not, and a pragma that
+// waives nothing is stale.
+package walltime
+
+import "time"
+
+// Step leaks the wall clock into state.
+func Step() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+// Elapsed depends on the wall clock even without calling Now directly.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+// Block schedules against real time.
+func Block() {
+	<-time.After(time.Second) // want "time.After reads the wall clock"
+}
+
+// Profile is a waived profiling-only read: no finding, pragma consumed.
+func Profile() int64 {
+	//boomvet:allow(walltime) profiling only: duration is reported to hooks, never stored in tuples
+	t := time.Now()
+	return t.UnixNano()
+}
+
+// Pure time constructors are not wall-clock reads.
+func Timeout() time.Duration {
+	return 3 * time.Second
+}
+
+//boomvet:allow(walltime) excuses a line with no finding // want "stale //boomvet:allow\(walltime\)"
+var grace = time.Duration(0)

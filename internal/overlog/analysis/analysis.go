@@ -16,6 +16,8 @@
 //	//lint:feed request dn_write     (written by Go or external clients)
 //	//lint:export resp_log read_log  (read by Go code)
 //	//lint:ignore singleton-var      (suppress a lint code)
+//	//lint:ordered vote per-acceptor sequencing   (network delivery into
+//	                                 vote is ordered; see coord.go)
 package analysis
 
 import (
@@ -174,6 +176,8 @@ const (
 	CodeNoAckRemote     = "no-ack-remote"
 	CodeEventPersist    = "event-persist"
 	CodePointOfOrder    = "point-of-order"
+	CodeCoordPath       = "under-coordinated-path"
+	CodeStaleOrdered    = "stale-ordered"
 	// front-end failures (AnalyzeSource / InstallCheck)
 	CodeParse   = "parse"
 	CodeInstall = "install"
@@ -198,6 +202,8 @@ var codeSeverity = map[string]Severity{
 	CodeNoAckRemote:     SevInfo,
 	CodeEventPersist:    SevInfo,
 	CodePointOfOrder:    SevInfo,
+	CodeCoordPath:       SevInfo,
+	CodeStaleOrdered:    SevWarn,
 	CodeParse:           SevError,
 	CodeInstall:         SevError,
 }
@@ -226,6 +232,7 @@ func Analyze(unit string, progs []*overlog.Program, opts Options) []Diagnostic {
 	ds = append(ds, typeLints(m)...)
 	ds = append(ds, varLints(m)...)
 	ds = append(ds, protocolLints(m)...)
+	ds = append(ds, coordLints(m)...)
 	out := ds[:0]
 	for _, d := range ds {
 		if !opts.Ignore[d.Code] {

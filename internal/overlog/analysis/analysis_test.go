@@ -428,6 +428,45 @@ func TestLintCodes(t *testing.T) {
 			not: []string{CodePointOfOrder},
 		},
 		{
+			name: "under-coordinated-path fires on aggregation over async delivery",
+			srcs: []string{`
+				//lint:feed task
+				//lint:export tally
+				table task(Id: int, Coord: addr);
+				table vote(Node: addr, Id: int);
+				table tally(N: int) keys(0);
+				cast vote(@Coord, Id) :- task(Id, Coord);
+				count tally(count<Id>) :- vote(_, Id);
+			`},
+			want: []string{CodeCoordPath},
+		},
+		{
+			name: "under-coordinated-path silent when the channel is sealed",
+			srcs: []string{`
+				//lint:feed task
+				//lint:export tally
+				//lint:ordered vote per-sender sequence numbers make delivery order deterministic
+				table task(Id: int, Coord: addr);
+				table vote(Node: addr, Id: int);
+				table tally(N: int) keys(0);
+				cast vote(@Coord, Id) :- task(Id, Coord);
+				count tally(count<Id>) :- vote(_, Id);
+			`},
+			not: []string{CodeCoordPath, CodeStaleOrdered},
+		},
+		{
+			name: "stale-ordered fires when the seal excuses no async path",
+			srcs: []string{`
+				//lint:feed obs
+				//lint:export tally
+				//lint:ordered obs nothing sends into obs remotely
+				table obs(Id: int);
+				table tally(N: int) keys(0);
+				count tally(count<Id>) :- obs(Id);
+			`},
+			want: []string{CodeStaleOrdered},
+		},
+		{
 			name: "parse failure becomes a diagnostic",
 			srcs: []string{`this is not overlog at all (`},
 			want: []string{CodeParse},

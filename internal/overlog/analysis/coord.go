@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/overlog"
+)
+
+// The coordination pass is the Blazes-style composition of the two
+// analyses boomlint already runs separately. CALM (calm.go, surfaced
+// as point-of-order) says *which rules* are non-monotone; the protocol
+// pass says *which edges* cross the network. Blazes' observation
+// (Alvaro et al., ICDE 2014) is that the dangerous combination is
+// their product: a non-monotone operator consuming data that arrived
+// over an unordered channel can emit different answers on different
+// runs, because message arrival order becomes observable through the
+// negation/aggregation/update. A monotone consumer of the same
+// unordered stream is confluent — it converges to the same fixpoint
+// regardless of arrival order — and a non-monotone operator over
+// purely local data is deterministic because the local fixpoint is.
+//
+// Per unit, the pass labels:
+//
+//   - every rule monotone or non-monotone (the CALM classification,
+//     here computed over the merged unit model so a master-side
+//     aggregate over a datanode-side send is visible);
+//   - every network edge — a rule whose head carries an `@` location
+//     specifier — async by default, or ordered when the program seals
+//     the destination table with `//lint:ordered <table> <reason>`,
+//     asserting something the analysis cannot see: a delivery-order
+//     protocol (per-sender sequence numbers, a single-writer chain,
+//     an ordered transport), or an order-insensitivity argument (all
+//     senders provably agree on the payload, as with Paxos decide
+//     messages);
+//   - every table async-tainted or not, by propagating the async
+//     label from sealed-free network destinations through positive
+//     derivations to a fixpoint, across all co-installed programs.
+//
+// It reports under-coordinated-path wherever a non-monotone rule
+// consumes an async-tainted table: the point where unordered delivery
+// leaks into divergent state. Like point-of-order, the finding is
+// SevInfo — coordination-freeness is a property to be aware of, not a
+// bug per se; sealing the table or coordinating (Paxos, barriers) are
+// both valid responses. A seal that seals nothing is stale-ordered
+// (SevWarn), mirroring boomvet's stale-pragma rule: assertions about
+// delivery order must not outlive the sends they excuse.
+
+// orderedSeal carries one //lint:ordered pragma.
+type orderedSeal struct {
+	table  string
+	reason string
+	prog   string
+}
+
+// collectSeals gathers //lint:ordered pragmas from every program of
+// the unit. The pragma form is
+//
+//	//lint:ordered <table> <why delivery into table is ordered>
+func collectSeals(progs []*overlog.Program) []orderedSeal {
+	var seals []orderedSeal
+	for _, p := range progs {
+		pname := p.Name
+		if pname == "" {
+			pname = "anon"
+		}
+		for _, pr := range p.Pragmas {
+			if pr.Key != "ordered" || len(pr.Args) == 0 {
+				continue
+			}
+			seals = append(seals, orderedSeal{
+				table:  pr.Args[0],
+				reason: strings.Join(pr.Args[1:], " "),
+				prog:   pname,
+			})
+		}
+	}
+	return seals
+}
+
+// taintSource records why a table is async-tainted: the network
+// destination the taint flows from and the rule that sends into it.
+type taintSource struct {
+	root   string // the table async delivery lands in
+	sender string // the rule with the @ head
+	hops   int    // derivation steps from root to the tainted table
+}
+
+// coordLints runs the coordination analysis over the unit model.
+func coordLints(m *model) []Diagnostic {
+	seals := collectSeals(m.progs)
+	sealed := map[string]bool{}
+	for _, s := range seals {
+		sealed[s.table] = true
+	}
+
+	// Non-monotone classification per rule, over the merged unit (the
+	// same reasons calm.go computes per program).
+	keyed := map[string]bool{}
+	for t, d := range m.decls {
+		keyed[t] = !d.Event && len(d.KeyCols) > 0 && len(d.KeyCols) < len(d.Cols)
+	}
+	nonMono := map[*ruleInfo][]string{}
+	for _, ri := range m.rules {
+		r := ri.rule
+		var reasons []string
+		if r.Delete {
+			reasons = append(reasons, "deletion")
+		}
+		if r.HasAggregate() {
+			reasons = append(reasons, "aggregation")
+		}
+		if keyed[r.Head.Table] {
+			reasons = append(reasons, "key-replacing update of "+r.Head.Table)
+		}
+		for _, be := range r.Body {
+			if be.Kind == overlog.BodyNotin {
+				reasons = append(reasons, "negation over "+be.Atom.Table)
+			}
+		}
+		if len(reasons) > 0 {
+			nonMono[ri] = reasons
+		}
+	}
+
+	// Async roots: tables some rule derives into across the network.
+	// asyncRoots maps destination table -> first sending rule in unit
+	// order (for the witness message).
+	asyncRoots := map[string]string{}
+	for _, ri := range m.rules {
+		r := ri.rule
+		if r.Delete || r.Head.LocIndex() < 0 {
+			continue
+		}
+		if _, seen := asyncRoots[r.Head.Table]; !seen {
+			asyncRoots[r.Head.Table] = ri.name
+		}
+	}
+
+	// Taint fixpoint through positive derivations. propagate computes
+	// the tainted set honoring the given seal set; the stale-ordered
+	// check below re-runs it seal-free to see what a pragma would have
+	// sealed.
+	propagate := func(sealed map[string]bool) map[string]taintSource {
+		taint := map[string]taintSource{}
+		roots := make([]string, 0, len(asyncRoots))
+		for t := range asyncRoots {
+			roots = append(roots, t)
+		}
+		sort.Strings(roots)
+		for _, t := range roots {
+			if !sealed[t] {
+				taint[t] = taintSource{root: t, sender: asyncRoots[t]}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, ri := range m.rules {
+				r := ri.rule
+				if r.Delete {
+					continue // deletions remove tuples; they derive nothing
+				}
+				head := r.Head.Table
+				if sealed[head] {
+					continue
+				}
+				if _, already := taint[head]; already {
+					continue
+				}
+				for _, be := range r.Body {
+					if be.Kind != overlog.BodyAtom || be.Atom == nil {
+						continue
+					}
+					src, ok := taint[be.Atom.Table]
+					if !ok || sealed[be.Atom.Table] {
+						continue
+					}
+					taint[head] = taintSource{root: src.root, sender: src.sender, hops: src.hops + 1}
+					changed = true
+					break
+				}
+			}
+		}
+		return taint
+	}
+	taint := propagate(sealed)
+
+	var ds []Diagnostic
+
+	// under-coordinated-path: a non-monotone rule consuming a tainted
+	// table. One finding per (rule, body table).
+	for _, ri := range m.rules {
+		reasons, bad := nonMono[ri]
+		if !bad {
+			continue
+		}
+		for _, be := range ri.rule.Body {
+			if be.Atom == nil {
+				continue
+			}
+			if be.Kind != overlog.BodyAtom && be.Kind != overlog.BodyNotin {
+				continue
+			}
+			src, tainted := taint[be.Atom.Table]
+			if !tainted {
+				continue
+			}
+			via := "delivered across the network by rule " + src.sender
+			if src.hops > 0 {
+				via = fmt.Sprintf("derived (%d steps) from %s, %s", src.hops, src.root, via)
+			}
+			ds = append(ds, m.diag(CodeCoordPath, ri, be.Atom.Table, ri.rule.Line, ri.rule.Col,
+				"non-monotone rule (%s) consumes %s, which is %s: arrival order can change the result; coordinate, or seal the channel with //lint:ordered %s",
+				strings.Join(reasons, "; "), be.Atom.Table, via, src.root))
+		}
+	}
+
+	// stale-ordered: a seal that changes nothing. Re-run the taint
+	// fixpoint with no seals; a pragma is live only if its table would
+	// be tainted in that world.
+	wouldTaint := propagate(map[string]bool{})
+	for _, s := range seals {
+		if _, live := wouldTaint[s.table]; live {
+			continue
+		}
+		d := Diagnostic{
+			Code: CodeStaleOrdered, Unit: m.unit, Program: s.prog, Subject: s.table,
+			Msg: fmt.Sprintf("//lint:ordered %s seals no async path: nothing sends into %s across the network (or feeds it from one); remove the pragma",
+				s.table, s.table),
+		}
+		ds = append(ds, finish(d))
+	}
+	return ds
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// A two-role protocol: workers send votes across the network to a
+// coordinator, which aggregates them. The aggregation over an
+// async-delivered table is the canonical under-coordinated path.
+const coordWorker = `
+program worker;
+
+table task(Id: int, Coord: addr);
+//lint:feed task
+
+cast vote(@Coord, Id) :- task(Id, Coord);
+`
+
+const coordCoordinator = `
+program coordinator;
+
+table vote(Node: addr, Id: int);
+table tally(N: int) keys(0);
+//lint:export tally
+
+count tally(count<Id>) :- vote(_, Id);
+`
+
+func coordDiags(t *testing.T, sources ...string) []Diagnostic {
+	t.Helper()
+	ds := AnalyzeSource("coord-test", sources, Options{})
+	var out []Diagnostic
+	for _, d := range ds {
+		if d.Code == CodeCoordPath || d.Code == CodeStaleOrdered {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestCoordUnderCoordinatedPath(t *testing.T) {
+	ds := coordDiags(t, coordWorker, coordCoordinator)
+	if len(ds) != 1 {
+		t.Fatalf("got %d coordination findings, want 1: %v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Code != CodeCoordPath {
+		t.Fatalf("code = %s, want %s", d.Code, CodeCoordPath)
+	}
+	if d.Rule != "count" || d.Subject != "vote" {
+		t.Fatalf("finding anchors rule %q subject %q, want rule \"count\" subject \"vote\"", d.Rule, d.Subject)
+	}
+	for _, needle := range []string{"aggregation", "vote", "rule cast", "//lint:ordered vote"} {
+		if !strings.Contains(d.Msg, needle) {
+			t.Errorf("message %q does not mention %q", d.Msg, needle)
+		}
+	}
+}
+
+func TestCoordSealSilencesPath(t *testing.T) {
+	sealed := coordCoordinator + "\n//lint:ordered vote per-worker FIFO delivery with sender sequence numbers\n"
+	ds := coordDiags(t, coordWorker, sealed)
+	if len(ds) != 0 {
+		t.Fatalf("sealed channel still reports: %v", ds)
+	}
+}
+
+func TestCoordStaleSeal(t *testing.T) {
+	// No network edge anywhere: the seal excuses nothing.
+	local := `
+program local;
+
+table obs(Id: int);
+//lint:feed obs
+table tally(N: int) keys(0);
+//lint:export tally
+//lint:ordered obs nothing actually sends into obs remotely
+
+count tally(count<Id>) :- obs(Id);
+`
+	ds := coordDiags(t, local)
+	if len(ds) != 1 {
+		t.Fatalf("got %d coordination findings, want 1: %v", len(ds), ds)
+	}
+	if ds[0].Code != CodeStaleOrdered || ds[0].Subject != "obs" {
+		t.Fatalf("finding = %v, want stale-ordered on obs", ds[0])
+	}
+}
+
+// Monotone consumption of an async table is confluent: no finding.
+func TestCoordMonotoneConsumerIsClean(t *testing.T) {
+	relay := `
+program relay;
+
+table vote(Node: addr, Id: int);
+table seen(Node: addr, Id: int);
+//lint:export seen
+
+copy seen(Node, Id) :- vote(Node, Id);
+`
+	ds := coordDiags(t, coordWorker, relay)
+	if len(ds) != 0 {
+		t.Fatalf("monotone consumer reports: %v", ds)
+	}
+}
+
+// Taint crosses intermediate monotone derivations: the aggregate two
+// hops downstream of the network edge still reports, with the witness
+// naming the root table.
+func TestCoordTaintPropagates(t *testing.T) {
+	chain := `
+program chain;
+
+table vote(Node: addr, Id: int);
+table mirror(Node: addr, Id: int);
+table tally(N: int) keys(0);
+//lint:export tally
+
+copy mirror(Node, Id) :- vote(Node, Id);
+count tally(count<Id>) :- mirror(_, Id);
+`
+	ds := coordDiags(t, coordWorker, chain)
+	if len(ds) != 1 {
+		t.Fatalf("got %d coordination findings, want 1: %v", len(ds), ds)
+	}
+	d := ds[0]
+	if d.Rule != "count" || d.Subject != "mirror" {
+		t.Fatalf("finding anchors rule %q subject %q, want count/mirror", d.Rule, d.Subject)
+	}
+	if !strings.Contains(d.Msg, "from vote") {
+		t.Errorf("message %q does not name the async root vote", d.Msg)
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/overlog"
 )
@@ -90,8 +91,15 @@ func typeLints(m *model) []Diagnostic {
 		ds = append(ds, tc.ds...)
 	}
 
-	// redundant-keys is declaration-level.
-	for t, d := range m.decls {
+	// redundant-keys is declaration-level. Iterate declarations in
+	// sorted order so findings append deterministically.
+	tables := make([]string, 0, len(m.decls))
+	for t := range m.decls {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		d := m.decls[t]
 		if d.Event || len(d.KeyCols) == 0 || isSys(t) {
 			continue
 		}

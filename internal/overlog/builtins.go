@@ -44,12 +44,14 @@ func LookupBuiltin(name string) (*Builtin, bool) {
 	return b, ok
 }
 
-// BuiltinNames returns the registered builtin names (for docs/tests).
+// BuiltinNames returns the registered builtin names, sorted (for
+// docs/tests).
 func BuiltinNames() []string {
 	out := make([]string, 0, len(builtins))
 	for n := range builtins {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

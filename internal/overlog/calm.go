@@ -103,11 +103,18 @@ func AnalyzeCALM(prog *Program) *CALMReport {
 		}
 	}
 
-	// Propagate taint along positive derivations to a fixpoint.
+	// Propagate taint along positive derivations to a fixpoint. The
+	// dependency map is walked in sorted head order so the marker lists
+	// accumulate deterministically run to run.
+	heads := make([]string, 0, len(deps))
+	for h := range deps {
+		heads = append(heads, h)
+	}
+	sort.Strings(heads)
 	for changed := true; changed; {
 		changed = false
-		for head, bodies := range deps {
-			for _, b := range bodies {
+		for _, head := range heads {
+			for _, b := range deps[head] {
 				if len(rep.TaintedTables[b]) == 0 {
 					continue
 				}

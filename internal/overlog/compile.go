@@ -243,6 +243,10 @@ type compiledRule struct {
 	// stop deriving retract their stale row (materialized-view
 	// maintenance; only used for local, non-delete, non-deferred heads).
 	prevAgg map[string]Tuple
+	// retractBuf is reusable scratch for the sorted retraction sweep
+	// over prevAgg (see runtime.go): vanished group keys are collected
+	// and sorted so retraction order never inherits map order.
+	retractBuf []string
 	// scanPositions indexes body ops that are opScan, for semi-naive
 	// delta placement.
 	scanPositions []int

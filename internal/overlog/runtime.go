@@ -494,7 +494,7 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	var hookStart time.Time
 	var derived0, inserted0, retracted0 int64
 	if r.stepHook != nil {
-		hookStart = time.Now()
+		hookStart = time.Now() //boomvet:allow(walltime) profiling only: hook wall duration never feeds tuples
 		derived0, inserted0, retracted0 = r.derivedCt, r.insertCt, r.retractCt
 	}
 	if r.profOn {
@@ -586,7 +586,7 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 		}
 		st := StepStats{
 			NowMS:      now,
-			DurationNS: time.Since(hookStart).Nanoseconds(),
+			DurationNS: time.Since(hookStart).Nanoseconds(), //boomvet:allow(walltime) profiling only: reported to hooks, never stored
 			External:   externalIn,
 			Derived:    r.derivedCt - derived0,
 			Inserted:   r.insertCt - inserted0,
@@ -833,8 +833,8 @@ func (r *Runtime) runStratumNaive(s int, rules []*compiledRule) error {
 // re-enters an operator, so reuse is safe.
 func (r *Runtime) evalRuleFull(cr *compiledRule) error {
 	if r.profOn {
-		start := time.Now()
-		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }()
+		start := time.Now()                                                   //boomvet:allow(walltime) profiling only: per-rule wall attribution
+		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }() //boomvet:allow(walltime) profiling only: per-rule wall attribution
 	}
 	r.armProv(cr)
 	env := cr.envBuf
@@ -871,8 +871,8 @@ func (r *Runtime) evalRuleDelta(cr *compiledRule, deltaPos int, frontier []Tuple
 		return nil // aggregates are recomputed via evalRuleFull only
 	}
 	if r.profOn {
-		start := time.Now()
-		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }()
+		start := time.Now()                                                   //boomvet:allow(walltime) profiling only: per-rule wall attribution
+		defer func() { cr.stats.wallNS += time.Since(start).Nanoseconds() }() //boomvet:allow(walltime) profiling only: per-rule wall attribution
 	}
 	r.armProv(cr)
 	run := cr
@@ -1270,12 +1270,22 @@ func (a *aggCollector) emit(r *Runtime) error {
 		}
 	}
 	if maintain {
-		for key, old := range cr.prevAgg {
+		// Retract vanished groups in sorted key order: pendDel order
+		// decides watch/journal/provenance emission order, which must
+		// not inherit map iteration order. The key buffer is reused
+		// across recomputations (steady state retracts nothing).
+		gone := cr.retractBuf[:0]
+		for key := range cr.prevAgg {
 			if _, ok := cur[key]; !ok {
-				r.pendDel = append(r.pendDel, old)
-				r.pendDelBy = append(r.pendDelBy, cr.stats)
+				gone = append(gone, key)
 			}
 		}
+		sort.Strings(gone)
+		for _, key := range gone {
+			r.pendDel = append(r.pendDel, cr.prevAgg[key])
+			r.pendDelBy = append(r.pendDelBy, cr.stats)
+		}
+		cr.retractBuf = gone
 		cr.prevAgg = cur
 	}
 	return nil

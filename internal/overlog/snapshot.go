@@ -27,6 +27,9 @@ func (r *Runtime) Snapshot(w io.Writer) error {
 		}
 		names = append(names, name)
 	}
+	// Table order decides the snapshot's bytes; sorted so snapshots of
+	// identical state are identical (state-sync and replay compare them).
+	sort.Strings(names)
 	return r.SnapshotTables(w, names...)
 }
 

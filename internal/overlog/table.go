@@ -168,6 +168,8 @@ func (t *Table) normalize(tp Tuple) Tuple {
 
 // findRow locates the row in a key-fingerprint chain whose key columns
 // encoding-equal tp's, or -1.
+//
+//boomvet:noalloc
 func (t *Table) findRow(bucket []Tuple, tp Tuple) int {
 	for i := range bucket {
 		if bucket[i].keyEqualCols(tp, t.keys) {
@@ -177,13 +179,9 @@ func (t *Table) findRow(bucket []Tuple, tp Tuple) int {
 	return -1
 }
 
-// cloneVals copies a tuple so storage never aliases a caller's (or the
-// evaluator's reusable) value slice.
-func cloneTuple(tp Tuple) Tuple {
-	vals := make([]Value, len(tp.Vals))
-	copy(vals, tp.Vals)
-	return Tuple{Table: tp.Table, Vals: vals}
-}
+// cloneTuple copies a tuple so storage never aliases a caller's (or
+// the evaluator's reusable) value slice.
+func cloneTuple(tp Tuple) Tuple { return tp.Clone() }
 
 // Insert adds the tuple. The returns are (inserted, displaced):
 // inserted is false when an identical tuple was already stored;
@@ -290,6 +288,10 @@ func (t *Table) Contains(tp Tuple) bool {
 }
 
 // LookupKey returns the tuple stored under the same primary key as tp.
+// The returned tuple is storage-owned: callers must Clone before
+// retaining or mutating it.
+//
+//boomvet:noalloc
 func (t *Table) LookupKey(tp Tuple) (Tuple, bool) {
 	if len(tp.Vals) != len(t.decl.Cols) {
 		return Tuple{}, false
@@ -400,11 +402,11 @@ func (t *Table) ensureIndex(cols []int) *index {
 	// Pre-size buckets for the current population: secondary keys are
 	// usually near-unique, so one bucket per row is the right guess.
 	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[uint64][]Tuple, t.n)}
-	for _, bucket := range t.rows {
-		for _, tp := range bucket {
-			fp := tp.hashCols(ix.cols)
-			ix.buckets[fp] = append(ix.buckets[fp], tp)
-		}
+	// Build from the sorted scan, not the rows map: within-bucket order
+	// decides probe candidate order, so it must not vary run to run.
+	for _, tp := range t.sortedTuples() {
+		fp := tp.hashCols(ix.cols)
+		ix.buckets[fp] = append(ix.buckets[fp], tp)
 	}
 	if prev, ok := t.indexes[sig]; ok && !colsEqual(prev.cols, cols) {
 		t.ixOverflow = append(t.ixOverflow, ix)
@@ -415,9 +417,13 @@ func (t *Table) ensureIndex(cols []int) *index {
 	return ix
 }
 
+// addToIndexes mirrors a stored tuple into every secondary index.
+// Callers pass the storage-owned copy (insertChecked clones before
+// indexing), never the evaluator's scratch tuple.
 func (t *Table) addToIndexes(tp Tuple) {
 	for _, ix := range t.ixAll {
 		fp := tp.hashCols(ix.cols)
+		//boomvet:allow(ownership) tp is the storage-owned clone made by insertChecked
 		ix.buckets[fp] = append(ix.buckets[fp], tp)
 	}
 }

@@ -550,6 +550,16 @@ func NewTuple(table string, vals ...Value) Tuple {
 	return Tuple{Table: table, Vals: vals}
 }
 
+// Clone returns a copy whose Vals slice shares nothing with t. Callers
+// that retain a tuple past the call that produced it (storing it in a
+// struct field, a queue, or a table) must retain a clone: the evaluator
+// reuses its scratch tuples between derivations.
+func (t Tuple) Clone() Tuple {
+	vals := make([]Value, len(t.Vals))
+	copy(vals, t.Vals)
+	return Tuple{Table: t.Table, Vals: vals}
+}
+
 // Key encodes the given column subset as a map key.
 func (t Tuple) Key(cols []int) string {
 	b := make([]byte, 0, 16*len(cols))
@@ -561,6 +571,8 @@ func (t Tuple) Key(cols []int) string {
 
 // hashCols fingerprints the column subset: the FNV-1a hash of the
 // bytes Key(cols) would build, without building them.
+//
+//boomvet:noalloc
 func (t Tuple) hashCols(cols []int) uint64 {
 	h := fnvOffset64
 	for _, c := range cols {
@@ -570,6 +582,8 @@ func (t Tuple) hashCols(cols []int) uint64 {
 }
 
 // keyEqualCols reports encoding-equality with o on the given columns.
+//
+//boomvet:noalloc
 func (t Tuple) keyEqualCols(o Tuple, cols []int) bool {
 	for _, c := range cols {
 		if !t.Vals[c].keyEqual(o.Vals[c]) {
@@ -580,6 +594,8 @@ func (t Tuple) keyEqualCols(o Tuple, cols []int) bool {
 }
 
 // hashVals fingerprints a probe-value slice (column order implied).
+//
+//boomvet:noalloc
 func hashVals(vals []Value) uint64 {
 	h := fnvOffset64
 	for _, v := range vals {

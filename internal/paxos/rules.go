@@ -48,6 +48,13 @@ const Rules = `
 
 	//lint:feed paxos_request
 	//lint:export decided is_leader
+	// Paxos safety guarantees every decide_msg for a slot carries the
+	// same command, so consumers are confluent regardless of arrival
+	// order; the remaining protocol channels (prepare/promise/accept)
+	// are deliberately unordered — reordering them is exactly what the
+	// ballot discipline coordinates, so their under-coordinated-path
+	// findings stand as documentation.
+	//lint:ordered decide_msg all senders agree on the decided command per slot
 
 	// --- membership & protocol state ---
 	table member(Node: addr, Rank: int) keys(0);

@@ -616,6 +616,7 @@ func (c *Cluster) Inject(to string, tp overlog.Tuple, delayMS int64) {
 	}
 	c.seq++
 	e := c.getEvent()
+	//boomvet:allow(ownership) injected tuples are caller-owned by contract: envelopes are cloned at emission (routeHead) and external injections are freshly built
 	e.time, e.seq, e.to, e.tuple = when, c.seq, to, tp
 	heap.Push(&c.queue, e)
 }
@@ -740,6 +741,7 @@ func (c *Cluster) Step() (bool, error) {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			//boomvet:allow(gospawn) sanctioned phase-1 worker pool: node fixpoints touch node-local state only; sends and injections merge serially in creation order in phase 2
 			go func() {
 				defer wg.Done()
 				for r := range work {
