@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check lint race bench bench-paper chaos scale examples experiments profile clean
+.PHONY: all build test check lint race bench bench-paper chaos chaos-tcp scale examples experiments profile clean
 
 all: build test
 
@@ -40,6 +40,16 @@ check:
 # is the full acceptance sweep.
 chaos:
 	$(GO) run ./cmd/boom-chaos -scenario all -seeds 3
+
+# chaos-tcp: the same seed-derived fault schedules replayed against the
+# production TCP transport (real sockets, compressed wall clock) — the
+# transport-hardening gate: bounded send queues, dial backoff, and the
+# fault-injecting conn layer must preserve the same invariants the
+# simulator proves. Shrinking is off: live runs aren't bit-replayable,
+# so a minimal counterexample should be reproduced under -transport sim.
+chaos-tcp:
+	$(GO) run ./cmd/boom-chaos -transport tcp -scenario fs -seeds 5 -shrink=false
+	$(GO) run ./cmd/boom-chaos -transport tcp -scenario paxos -seeds 5 -shrink=false
 
 # scale: the scale-trajectory artifact — dense/sparse scheduler
 # microbenchmark (does per-step cost track active or total nodes?)

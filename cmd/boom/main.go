@@ -32,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/boomfs"
@@ -80,8 +81,9 @@ func usage() {
 
 subcommands:
   master   -listen ADDR [-status ADDR] [-profile] [-restore F] [-checkpoint F]
-                                               serve a BOOM-FS master
-  datanode -listen ADDR -master ADDR [-status ADDR] [-profile]   serve a datanode
+           [-gossip [-gossip-seeds A,B]]        serve a BOOM-FS master
+  datanode -listen ADDR -master ADDR [-status ADDR] [-profile] [-gossip]
+                                               serve a datanode
   fs       -master ADDR [-trace] OP [ARGS...]  client operations:
              mkdir|create|rm|exists PATH
              ls PATH
@@ -113,6 +115,8 @@ func runMaster(args []string) error {
 	ckptEvery := fs.Duration("checkpoint-every", 30*time.Second, "checkpoint period")
 	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
 	profile := fs.Bool("profile", false, "collect per-rule wall time from boot (see /debug/profile)")
+	gossip := fs.Bool("gossip", false, "run SWIM membership; datanodes that gossip feed the liveness relations without static registration")
+	gossipSeeds := fs.String("gossip-seeds", "", "comma-separated peer master addresses to seed the membership view")
 	fs.Parse(args)
 	cfg := boomfs.DefaultConfig()
 	cfg.ReplicationFactor = *repl
@@ -122,6 +126,9 @@ func runMaster(args []string) error {
 	}
 	defer srv.Close()
 	enableProfiling(srv, *profile)
+	if err := startGossip(srv, *gossip, *gossipSeeds, nil); err != nil {
+		return err
+	}
 	if err := serveStatus(srv, *status); err != nil {
 		return err
 	}
@@ -149,6 +156,8 @@ func runDataNode(args []string) error {
 	master := fs.String("master", "127.0.0.1:7070", "master address")
 	status := fs.String("status", "", "serve /metrics and /debug endpoints at this address")
 	profile := fs.Bool("profile", false, "collect per-rule wall time from boot (see /debug/profile)")
+	gossip := fs.Bool("gossip", false, "run SWIM membership; discovers master replicas and carries heartbeat liveness")
+	gossipSeeds := fs.String("gossip-seeds", "", "comma-separated master addresses to seed the view (default: -master)")
 	fs.Parse(args)
 	srv, err := rtfs.StartDataNode(*listen, *master, boomfs.DefaultConfig())
 	if err != nil {
@@ -156,11 +165,42 @@ func runDataNode(args []string) error {
 	}
 	defer srv.Close()
 	enableProfiling(srv, *profile)
+	if err := startGossip(srv, *gossip, *gossipSeeds, []string{*master}); err != nil {
+		return err
+	}
 	if err := serveStatus(srv, *status); err != nil {
 		return err
 	}
 	waitForInterrupt(fmt.Sprintf("boom-fs datanode at %s (master %s)", *listen, *master))
 	return nil
+}
+
+// startGossip attaches SWIM membership when -gossip is set. Seeds are
+// the defaults (the datanode's -master address; masters start with an
+// empty view and learn peers from whoever probes them) plus whatever
+// -gossip-seeds lists — all seeds are assumed to be master replicas,
+// since those are the well-known contact points of an FS cluster.
+func startGossip(srv *rtfs.Server, enabled bool, seedList string, defaults []string) error {
+	if !enabled {
+		return nil
+	}
+	seeds := append([]string{}, defaults...)
+	if seedList != "" {
+		for _, s := range strings.Split(seedList, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				seeds = append(seeds, s)
+			}
+		}
+	}
+	roles := make(map[string]string, len(seeds))
+	for _, s := range seeds {
+		roles[s] = "master"
+	}
+	_, err := srv.StartGossip(rtfs.GossipOptions{Seeds: seeds, SeedRoles: roles})
+	if err == nil {
+		fmt.Printf("gossip membership on (view at /debug/transport); seeds: %v\n", seeds)
+	}
+	return err
 }
 
 // serveStatus starts a node's observability endpoint when requested.
@@ -171,7 +211,7 @@ func serveStatus(srv *rtfs.Server, addr string) error {
 	if err := srv.ServeStatus(addr); err != nil {
 		return err
 	}
-	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace,prov,profile,pprof}\n",
+	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace,prov,profile,transport,pprof}\n",
 		srv.Status.URL())
 	return nil
 }

@@ -108,6 +108,13 @@ func (cl *Client) Send(op, path, arg string) string {
 // SendTo issues a metadata request to a specific master.
 func (cl *Client) SendTo(master, op, path, arg string) string {
 	id := cl.nextReqID()
+	cl.resend(master, id, op, path, arg)
+	return id
+}
+
+// resend re-issues a request under an existing id (failover retries in
+// gateway mode — the replay dedup makes same-id retries exactly-once).
+func (cl *Client) resend(master, id, op, path, arg string) {
 	table := "request"
 	if cl.UseGateway {
 		table = "fsreq"
@@ -115,7 +122,6 @@ func (cl *Client) SendTo(master, op, path, arg string) string {
 	cl.cluster.Inject(master, overlog.NewTuple(table,
 		overlog.Addr(master), overlog.Str(id), overlog.Addr(cl.Addr),
 		overlog.Str(op), overlog.Str(path), overlog.Str(arg)), 0)
-	return id
 }
 
 // Poll checks for a response to a previously sent request.
@@ -146,11 +152,25 @@ func (cl *Client) call(op, path, arg string) (*Response, error) {
 	}
 	overall := cl.cluster.Now() + cl.cfg.OpTimeoutMS
 	tries := 0
+	// In gateway mode every retry reuses one request id: replicas
+	// replay a shared log with per-id dedup (GatewayRules seen_op), so
+	// any replica's response is authoritative and a retry whose
+	// predecessor actually committed cannot re-execute the write. In
+	// direct mode each master executes independently, so a response is
+	// only trusted for the attempt that asked — fresh id per try.
+	var id string
+	if cl.UseGateway {
+		id = cl.nextReqID()
+	}
 	for cl.cluster.Now() < overall {
 		idx := (cl.preferred + tries) % len(masters)
 		m := masters[idx]
 		tries++
-		id := cl.SendTo(m, op, path, arg)
+		if cl.UseGateway {
+			cl.resend(m, id, op, path, arg)
+		} else {
+			id = cl.SendTo(m, op, path, arg)
+		}
 		var resp *Response
 		deadline := cl.cluster.Now() + perTry
 		if deadline > overall {

@@ -44,11 +44,27 @@ const GatewayRules = `
 	table applied(K: string, S: int) keys(0);
 	applied("a", 0);
 
+	// Exactly-once replay: a client that never saw its response retries
+	// the same operation under the same request id, and concurrent
+	// proposals can land one id in two slots — so the decided log is
+	// at-least-once and the dedup must sit at the replay boundary.
+	// seen_op records the first slot that applied each id; later slots
+	// carrying the same id advance the cursor without re-executing
+	// (a duplicate mkdir would answer "exists", a duplicate addchunk
+	// would graft a phantom unwritten chunk onto the file). Safe to
+	// consult one step late: the cursor applies one slot per step and
+	// duplicate slots are strictly later, so g5's next-insert is visible
+	// before any duplicate replays.
+	table seen_op(Id: string, S: int) keys(0);
+
 	g3 request(@Me, Id, Src, Op, Path, Arg) :- decided(S, Cmd), applied("a", S),
 	        Me := localaddr(),
 	        Id := tostr(nth(Cmd, 0)), Src := toaddr(nth(Cmd, 1)), Op := tostr(nth(Cmd, 2)),
-	        Path := tostr(nth(Cmd, 3)), Arg := tostr(nth(Cmd, 4));
+	        Path := tostr(nth(Cmd, 3)), Arg := tostr(nth(Cmd, 4)),
+	        notin seen_op(Id, _);
 	g4 next applied("a", S + 1) :- decided(S, _), applied("a", S);
+	g5 next seen_op(Id, S) :- decided(S, Cmd), applied("a", S),
+	        Id := tostr(nth(Cmd, 0)), notin seen_op(Id, _);
 `
 
 // ReplicatedMaster is a group of BOOM-FS master replicas coordinated by
@@ -79,14 +95,8 @@ func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg 
 		if err != nil {
 			return nil, err
 		}
-		if err := installMasterProgram(rt, cfg); err != nil {
+		if err := InstallReplicatedMaster(rt, addr, addrs, cfg, pcfg); err != nil {
 			return nil, err
-		}
-		if err := paxos.Install(rt, addr, addrs, pcfg); err != nil {
-			return nil, err
-		}
-		if err := rt.InstallSource(GatewayRules); err != nil {
-			return nil, fmt.Errorf("boomfs: gateway rules: %w", err)
 		}
 		rm.masters = append(rm.masters, &Master{Addr: addr, rt: rt, cfg: cfg})
 	}
@@ -96,6 +106,53 @@ func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg 
 		}
 	}
 	return rm, nil
+}
+
+// InstallReplicatedMaster installs one replica's full program — master
+// metadata rules, Paxos, and the gateway bridge — on a bare runtime.
+// This is the driver-agnostic core of NewReplicatedMaster, shared with
+// the real-time deployment (rtfs) and the live chaos harness.
+func InstallReplicatedMaster(rt *overlog.Runtime, self string, replicas []string, cfg Config, pcfg paxos.Config) error {
+	if err := installMasterProgram(rt, cfg); err != nil {
+		return err
+	}
+	if err := paxos.Install(rt, self, replicas, pcfg); err != nil {
+		return err
+	}
+	if err := rt.InstallSource(GatewayRules); err != nil {
+		return fmt.Errorf("boomfs: gateway rules: %w", err)
+	}
+	return nil
+}
+
+// ReplicatedMasterRestart rebuilds a crashed replica on a fresh
+// runtime: programs reinstalled for the restarted role, Paxos acceptor
+// state restored silently, and the FS metadata checkpoint restored with
+// delta seeding (see RestartSpec for the reasoning). prev may be nil
+// for a total-loss restart.
+func ReplicatedMasterRestart(prev, fresh *overlog.Runtime, self string, replicas []string, cfg Config, pcfg paxos.Config) error {
+	if err := installMasterProgram(fresh, cfg); err != nil {
+		return err
+	}
+	if err := paxos.InstallRestarted(fresh, self, replicas, pcfg); err != nil {
+		return err
+	}
+	if err := fresh.InstallSource(GatewayRules); err != nil {
+		return fmt.Errorf("boomfs: gateway rules: %w", err)
+	}
+	if prev != nil {
+		if err := paxos.CopyDurable(prev, fresh); err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		if err := prev.SnapshotTables(&buf, DurableFSTables...); err != nil {
+			return err
+		}
+		if err := fresh.RestoreSnapshot(&buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DurableFSTables is the metadata a master replica checkpoints to
@@ -110,8 +167,11 @@ func NewReplicatedMaster(c *sim.Cluster, prefix string, n int, cfg Config, pcfg 
 // effects), so the cursor is what lets replay resume exactly at the
 // first unapplied slot. It is restored WITH deltas on purpose: the
 // cursor delta joins decided(S) and re-fires g3 if the crash landed
-// between a slot's decision and its application.
-var DurableFSTables = []string{"file", "fchunk", "file_nchunks", "chunk_loc_hint", "applied"}
+// between a slot's decision and its application. seen_op travels with
+// the cursor (g4 and g5 commit in the same step, so a checkpoint never
+// separates them): a restarted replica must keep refusing duplicates
+// of operations its checkpoint already applied.
+var DurableFSTables = []string{"file", "fchunk", "file_nchunks", "chunk_loc_hint", "applied", "seen_op"}
 
 // RestartSpec returns the crash-restart spec for replica i: reinstall
 // master + Paxos + gateway programs, restore the Paxos acceptor's
@@ -123,26 +183,8 @@ var DurableFSTables = []string{"file", "fchunk", "file_nchunks", "chunk_loc_hint
 func (rm *ReplicatedMaster) RestartSpec(i int) sim.NodeSpec {
 	addr := rm.Replicas[i]
 	return func(prev, fresh *overlog.Runtime) ([]sim.Service, error) {
-		if err := installMasterProgram(fresh, rm.cfg); err != nil {
+		if err := ReplicatedMasterRestart(prev, fresh, addr, rm.Replicas, rm.cfg, rm.pcfg); err != nil {
 			return nil, err
-		}
-		if err := paxos.InstallRestarted(fresh, addr, rm.Replicas, rm.pcfg); err != nil {
-			return nil, err
-		}
-		if err := fresh.InstallSource(GatewayRules); err != nil {
-			return nil, fmt.Errorf("boomfs: gateway rules: %w", err)
-		}
-		if prev != nil {
-			if err := paxos.CopyDurable(prev, fresh); err != nil {
-				return nil, err
-			}
-			var buf bytes.Buffer
-			if err := prev.SnapshotTables(&buf, DurableFSTables...); err != nil {
-				return nil, err
-			}
-			if err := fresh.RestoreSnapshot(&buf); err != nil {
-				return nil, err
-			}
 		}
 		rm.masters[i].rt = fresh
 		return nil, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/overlog"
 	"repro/internal/paxos"
 	"repro/internal/sim"
 )
@@ -211,5 +212,74 @@ func TestFailoverMidFileWrite(t *testing.T) {
 	got, err := cl.ReadFile("/f")
 	if err != nil || got != data {
 		t.Fatalf("read after mid-write failover: %q %v", got, err)
+	}
+}
+
+// TestGatewayDedupSameID: a retried request under the same id applies
+// exactly once, no matter how many replicas proposed it or when. The
+// leader's inflight table dedups concurrent duplicates while it lives,
+// but it is soft state — after a crash-restart a retry of an
+// already-committed id lands in a fresh Paxos slot, and only the
+// durable seen_op replay guard keeps it from re-executing (a replayed
+// duplicate mkdir answers "exists", which is exactly what a failover
+// client saw whenever its first attempt committed but the response
+// was delayed past the retry window).
+func TestGatewayDedupSameID(t *testing.T) {
+	c, rm, _, cl := testReplicatedFS(t, 3, 3)
+	id := "client:0-dup"
+	send := func(m string) {
+		c.Inject(m, overlog.NewTuple("fsreq",
+			overlog.Addr(m), overlog.Str(id), overlog.Addr(cl.Addr),
+			overlog.Str("mkdir"), overlog.Str("/dup"), overlog.Str("")), 0)
+	}
+	// Concurrent duplicate to two replicas: the leader's inflight
+	// admission covers this while its soft state survives.
+	send(rm.Replicas[0])
+	send(rm.Replicas[1])
+	if err := c.Run(c.Now() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if resp, ok := cl.Poll(id); !ok || !resp.Ok {
+		t.Fatalf("first attempt: resp %+v ok=%v", resp, ok)
+	}
+	// Crash-restart every replica: pending/inflight are lost, the
+	// decided log, cursor, and seen_op restore from the checkpoint.
+	for _, a := range rm.Replicas {
+		if err := c.Restart(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Run(c.Now() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	// Retry the same id: with no inflight memory the new leader
+	// proposes it into a fresh slot, and only seen_op stops the replay.
+	send(rm.Replicas[0])
+	send(rm.Replicas[1])
+	if err := c.Run(c.Now() + 20_000); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed duplicate would answer ok=false "exists", overwriting
+	// the client's keyed resp_log — it must still hold the ok answer.
+	resp, ok := cl.Poll(id)
+	if !ok {
+		t.Fatal("no response for duplicated request")
+	}
+	if !resp.Ok {
+		t.Fatalf("duplicate replayed: response %+v", resp)
+	}
+	names, err := cl.Ls("/")
+	if err != nil || len(names) != 1 || names[0] != "dup" {
+		t.Fatalf("ls /: %v %v", names, err)
+	}
+	for i := range rm.Replicas {
+		rt := rm.Master(i).rt
+		if n := rt.Table("seen_op").Len(); n != 1 {
+			t.Fatalf("replica %d: seen_op has %d rows, want 1", i, n)
+		}
+	}
+	// The write path still works after the dedup (later slots replay).
+	if err := cl.Create("/dup/f"); err != nil {
+		t.Fatalf("create after dedup: %v", err)
 	}
 }

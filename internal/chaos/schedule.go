@@ -43,15 +43,18 @@ const (
 // Action is one timed fault. Which fields matter depends on Kind:
 // Node for kill/revive/crash-restart; A and B for partition/heal/
 // slow-link; Rate for loss-burst; LatMS for slow-link; DurMS is the
-// fault's duration where the kind defines one.
+// fault's duration where the kind defines one. The JSON form is the
+// interchange format: a violating schedule saved from one sweep replays
+// byte-identically in another run, or against the other transport.
 type Action struct {
-	AtMS  int64
-	Kind  ActionKind
-	Node  string
-	A, B  string
-	DurMS int64
-	Rate  float64
-	LatMS int64
+	AtMS  int64      `json:"at_ms"`
+	Kind  ActionKind `json:"kind"`
+	Node  string     `json:"node,omitempty"`
+	A     string     `json:"a,omitempty"`
+	B     string     `json:"b,omitempty"`
+	DurMS int64      `json:"dur_ms,omitempty"`
+	Rate  float64    `json:"rate,omitempty"`
+	LatMS int64      `json:"lat_ms,omitempty"`
 }
 
 func (a Action) String() string {

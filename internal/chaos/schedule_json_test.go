@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScheduleJSONRoundTrip: a seed-derived schedule survives
+// serialize/deserialize byte-exactly — the property that makes a saved
+// schedule a replayable artifact.
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	for _, sc := range Registry() {
+		for seed := int64(1); seed <= 3; seed++ {
+			orig := sc.Schedule(seed)
+			var buf bytes.Buffer
+			if err := orig.WriteJSON(&buf); err != nil {
+				t.Fatalf("%s seed %d: marshal: %v", sc.Name, seed, err)
+			}
+			got, err := ReadSchedule(&buf)
+			if err != nil {
+				t.Fatalf("%s seed %d: parse: %v", sc.Name, seed, err)
+			}
+			if !reflect.DeepEqual(orig, got) {
+				t.Fatalf("%s seed %d: round trip diverged\nhave %+v\nwant %+v",
+					sc.Name, seed, got, orig)
+			}
+		}
+	}
+}
+
+// TestScheduleGoldenFile pins the interchange format: the fs scenario's
+// seed-1 schedule must render exactly the checked-in golden JSON, so a
+// format change (field renames, ordering) is a conscious diff, not an
+// accident that silently breaks saved schedules.
+func TestScheduleGoldenFile(t *testing.T) {
+	sched := ReplicatedFS().Schedule(1)
+	var buf bytes.Buffer
+	if err := sched.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fs_seed1_schedule.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file: %v (regenerate by writing the marshaled schedule to %s)", err, golden)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("schedule JSON diverges from %s:\nhave:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+	// And the golden file itself must load back into the same plan.
+	got, err := LoadSchedule(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sched, got) {
+		t.Fatalf("golden file parses to a different schedule")
+	}
+}
+
+// TestScheduleValidateRejects: malformed plans fail the load, not the
+// run.
+func TestScheduleValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"unknown kind", `[{"at_ms":1,"kind":"explode","node":"x"}]`, "unknown kind"},
+		{"missing node", `[{"at_ms":1,"kind":"kill"}]`, "missing node"},
+		{"missing link", `[{"at_ms":1,"kind":"partition","a":"x"}]`, "missing link"},
+		{"bad rate", `[{"at_ms":1,"kind":"loss-burst","rate":1.5}]`, "outside [0,1]"},
+		{"negative time", `[{"at_ms":-5,"kind":"kill","node":"x"}]`, "negative time"},
+		{"unknown field", `[{"at_ms":1,"kind":"kill","node":"x","frobnicate":true}]`, "unknown field"},
+	}
+	for _, tc := range cases {
+		_, err := ReadSchedule(strings.NewReader(tc.json))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

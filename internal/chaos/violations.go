@@ -32,38 +32,53 @@ func (v Violation) String() string {
 func Collect(c *sim.Cluster) []Violation {
 	var out []Violation
 	for _, addr := range c.Nodes() {
-		rt := c.Node(addr)
-		if rt == nil {
-			continue
-		}
-		tbl := rt.Table("inv_violation")
-		if tbl == nil {
-			continue
-		}
-		sys := rt.Table("sys::invariant")
-		tbl.Scan(func(tp overlog.Tuple) bool {
-			v := Violation{
-				Inv:    tp.Vals[0].AsString(),
-				Node:   tp.Vals[1].AsString(),
-				TimeMS: tp.Vals[2].AsInt(),
-				Detail: tp.Vals[3].AsString(),
-			}
-			out = append(out, v)
-			if sys != nil {
-				_, _, _ = sys.Insert(overlog.NewTuple("sys::invariant",
-					overlog.Str(v.Inv), overlog.Str(v.Node),
-					overlog.Int(v.TimeMS), overlog.Str(v.Detail)))
-			}
-			return true
-		})
+		out = append(out, ScanViolations(c.Node(addr))...)
 	}
+	SortViolations(out)
+	return out
+}
+
+// ScanViolations reads one runtime's inv_violation relation and mirrors
+// the rows into its sys::invariant catalog table. Both the simulated
+// and the live (TCP) harness collect through it; callers owning live
+// nodes must serialize access themselves (Node.Runtime).
+func ScanViolations(rt *overlog.Runtime) []Violation {
+	if rt == nil {
+		return nil
+	}
+	tbl := rt.Table("inv_violation")
+	if tbl == nil {
+		return nil
+	}
+	var out []Violation
+	sys := rt.Table("sys::invariant")
+	tbl.Scan(func(tp overlog.Tuple) bool {
+		v := Violation{
+			Inv:    tp.Vals[0].AsString(),
+			Node:   tp.Vals[1].AsString(),
+			TimeMS: tp.Vals[2].AsInt(),
+			Detail: tp.Vals[3].AsString(),
+		}
+		out = append(out, v)
+		if sys != nil {
+			_, _, _ = sys.Insert(overlog.NewTuple("sys::invariant",
+				overlog.Str(v.Inv), overlog.Str(v.Node),
+				overlog.Int(v.TimeMS), overlog.Str(v.Detail)))
+		}
+		return true
+	})
+	return out
+}
+
+// SortViolations orders violations by (time, node), the order Collect
+// reports them in.
+func SortViolations(out []Violation) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TimeMS != out[j].TimeMS {
 			return out[i].TimeMS < out[j].TimeMS
 		}
 		return out[i].Node < out[j].Node
 	})
-	return out
 }
 
 // RecordViolation inserts a harness-detected violation (e.g. a wrong

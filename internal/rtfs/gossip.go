@@ -1,0 +1,145 @@
+// Gossip wiring: the SWIM-lite membership view feeding the Overlog
+// relations that the FS rules already consume. The paper's failure
+// detector is a timeout rule over heartbeat tuples; gossip makes the
+// *source* of those tuples dynamic — masters learn datanodes exist (and
+// die) from membership instead of static config, and datanodes learn
+// master replicas the same way. The rules themselves don't change.
+package rtfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/overlog"
+	"repro/internal/transport"
+)
+
+// GossipOptions configures a server's membership agent.
+type GossipOptions struct {
+	// Seeds are the initial contact points — typically the master
+	// replica addresses, which every node knows anyway.
+	Seeds []string
+	// SeedRoles maps seed addresses to their roles ("master",
+	// "datanode") so the first view is usable before any exchange.
+	SeedRoles map[string]string
+	// ProbeInterval is the failure-detection period (default 500ms).
+	// Keep it well under Config.DNTimeoutMS: the master's dn-liveness
+	// rule times out datanodes whose dn_alive refresh stops, and with
+	// gossip that refresh arrives every probe interval.
+	ProbeInterval time.Duration
+	// Seed seeds the probe-order shuffle.
+	Seed int64
+}
+
+// StartGossip attaches membership to a running server and wires its
+// view into the node's relations by role:
+//
+//   - master: every probe tick, each alive datanode-role member turns
+//     into a local dn_alive(@self, dn) event — the same tuple a
+//     datanode's own heartbeat rule produces — so the datanode/live_dn/
+//     chunk_repl pipeline (and the rr1 re-replication rule) runs off
+//     membership without static registration.
+//   - datanode: newly-discovered alive master-role members are
+//     installed as master(M) facts, so the heartbeat and chunk-report
+//     rules fan out to every replica without static config.
+//
+// It also registers gossip gauges on the server's metric registry.
+func (s *Server) StartGossip(opts GossipOptions) (*transport.Gossip, error) {
+	cfg := transport.GossipConfig{
+		Role:          s.Role,
+		Seeds:         opts.Seeds,
+		SeedRoles:     opts.SeedRoles,
+		ProbeInterval: opts.ProbeInterval,
+		Seed:          opts.Seed,
+	}
+	switch s.Role {
+	case "master":
+		cfg.OnTick = func(members []transport.Member) {
+			for _, m := range members {
+				if m.State == transport.StateAlive && m.Role == "datanode" {
+					s.Node.Deliver(overlog.NewTuple("dn_alive",
+						overlog.Addr(s.Addr), overlog.Addr(m.Addr)))
+				}
+			}
+		}
+	case "datanode":
+		var mu sync.Mutex
+		known := map[string]bool{}
+		cfg.OnChange = func(m transport.Member) {
+			if m.Role != "master" || m.State != transport.StateAlive {
+				return
+			}
+			mu.Lock()
+			seen := known[m.Addr]
+			known[m.Addr] = true
+			mu.Unlock()
+			if seen {
+				return
+			}
+			s.Node.Runtime(func(rt *overlog.Runtime) {
+				_ = rt.InstallSource(fmt.Sprintf("master(%q);", m.Addr))
+			})
+		}
+		// Statically-configured masters are already known; don't
+		// re-install their facts on first discovery.
+		s.Node.Runtime(func(rt *overlog.Runtime) {
+			tbl := rt.Table("master")
+			if tbl == nil {
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, tp := range tbl.Tuples() {
+				known[tp.Vals[0].AsString()] = true
+			}
+		})
+	}
+
+	g, err := s.TCP.StartGossip(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range []transport.MemberState{transport.StateAlive,
+		transport.StateSuspect, transport.StateDead} {
+		st := st
+		s.Reg.GaugeFunc(
+			fmt.Sprintf("boom_gossip_members{state=%q}", st),
+			"membership view by state",
+			func() float64 {
+				n := 0
+				for _, m := range g.Members() {
+					if m.State == st {
+						n++
+					}
+				}
+				return float64(n)
+			})
+	}
+	s.Reg.GaugeFunc("boom_gossip_transitions_total",
+		"membership state transitions observed",
+		func() float64 { return float64(g.Transitions()) })
+	return g, nil
+}
+
+// transportDebug serves the /debug/transport endpoint: per-peer queue
+// depth, backoff and drop counts, plus the gossip membership view when
+// one is attached.
+func (s *Server) transportDebug(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]interface{}{
+		"addr":        s.Addr,
+		"role":        s.Role,
+		"queue_depth": s.TCP.QueueDepth(),
+		"peers":       s.TCP.Peers(),
+	}
+	if g := s.TCP.Gossip(); g != nil {
+		resp["members"] = g.Members()
+		resp["transitions"] = g.Transitions()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}

@@ -1,0 +1,194 @@
+package rtfs
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/boomfs"
+	"repro/internal/overlog"
+	"repro/internal/paxos"
+	"repro/internal/transport"
+)
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no localhost networking: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// liveDNs reads the master's datanode relation with the liveness
+// cutoff the FS rules use.
+func liveDNs(s *Server, timeoutMS int64) []string {
+	var out []string
+	s.Node.Runtime(func(rt *overlog.Runtime) {
+		cutoff := rt.NowMS() - timeoutMS
+		tbl := rt.Table("datanode")
+		if tbl == nil {
+			return
+		}
+		for _, tp := range tbl.Tuples() {
+			if tp.Vals[1].AsInt() >= cutoff {
+				out = append(out, tp.Vals[0].AsString())
+			}
+		}
+	})
+	return out
+}
+
+// TestGossipFeedsDatanodeRelation: with datanode heartbeats configured
+// far apart, only the gossip view can keep the master's datanode
+// relation fresh — and when a datanode dies, membership must both mark
+// it dead and let the relation's liveness cutoff expire it. This is
+// the "membership materializes into the relations the rules consume"
+// claim, asserted end to end on real sockets.
+func TestGossipFeedsDatanodeRelation(t *testing.T) {
+	cfg := boomfs.DefaultConfig()
+	cfg.HeartbeatMS = 60000 // static heartbeats effectively off
+	cfg.DNTimeoutMS = 400
+	cfg.FDTickMS = 100
+	cfg.GCTickMS = 0
+
+	master, err := StartMaster(freePort(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	const probe = 50 * time.Millisecond
+	if _, err := master.StartGossip(GossipOptions{ProbeInterval: probe, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	seeds := GossipOptions{
+		Seeds:         []string{master.Addr},
+		SeedRoles:     map[string]string{master.Addr: "master"},
+		ProbeInterval: probe,
+		Seed:          2,
+	}
+	dn1, err := StartDataNode(freePort(t), master.Addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dn1.Close()
+	if _, err := dn1.StartGossip(seeds); err != nil {
+		t.Fatal(err)
+	}
+	dn2, err := StartDataNode(freePort(t), master.Addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dn2.StartGossip(seeds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both datanodes must appear live — and stay live past several
+	// DNTimeoutMS windows, which only the gossip-driven dn_alive
+	// refresh can sustain with heartbeats this sparse.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(liveDNs(master, cfg.DNTimeoutMS)) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("datanodes never went live via gossip: %v", liveDNs(master, cfg.DNTimeoutMS))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(3 * time.Duration(cfg.DNTimeoutMS) * time.Millisecond)
+	if live := liveDNs(master, cfg.DNTimeoutMS); len(live) != 2 {
+		t.Fatalf("gossip failed to sustain liveness: %v", live)
+	}
+
+	// Kill dn2: gossip must mark it dead within its interval budget,
+	// after which the relation's cutoff expires it.
+	dn2.Close()
+	killed := time.Now()
+	g := master.TCP.Gossip()
+	budget := 25 * probe
+	for {
+		var dead bool
+		for _, m := range g.Members() {
+			if m.Addr == dn2.Addr && m.State == transport.StateDead {
+				dead = true
+			}
+		}
+		if dead {
+			break
+		}
+		if time.Since(killed) > budget {
+			t.Fatalf("gossip never marked killed datanode dead; view: %+v", g.Members())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	deadline = time.Now().Add(2 * time.Duration(cfg.DNTimeoutMS) * time.Millisecond)
+	for {
+		live := liveDNs(master, cfg.DNTimeoutMS)
+		if len(live) == 1 && live[0] == dn1.Addr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("datanode relation never expired the dead node: %v", live)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplicatedMasterLiveOps: three Paxos-replicated masters on real
+// sockets, a gateway client running metadata ops through the log.
+func TestReplicatedMasterLiveOps(t *testing.T) {
+	replicas := []string{freePort(t), freePort(t), freePort(t)}
+	cfg := boomfs.DefaultConfig()
+	cfg.GCTickMS = 0
+	pcfg := paxos.Config{TickMS: 50, ElectTimeout: 300, BallotStride: 100, SyncMS: 200}
+
+	var servers []*Server
+	for _, addr := range replicas {
+		s, err := StartReplicatedMaster(addr, replicas, cfg, pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		servers = append(servers, s)
+	}
+
+	cl, err := NewReplicatedClient(freePort(t), replicas, 20*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Mkdir("/data"); err != nil {
+		t.Fatalf("mkdir: %v", err)
+	}
+	if err := cl.Create("/data/a"); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ok, err := cl.Exists("/data/a")
+	if err != nil || !ok {
+		t.Fatalf("exists: %v %v", ok, err)
+	}
+	names, err := cl.Ls("/data")
+	if err != nil || len(names) != 1 {
+		t.Fatalf("ls: %v %v", names, err)
+	}
+
+	// The write went through the log: every replica's catalog must
+	// converge on the same file row.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, s := range servers {
+		for {
+			n := 0
+			s.Node.Runtime(func(rt *overlog.Runtime) { n = rt.Table("file").Len() })
+			if n >= 3 { // root + /data + /data/a
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never converged: %d file rows", s.Addr, n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package rtfs
 import (
 	"errors"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -43,7 +44,7 @@ func (s *Server) Close() {
 
 // ServeStatus starts the node's status HTTP server on addr (port 0
 // picks one) exposing /metrics, /healthz, /debug/tables, /debug/rules,
-// /debug/catalog, /debug/trace and /debug/lint.
+// /debug/catalog, /debug/trace, /debug/lint and /debug/transport.
 func (s *Server) ServeStatus(addr string) error {
 	st, err := telemetry.Serve(addr, telemetry.Source{
 		Role:        s.Role,
@@ -51,6 +52,9 @@ func (s *Server) ServeStatus(addr string) error {
 		Registry:    s.Reg,
 		Journal:     s.Journal,
 		WithRuntime: s.Node.Runtime,
+		Extra: map[string]http.HandlerFunc{
+			"/debug/transport": s.transportDebug,
+		},
 	})
 	if err != nil {
 		return err
@@ -161,6 +165,7 @@ func serve(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) e
 		return nil, err
 	}
 	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
+	tcp.RegisterQueueGauges(reg)
 	go node.Run()
 	return &Server{Addr: addr, Role: role, Node: node, TCP: tcp, Reg: reg, Journal: journal}, nil
 }
@@ -172,6 +177,14 @@ type Client struct {
 	Master  string
 	Timeout time.Duration
 
+	// Masters, when non-empty, turns on replica failover: metadata ops
+	// rotate through the list (see NewReplicatedClient). UseGateway
+	// routes them through the replicated-master fsreq protocol; Retry
+	// bounds one attempt against one replica.
+	Masters    []string
+	UseGateway bool
+	Retry      time.Duration
+
 	// Reg records client-observed op latency histograms
 	// (boomfs_op_ms{op=...}); Journal records each op's trace span, so
 	// a request ID found here can be followed into the master's and
@@ -179,9 +192,10 @@ type Client struct {
 	Reg     *telemetry.Registry
 	Journal *telemetry.Journal
 
-	node *transport.Node
-	tcp  *transport.TCP
-	seq  int64
+	node      *transport.Node
+	tcp       *transport.TCP
+	seq       int64
+	preferred int
 }
 
 // NewClient starts a client node at addr speaking to master.
@@ -215,6 +229,11 @@ func (c *Client) Close() {
 	c.tcp.Close()
 }
 
+// Transport exposes the client's TCP transport, so a harness can wire
+// the shared fault plane and dial backoff into it — the client is a
+// cluster participant and suffers partitions and loss like any node.
+func (c *Client) Transport() *transport.TCP { return c.tcp }
+
 func (c *Client) nextReqID() string {
 	c.seq++
 	return fmt.Sprintf("%s-%d", c.Addr, c.seq)
@@ -224,13 +243,16 @@ func (c *Client) nextReqID() string {
 // one trace span: the request ID doubles as the trace ID that the
 // master's and datanodes' journals index.
 func (c *Client) call(op, path, arg string) (*boomfs.Response, error) {
-	id := c.nextReqID()
 	start := time.Now()
 	defer func() {
 		c.Reg.Histogram(telemetry.L("boomfs_op_ms", "op", op),
 			"client-observed metadata op latency (ms)", nil).
 			Observe(float64(time.Since(start).Nanoseconds()) / 1e6)
 	}()
+	if len(c.Masters) > 0 {
+		return c.callReplicated(op, path, arg)
+	}
+	id := c.nextReqID()
 	c.Journal.Record(telemetry.Event{Node: c.Addr, Kind: "op", Table: "request",
 		TraceID: id, Detail: op + " " + path})
 	if err := c.tcp.Send(overlog.Envelope{To: c.Master, Tuple: overlog.NewTuple("request",
@@ -240,16 +262,7 @@ func (c *Client) call(op, path, arg string) (*boomfs.Response, error) {
 	}
 	deadline := time.Now().Add(c.Timeout)
 	for time.Now().Before(deadline) {
-		var resp *boomfs.Response
-		c.node.Runtime(func(rt *overlog.Runtime) {
-			tp, ok := rt.Table("resp_log").LookupKey(overlog.NewTuple("resp_log",
-				overlog.Str(id), overlog.Bool(false), overlog.List(), overlog.Str("")))
-			if ok {
-				resp = &boomfs.Response{Ok: tp.Vals[1].AsBool(),
-					Result: tp.Vals[2].AsList(), Err: tp.Vals[3].AsString()}
-			}
-		})
-		if resp != nil {
+		if resp := c.pollResponse(id); resp != nil {
 			return resp, nil
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -314,6 +327,30 @@ func (c *Client) Mv(oldPath, newPath string) error {
 	return err
 }
 
+// AddChunk allocates a new chunk for path, returning its id and the
+// datanode placement chosen by the master.
+func (c *Client) AddChunk(path string) (int64, []string, error) {
+	resp, err := c.callOK("addchunk", path, "")
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(resp.Result) < 2 {
+		return 0, nil, errors.New("rtfs: addchunk returned no locations")
+	}
+	cid := resp.Result[0].AsInt()
+	var locs []string
+	for _, v := range resp.Result[1:] {
+		locs = append(locs, v.AsString())
+	}
+	return cid, locs, nil
+}
+
+// WriteChunk streams one chunk's bytes through the datanode pipeline
+// and waits for every replica's ack.
+func (c *Client) WriteChunk(cid int64, locs []string, data string) error {
+	return c.writeChunk(cid, locs, data)
+}
+
 // WriteFile creates path and streams data through the chunk pipeline.
 func (c *Client) WriteFile(path, data string, chunkSize int) error {
 	if chunkSize <= 0 {
@@ -327,17 +364,9 @@ func (c *Client) WriteFile(path, data string, chunkSize int) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		resp, err := c.callOK("addchunk", path, "")
+		cid, locs, err := c.AddChunk(path)
 		if err != nil {
 			return err
-		}
-		if len(resp.Result) < 2 {
-			return errors.New("rtfs: addchunk returned no locations")
-		}
-		cid := resp.Result[0].AsInt()
-		var locs []string
-		for _, v := range resp.Result[1:] {
-			locs = append(locs, v.AsString())
 		}
 		if err := c.writeChunk(cid, locs, data[off:end]); err != nil {
 			return err

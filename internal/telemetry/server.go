@@ -24,6 +24,11 @@ type Source struct {
 	Registry    *Registry
 	Journal     *Journal
 	WithRuntime func(func(*overlog.Runtime))
+	// Extra mounts additional debug endpoints (path → handler), e.g.
+	// the transport layer's /debug/transport queue/membership snapshot.
+	// Paths collide with the built-ins at the mux's discretion; use
+	// fresh /debug/... paths.
+	Extra map[string]http.HandlerFunc
 }
 
 // Server is a per-node status HTTP server.
@@ -59,6 +64,9 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range src.Extra {
+		mux.HandleFunc(path, h)
+	}
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil

@@ -1,0 +1,607 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/overlog"
+)
+
+// GossipTable is the reserved table name gossip frames travel under.
+// The '$' keeps it out of the Overlog namespace (rules cannot name it),
+// and the transport's read loop intercepts it before runtime delivery —
+// membership is a transport concern, but its frames ride the same
+// bounded queues, batching, and injected faults as data-plane tuples,
+// so a partition that cuts tuples also cuts liveness evidence.
+const GossipTable = "gossip$msg"
+
+// MemberState is a peer's health in the SWIM state machine.
+type MemberState int
+
+const (
+	StateAlive MemberState = iota
+	StateSuspect
+	StateDead
+)
+
+func (s MemberState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// MarshalJSON renders the state as its name — /debug/transport readers
+// shouldn't need the enum table.
+func (s MemberState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// Member is one node's view of a peer: its address (which is also its
+// dial target and Overlog location), its announced role (e.g. "master",
+// "datanode"), its state, and the incarnation number that orders
+// conflicting reports about it.
+type Member struct {
+	Addr        string      `json:"addr"`
+	Role        string      `json:"role"`
+	State       MemberState `json:"state"`
+	Incarnation int64       `json:"incarnation"`
+}
+
+// GossipConfig tunes the SWIM-lite protocol.
+type GossipConfig struct {
+	// Role is announced with this node's membership record.
+	Role string
+	// Seeds are the initial contact points (usually the masters).
+	Seeds []string
+	// SeedRoles optionally maps seed addresses to their roles so the
+	// first view is usable before any exchange completes.
+	SeedRoles map[string]string
+	// ProbeInterval is the failure-detection period: each tick probes
+	// one peer round-robin (default 500ms).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds the wait for a direct ack before falling back
+	// to indirect probes (default ProbeInterval/2).
+	ProbeTimeout time.Duration
+	// SuspectTimeout is how long a suspect may linger before being
+	// declared dead (default 3×ProbeInterval). With indirect probing a
+	// killed node is marked dead within roughly
+	// ProbeInterval + SuspectTimeout — the bounded-detection guarantee
+	// TestGossipDetectsDeadNode asserts.
+	SuspectTimeout time.Duration
+	// IndirectProbes is how many peers relay a ping-req when the direct
+	// ping times out (default 2).
+	IndirectProbes int
+	// OnChange fires (outside the gossip lock) whenever a member's
+	// state or role transitions, including first discovery.
+	OnChange func(Member)
+	// OnTick fires every probe interval with a snapshot of the current
+	// view — the hook the rtfs layer uses to refresh heartbeat
+	// relations from membership.
+	OnTick func([]Member)
+	// Seed seeds probe-target shuffling and incarnation jitter.
+	Seed int64
+}
+
+func (c GossipConfig) withDefaults() GossipConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval / 2
+	}
+	if c.SuspectTimeout <= 0 {
+		c.SuspectTimeout = 3 * c.ProbeInterval
+	}
+	if c.IndirectProbes <= 0 {
+		c.IndirectProbes = 2
+	}
+	return c
+}
+
+// Gossip is a SWIM-lite membership agent: periodic ping, indirect
+// ping-req fallback, suspect→dead with incarnation-numbered refutation.
+// Every message piggybacks the sender's full membership table — at the
+// cluster sizes BOOM targets per gossip domain (tens of nodes) full-
+// state push converges in one round trip and needs no delta bookkeeping.
+type Gossip struct {
+	t   *TCP
+	cfg GossipConfig
+
+	mu          sync.Mutex
+	self        Member
+	members     map[string]*memberEntry
+	acks        map[int64]chan struct{}
+	seq         int64
+	probeOrder  []string
+	probeIdx    int
+	rng         *rand.Rand
+	stopCh      chan struct{}
+	done        chan struct{}
+	transitions int64
+	refutations int64
+}
+
+type memberEntry struct {
+	m            Member
+	suspectSince time.Time
+}
+
+// StartGossip attaches a membership agent to the transport and starts
+// its probe loop. The agent is stopped by Close (or Stop).
+func (t *TCP) StartGossip(cfg GossipConfig) (*Gossip, error) {
+	cfg = cfg.withDefaults()
+	g := &Gossip{
+		t:       t,
+		cfg:     cfg,
+		members: map[string]*memberEntry{},
+		acks:    map[int64]chan struct{}{},
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(len(t.localAddr)))),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	// Incarnations must rise across restarts of the same address so a
+	// revived node's alive record beats the dead record the cluster
+	// still carries; the wall clock is the cheapest monotone-enough
+	// source.
+	g.self = Member{Addr: t.localAddr, Role: cfg.Role, State: StateAlive,
+		Incarnation: time.Now().UnixMilli()}
+	for _, s := range cfg.Seeds {
+		if s == t.localAddr {
+			continue
+		}
+		g.members[s] = &memberEntry{m: Member{Addr: s, Role: cfg.SeedRoles[s], State: StateAlive}}
+	}
+
+	t.mu.Lock()
+	if t.gossip != nil {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: gossip already started on %s", t.localAddr)
+	}
+	t.gossip = g
+	t.mu.Unlock()
+
+	go g.loop()
+	return g, nil
+}
+
+// Gossip returns the transport's membership agent, nil before
+// StartGossip.
+func (t *TCP) Gossip() *Gossip {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.gossip
+}
+
+// Stop terminates the probe loop and waits for it to exit. Idempotent;
+// also called by the transport's Close.
+func (g *Gossip) Stop() {
+	g.mu.Lock()
+	select {
+	case <-g.stopCh:
+	default:
+		close(g.stopCh)
+	}
+	g.mu.Unlock()
+	<-g.done
+}
+
+// Self returns this node's own membership record.
+func (g *Gossip) Self() Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.self
+}
+
+// Members returns the current view (self included), sorted by address.
+func (g *Gossip) Members() []Member {
+	g.mu.Lock()
+	out := make([]Member, 0, len(g.members)+1)
+	out = append(out, g.self)
+	for _, e := range g.members {
+		out = append(out, e.m)
+	}
+	g.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Alive returns the addresses currently believed alive (self included),
+// optionally filtered by role ("" matches every role). Sorted.
+func (g *Gossip) Alive(role string) []string {
+	var out []string
+	for _, m := range g.Members() {
+		if m.State == StateAlive && (role == "" || m.Role == role) {
+			out = append(out, m.Addr)
+		}
+	}
+	return out
+}
+
+// Transitions counts state changes observed (exported as a metric by
+// the rtfs layer).
+func (g *Gossip) Transitions() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.transitions
+}
+
+// --- probe loop ---
+
+func (g *Gossip) loop() {
+	defer close(g.done)
+	ticker := time.NewTicker(g.cfg.ProbeInterval)
+	defer ticker.Stop()
+	tick := 0
+	for {
+		select {
+		case <-g.stopCh:
+			return
+		case <-ticker.C:
+		}
+		tick++
+		g.expireSuspects()
+		target := g.nextProbeTarget()
+		if target != "" {
+			g.probe(target)
+		}
+		// Anti-entropy: every few cycles, probe one dead member. A node
+		// on the far side of a healed partition is alive but believed
+		// dead by everyone — and dead members are excluded from the
+		// regular rotation, so without this nobody would ever speak to
+		// it again. Its ack resurrects it locally; hearing itself
+		// called dead makes it bump its incarnation, which spreads the
+		// refutation cluster-wide.
+		if tick%8 == 0 {
+			if dead := g.pickDead(); dead != "" {
+				g.probe(dead)
+			}
+		}
+		if g.cfg.OnTick != nil {
+			g.cfg.OnTick(g.Members())
+		}
+	}
+}
+
+// pickDead returns a random dead member, or "".
+func (g *Gossip) pickDead() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var dead []string
+	for addr, e := range g.members {
+		if e.m.State == StateDead {
+			dead = append(dead, addr)
+		}
+	}
+	if len(dead) == 0 {
+		return ""
+	}
+	sort.Strings(dead)
+	return dead[g.rng.Intn(len(dead))]
+}
+
+// nextProbeTarget walks a shuffled round-robin over non-dead peers —
+// SWIM's guarantee that every peer is probed within one cycle.
+func (g *Gossip) nextProbeTarget() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for tries := 0; tries < 2; tries++ {
+		for g.probeIdx < len(g.probeOrder) {
+			addr := g.probeOrder[g.probeIdx]
+			g.probeIdx++
+			if e, ok := g.members[addr]; ok && e.m.State != StateDead {
+				return addr
+			}
+		}
+		// Cycle exhausted: reshuffle the live set and start over.
+		g.probeOrder = g.probeOrder[:0]
+		for addr, e := range g.members {
+			if e.m.State != StateDead {
+				g.probeOrder = append(g.probeOrder, addr)
+			}
+		}
+		sort.Strings(g.probeOrder)
+		g.rng.Shuffle(len(g.probeOrder), func(i, j int) {
+			g.probeOrder[i], g.probeOrder[j] = g.probeOrder[j], g.probeOrder[i]
+		})
+		g.probeIdx = 0
+		if len(g.probeOrder) == 0 {
+			return ""
+		}
+	}
+	return ""
+}
+
+// probe runs one SWIM round against target: direct ping, then
+// IndirectProbes ping-reqs through random peers, then suspicion.
+func (g *Gossip) probe(target string) {
+	seq := g.newSeq()
+	ch := make(chan struct{}, 1)
+	g.mu.Lock()
+	g.acks[seq] = ch
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.acks, seq)
+		g.mu.Unlock()
+	}()
+
+	g.sendMsg(target, "ping", target, seq, "")
+	select {
+	case <-ch:
+		g.markAlive(target)
+		return
+	case <-g.stopCh:
+		return
+	case <-time.After(g.cfg.ProbeTimeout):
+	}
+
+	// Direct ping timed out: ask K other peers to probe on our behalf.
+	for _, relay := range g.pickRelays(target) {
+		g.sendMsg(relay, "ping-req", target, seq, "")
+	}
+	select {
+	case <-ch:
+		g.markAlive(target)
+		return
+	case <-g.stopCh:
+		return
+	case <-time.After(g.cfg.ProbeTimeout):
+	}
+	g.markSuspect(target)
+}
+
+// pickRelays chooses up to IndirectProbes alive peers other than target.
+func (g *Gossip) pickRelays(target string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var cands []string
+	for addr, e := range g.members {
+		if addr != target && e.m.State == StateAlive {
+			cands = append(cands, addr)
+		}
+	}
+	sort.Strings(cands)
+	g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	if len(cands) > g.cfg.IndirectProbes {
+		cands = cands[:g.cfg.IndirectProbes]
+	}
+	return cands
+}
+
+func (g *Gossip) newSeq() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	return g.seq
+}
+
+// --- state transitions ---
+
+func (g *Gossip) markAlive(addr string) {
+	g.setState(addr, StateAlive, -1)
+}
+
+// markSuspect only demotes alive members: a failed probe of an
+// already-dead member (the anti-entropy path) is not news.
+func (g *Gossip) markSuspect(addr string) {
+	g.mu.Lock()
+	e, ok := g.members[addr]
+	if !ok || e.m.State != StateAlive {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	g.setState(addr, StateSuspect, -1)
+}
+
+// setState transitions a locally-observed state change (inc < 0 keeps
+// the member's current incarnation) and notifies OnChange.
+func (g *Gossip) setState(addr string, st MemberState, inc int64) {
+	var changed *Member
+	g.mu.Lock()
+	if e, ok := g.members[addr]; ok && e.m.State != st {
+		e.m.State = st
+		if inc >= 0 {
+			e.m.Incarnation = inc
+		}
+		if st == StateSuspect {
+			e.suspectSince = time.Now()
+		}
+		g.transitions++
+		m := e.m
+		changed = &m
+	}
+	g.mu.Unlock()
+	if changed != nil && g.cfg.OnChange != nil {
+		g.cfg.OnChange(*changed)
+	}
+}
+
+// expireSuspects promotes suspects past SuspectTimeout to dead.
+func (g *Gossip) expireSuspects() {
+	var dead []Member
+	now := time.Now()
+	g.mu.Lock()
+	for _, e := range g.members {
+		if e.m.State == StateSuspect && now.Sub(e.suspectSince) >= g.cfg.SuspectTimeout {
+			e.m.State = StateDead
+			g.transitions++
+			dead = append(dead, e.m)
+		}
+	}
+	g.mu.Unlock()
+	if g.cfg.OnChange != nil {
+		for _, m := range dead {
+			g.cfg.OnChange(m)
+		}
+	}
+}
+
+// merge folds one piggybacked member record into the local view using
+// SWIM's precedence: higher incarnation wins; at equal incarnation
+// suspect overrides alive and dead overrides both. Hearing ourselves
+// suspected (or dead) triggers refutation — bump our incarnation past
+// the accusation so the next piggyback reasserts aliveness everywhere.
+func (g *Gossip) merge(m Member) {
+	if m.Addr == g.t.localAddr {
+		g.mu.Lock()
+		if m.State != StateAlive && m.Incarnation >= g.self.Incarnation {
+			g.self.Incarnation = m.Incarnation + 1
+			g.refutations++
+		}
+		g.mu.Unlock()
+		return
+	}
+	var changed *Member
+	g.mu.Lock()
+	e, ok := g.members[m.Addr]
+	if !ok {
+		e = &memberEntry{m: m}
+		if m.State == StateSuspect {
+			e.suspectSince = time.Now()
+		}
+		g.members[m.Addr] = e
+		g.transitions++
+		mm := e.m
+		changed = &mm
+	} else {
+		cur := e.m
+		wins := m.Incarnation > cur.Incarnation ||
+			(m.Incarnation == cur.Incarnation && rank(m.State) > rank(cur.State))
+		if wins && (cur.State != m.State || cur.Incarnation != m.Incarnation || cur.Role != m.Role) {
+			stateChanged := cur.State != m.State
+			e.m.State = m.State
+			e.m.Incarnation = m.Incarnation
+			if m.Role != "" {
+				e.m.Role = m.Role
+			}
+			if m.State == StateSuspect && cur.State != StateSuspect {
+				e.suspectSince = time.Now()
+			}
+			if stateChanged {
+				g.transitions++
+				mm := e.m
+				changed = &mm
+			}
+		}
+	}
+	g.mu.Unlock()
+	if changed != nil && g.cfg.OnChange != nil {
+		g.cfg.OnChange(*changed)
+	}
+}
+
+// rank orders states at equal incarnation: dead > suspect > alive.
+func rank(s MemberState) int {
+	switch s {
+	case StateDead:
+		return 2
+	case StateSuspect:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- wire encoding ---
+//
+// A gossip frame's tuple values are:
+//   [ Str(kind), Addr(from), Addr(target), Int(seq), Addr(origin),
+//     List(member...) ]
+// where each member is List(Addr(addr), Str(role), Int(state), Int(inc)).
+// kind is "ping", "ping-req", or "ack"; origin routes indirect acks
+// back to the original prober.
+
+func (g *Gossip) sendMsg(to, kind, target string, seq int64, origin string) {
+	g.mu.Lock()
+	members := make([]overlog.Value, 0, len(g.members)+1)
+	members = append(members, encodeMember(g.self))
+	for _, e := range g.members {
+		members = append(members, encodeMember(e.m))
+	}
+	g.mu.Unlock()
+	// Deterministic piggyback order keeps frames comparable in tests.
+	sort.Slice(members, func(i, j int) bool {
+		return members[i].AsList()[0].AsString() < members[j].AsList()[0].AsString()
+	})
+	env := overlog.Envelope{To: to, Tuple: overlog.Tuple{
+		Table: GossipTable,
+		Vals: []overlog.Value{
+			overlog.Str(kind), overlog.Addr(g.t.localAddr), overlog.Addr(target),
+			overlog.Int(seq), overlog.Addr(origin), overlog.List(members...),
+		},
+	}}
+	_ = g.t.Send(env) // failures ARE the signal the detector exists for
+}
+
+func encodeMember(m Member) overlog.Value {
+	return overlog.List(overlog.Addr(m.Addr), overlog.Str(m.Role),
+		overlog.Int(int64(m.State)), overlog.Int(m.Incarnation))
+}
+
+func decodeMember(v overlog.Value) (Member, bool) {
+	l := v.AsList()
+	if len(l) != 4 {
+		return Member{}, false
+	}
+	return Member{Addr: l[0].AsString(), Role: l[1].AsString(),
+		State: MemberState(l[2].AsInt()), Incarnation: l[3].AsInt()}, true
+}
+
+// receive handles one gossip frame (called from the transport's read
+// loop; must not block).
+func (g *Gossip) receive(vals []overlog.Value) {
+	if len(vals) != 6 {
+		return
+	}
+	kind := vals[0].AsString()
+	from := vals[1].AsString()
+	target := vals[2].AsString()
+	seq := vals[3].AsInt()
+	origin := vals[4].AsString()
+
+	for _, mv := range vals[5].AsList() {
+		if m, ok := decodeMember(mv); ok {
+			g.merge(m)
+		}
+	}
+	// Any frame from a peer is direct evidence it is alive.
+	if from != "" && from != g.t.localAddr {
+		g.markAlive(from)
+	}
+
+	switch kind {
+	case "ping":
+		// origin set means we are being probed on someone's behalf: the
+		// ack routes back through the relay (from) to the prober.
+		g.sendMsg(from, "ack", g.t.localAddr, seq, origin)
+	case "ping-req":
+		// Probe target for the requester; tag the ping with the
+		// requester's address so the target's ack finds its way back.
+		g.sendMsg(target, "ping", target, seq, from)
+	case "ack":
+		if origin != "" && origin != g.t.localAddr {
+			// We are the relay: forward the ack to the prober.
+			g.sendMsg(origin, "ack", target, seq, "")
+			return
+		}
+		g.mu.Lock()
+		ch := g.acks[seq]
+		g.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	}
+}

@@ -58,6 +58,17 @@ func NewNode(rt *overlog.Runtime, send Sender) *Node {
 	}
 }
 
+// SetEpoch rebases the node's millisecond clock on an external start
+// time (call before Run). The live chaos harness gives every node —
+// including restarted incarnations — the cluster's epoch, so now()
+// advances one shared timeline across crashes, the way the simulator's
+// global clock does; monitor grace windows then span restarts.
+func (n *Node) SetEpoch(start time.Time) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.start = start
+}
+
 // Runtime gives serialized access to the runtime for inspection; fn
 // must not block on the node's own inbox.
 func (n *Node) Runtime(fn func(rt *overlog.Runtime)) {

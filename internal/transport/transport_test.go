@@ -180,11 +180,23 @@ func TestSendErrorSurfaced(t *testing.T) {
 	go node.Run()
 	defer node.Stop()
 
-	node.Deliver(overlog.NewTuple("in", overlog.Int(1)))
-	select {
-	case <-errs:
-	case <-time.After(3 * time.Second):
-		t.Fatal("send error never surfaced")
+	// Send is asynchronous: the first frame enqueues cleanly and only
+	// the writer's dial failure opens the fail-fast window, after which
+	// the next send surfaces an error. Keep feeding frames until then.
+	deadline := time.Now().Add(3 * time.Second)
+	var n int64 = 1
+feed:
+	for {
+		node.Deliver(overlog.NewTuple("in", overlog.Int(n)))
+		n++
+		select {
+		case <-errs:
+			break feed
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("send error never surfaced")
+		}
 	}
 	// The node is still alive afterwards.
 	node.Deliver(overlog.NewTuple("in", overlog.Int(2)))
