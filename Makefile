@@ -13,8 +13,10 @@ test: check
 	$(GO) test ./...
 
 # check: static analysis plus a race pass over the concurrency-heavy
-# packages (telemetry registry/journal, wall-clock transport, trace),
-# plus a short fault-injection sweep (see `chaos` below).
+# packages (telemetry registry/journal, wall-clock transport, trace)
+# and over the parallel-fixpoint worker pool (the only goroutines
+# inside internal/overlog), plus a short fault-injection sweep (see
+# `chaos` below).
 # boomlint runs the Overlog whole-program analyzer over every embedded
 # rule set (and the standalone .olg examples), failing on any
 # error-severity finding. boomvet does the same for the Go runtime
@@ -27,6 +29,7 @@ check:
 	$(GO) run ./cmd/boomlint -severity=error examples/quickstart/quickstart.olg
 	$(GO) test -race ./internal/telemetry ./internal/trace ./internal/transport
 	$(GO) test -race ./internal/chaos/... ./internal/sim ./internal/loadgen ./internal/provenance
+	$(GO) test -race -run Parallel ./internal/overlog
 	$(GO) test -run AllocGuard ./internal/overlog ./internal/sim
 	$(MAKE) chaos
 	$(GO) run ./cmd/boom-evalbench -smoke -out /dev/null

@@ -9,6 +9,7 @@
 //	boom-evalbench -out BENCH_evaluator.json
 //	boom-evalbench -experiments        # also time the boom-bench suite
 //	boom-evalbench -smoke              # 1 iteration per bench (CI gate)
+//	boom-evalbench -workers 1,2,4,8    # sweep the parallel-fixpoint pool
 //
 // The -experiments flag runs the paper-evaluation experiment suite
 // (the same code paths as `boom-bench all -quick`) and records its
@@ -21,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -50,6 +54,10 @@ type Report struct {
 	// per-probe key building) measured on the same workloads, so the
 	// speedup this file documents stays legible without git archaeology.
 	Baseline map[string]BenchResult `json:"baseline,omitempty"`
+	// GoMaxProcs records the CPU budget the run had: the parallel-
+	// fixpoint sweep falls back to serial evaluation when it is 1, so
+	// per-worker-count rows are only meaningful alongside it.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 }
 
 // preOptBaseline: measured before the fingerprint-storage/probe-plan
@@ -69,11 +77,22 @@ func main() {
 	exps := flag.Bool("experiments", false, "also run the quick paper-evaluation suite and record wall time")
 	smoke := flag.Bool("smoke", false, "single-iteration run: checks the benchmarks still execute, numbers not meaningful")
 	benchtime := flag.Duration("benchtime", time.Second, "target time per benchmark")
+	workers := flag.String("workers", "", "comma-separated WithParallelFixpoint pool sizes to sweep on the headline fixpoint (e.g. 1,2,4,8)")
 	flag.Parse()
 
+	benches := evalbench.Suite()
+	if *workers != "" {
+		counts, err := parseWorkers(*workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "boom-evalbench: -workers: %v\n", err)
+			os.Exit(1)
+		}
+		benches = append(benches, evalbench.WorkerSweep(256, counts)...)
+	}
+
 	start := time.Now()
-	rep := Report{Baseline: preOptBaseline}
-	for _, bm := range evalbench.Suite() {
+	rep := Report{Baseline: preOptBaseline, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, bm := range benches {
 		bstart := time.Now()
 		var res BenchResult
 		if *smoke {
@@ -126,6 +145,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// parseWorkers parses the -workers flag: comma-separated pool sizes.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad pool size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // benchFor runs fn under testing.Benchmark with an approximate time

@@ -99,6 +99,53 @@ func TransitiveClosure(b *testing.B, n int) {
 	}
 }
 
+// tcParOnce is tcOnce with a parallel fixpoint pool configured. The
+// runtime applies its own single-CPU fallback (see
+// overlog.WithParallelFixpoint): on one core the pool stays idle and
+// the sweep records the serial path under each worker count, which is
+// exactly what a production embedder setting -workers would get.
+func tcParOnce(facts []overlog.Tuple, workers int) error {
+	rt := overlog.NewRuntime("bench", overlog.WithParallelFixpoint(workers))
+	defer rt.Close()
+	if err := rt.InstallSource(tcProgram); err != nil {
+		return err
+	}
+	if _, err := rt.Step(1, facts); err != nil {
+		return err
+	}
+	if rt.Table("reach").Len() == 0 {
+		return fmt.Errorf("empty closure")
+	}
+	return nil
+}
+
+// TransitiveClosurePar is TransitiveClosure under WithParallelFixpoint.
+func TransitiveClosurePar(b *testing.B, n, workers int) {
+	facts := tcFacts(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tcParOnce(facts, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WorkerSweep returns the headline fixpoint workload at each requested
+// pool size, for boom-evalbench's -workers sweep.
+func WorkerSweep(n int, workerCounts []int) []Bench {
+	var out []Bench
+	for _, w := range workerCounts {
+		w := w
+		out = append(out, Bench{
+			Name: fmt.Sprintf("FixpointTransitiveClosure/n=%d/workers=%d", n, w),
+			Fn:   func(b *testing.B) { TransitiveClosurePar(b, n, w) },
+			Once: func() error { return tcParOnce(tcFacts(n), w) },
+		})
+	}
+	return out
+}
+
 // multiJoinProgram exercises a 4-atom join pipeline where every
 // non-frontier atom is reached through a secondary-index probe.
 const multiJoinProgram = `
@@ -237,24 +284,42 @@ func SteadyStateProbe(b *testing.B) {
 	}
 }
 
-func insertLookupOnce() error {
-	decl := &overlog.TableDecl{Name: "t", Cols: []overlog.ColDecl{
+// insertLookupDecl/insertLookupFacts are built once at package init:
+// the benchmark measures storage behaviour (bulk ingest + keyed
+// probes), not tuple construction. Reusing the facts across
+// iterations is safe because normalize is idempotent and InsertBatch
+// copies values into its own backing.
+var (
+	insertLookupDecl = &overlog.TableDecl{Name: "t", Cols: []overlog.ColDecl{
 		{Name: "A", Type: overlog.KindInt},
 		{Name: "B", Type: overlog.KindString},
 	}, KeyCols: []int{0}}
-	vals := make([]overlog.Value, 256)
-	for i := range vals {
-		vals[i] = overlog.Int(int64(i))
-	}
-	tbl := overlog.NewTable(decl)
-	for j := 0; j < 256; j++ {
-		if _, _, err := tbl.Insert(overlog.NewTuple("t", vals[j], overlog.Str("payload"))); err != nil {
-			return err
+	insertLookupKeyCols = []int{0}
+	insertLookupFacts   = func() []overlog.Tuple {
+		facts := make([]overlog.Tuple, 256)
+		for i := range facts {
+			facts[i] = overlog.NewTuple("t", overlog.Int(int64(i)), overlog.Str("payload"))
 		}
+		return facts
+	}()
+)
+
+func insertLookupOnce() error {
+	tbl := overlog.NewTable(insertLookupDecl)
+	n, err := tbl.InsertBatch(insertLookupFacts)
+	if err != nil {
+		return err
+	}
+	if n != 256 {
+		return fmt.Errorf("inserted: %d", n)
 	}
 	hits := 0
+	var dst []overlog.Tuple
+	var key [1]overlog.Value
 	for j := 0; j < 256; j++ {
-		hits += len(tbl.Match([]int{0}, vals[j:j+1]))
+		key[0] = insertLookupFacts[j].Vals[0]
+		dst = tbl.MatchInto(dst[:0], insertLookupKeyCols, key[:])
+		hits += len(dst)
 	}
 	if hits != 256 {
 		return fmt.Errorf("hits: %d", hits)

@@ -26,6 +26,22 @@ package govet
 //     by the scoped internal/chaos package, which is where replayable
 //     logic (schedule derivation, shrinking, JSON interchange) must
 //     stay.
+//
+// One deliberate inclusion that now contains goroutines:
+//
+//   - repro/internal/overlog stays scoped even though the parallel
+//     fixpoint (parallel.go) spawns a worker pool. The pool is the one
+//     sanctioned concurrency site in the package and it is constructed
+//     to be replay-invisible: the frontier is hash-partitioned by join
+//     fingerprint (a pure function of the data), workers write only to
+//     per-worker scratch, and the merge back into storage is serial
+//     and ordered by (rule ord, worker id, intra-worker order) — so
+//     the derived state, the watch stream, and the profile counters
+//     are bit-identical to the serial schedule regardless of how the
+//     kernel interleaves the workers. Each `go` statement there
+//     carries //boomvet:allow(gospawn) restating this argument; any
+//     NEW goroutine in the package must either route through that pool
+//     or make the same determinism argument in its own waiver.
 var DeterministicPackages = map[string]bool{
 	"repro/internal/sim":              true,
 	"repro/internal/overlog":          true,

@@ -106,6 +106,106 @@ func TestProvenanceDisabledAllocGuard(t *testing.T) {
 	}
 }
 
+// TestBatchInsertLookupAllocGuard pins the bulk-ingest path that
+// evalbench's TableInsertLookup measures: 256 keyed inserts through
+// InsertBatch plus 256 index probes against a fresh table. Shared
+// value/chain backing, the pre-sized rows map, and the two-pass index
+// build keep this to a few dozen allocations; the budget catches a
+// regression back to per-tuple cloning or per-bucket index growth
+// (which shows up as >1000).
+func TestBatchInsertLookupAllocGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation changes allocation counts")
+	}
+	decl := &TableDecl{Name: "t", Cols: []ColDecl{
+		{Name: "A", Type: KindInt},
+		{Name: "B", Type: KindString},
+	}, KeyCols: []int{0}}
+	facts := make([]Tuple, 256)
+	for i := range facts {
+		facts[i] = NewTuple("t", Int(int64(i)), Str("payload"))
+	}
+	keyCols := []int{0}
+	var dst []Tuple
+	var key [1]Value
+	avg := testing.AllocsPerRun(20, func() {
+		tbl := NewTable(decl)
+		n, err := tbl.InsertBatch(facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 256 {
+			t.Fatalf("inserted %d", n)
+		}
+		hits := 0
+		for j := range facts {
+			key[0] = facts[j].Vals[0]
+			dst = tbl.MatchInto(dst[:0], keyCols, key[:])
+			hits += len(dst)
+		}
+		if hits != 256 {
+			t.Fatalf("hits %d", hits)
+		}
+	})
+	const budget = 100
+	if avg > budget {
+		t.Fatalf("batch insert+lookup allocates %.1f/run, budget %d — bulk ingest lost its shared backing or the index build regressed to per-bucket growth", avg, budget)
+	}
+}
+
+// TestInsertBatchSemantics checks InsertBatch against Insert on the
+// tricky rows: exact duplicates (skipped), key replacement (counted,
+// old row evicted from indexes), and post-batch deletion (removeRow's
+// in-place compaction must stay confined to carved buckets).
+func TestInsertBatchSemantics(t *testing.T) {
+	decl := &TableDecl{Name: "t", Cols: []ColDecl{
+		{Name: "A", Type: KindInt},
+		{Name: "B", Type: KindString},
+	}, KeyCols: []int{0}}
+	tbl := NewTable(decl)
+	batch := []Tuple{
+		NewTuple("t", Int(1), Str("a")),
+		NewTuple("t", Int(2), Str("b")),
+		NewTuple("t", Int(1), Str("a")),  // exact dup: skipped
+		NewTuple("t", Int(2), Str("b2")), // key replace: counted
+		NewTuple("t", Int(3), Str("c")),
+	}
+	n, err := tbl.InsertBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("mutated %d, want 4 (3 inserts + 1 replace)", n)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("len %d, want 3", tbl.Len())
+	}
+	if got := tbl.Match([]int{0}, []Value{Int(2)}); len(got) != 1 || got[0].Vals[1].AsString() != "b2" {
+		t.Fatalf("replacement not visible through index: %v", got)
+	}
+	// Mirror runs through Insert must agree on full contents.
+	mirror := NewTable(decl)
+	for _, tp := range batch {
+		if _, _, err := mirror.Insert(tp.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a, b := tbl.Dump(), mirror.Dump(); a != b {
+		t.Fatalf("batch vs serial contents diverged:\n%s\nvs\n%s", a, b)
+	}
+	// Deleting and re-inserting exercises bucket compaction on the
+	// carved chain slices.
+	if ok, err := tbl.Delete(NewTuple("t", Int(1), Str("a"))); err != nil || !ok {
+		t.Fatalf("delete: %v %v", ok, err)
+	}
+	if _, err := tbl.InsertBatch([]Tuple{NewTuple("t", Int(4), Str("d"))}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 || !tbl.Contains(NewTuple("t", Int(4), Str("d"))) || tbl.Contains(NewTuple("t", Int(1), Str("a"))) {
+		t.Fatalf("post-delete batch state wrong: %s", tbl.Dump())
+	}
+}
+
 // TestDuplicateInsertAllocGuard pins the cheapest storage path: an
 // insert that is already present must reject without cloning.
 func TestDuplicateInsertAllocGuard(t *testing.T) {

@@ -27,6 +27,11 @@ type Builtin struct {
 	Fn      func(env EvalEnv, args []Value) (Value, error)
 	Doc     string
 	Ret     Kind // static return kind; KindNil when it depends on the arguments
+	// Impure marks builtins whose value depends on mutable runtime state
+	// (ID counters, the seeded RNG): calls must happen in serial
+	// evaluation order, so rules using them never run on the parallel
+	// fixpoint workers. Step-constant reads (now, localaddr) stay pure.
+	Impure bool
 }
 
 var builtins = map[string]*Builtin{}
@@ -329,12 +334,12 @@ func init() {
 		Fn: func(env EvalEnv, _ []Value) (Value, error) {
 			return Addr(env.LocalAddr()), nil
 		}})
-	registerBuiltin(&Builtin{Name: "unique", MinArgs: 0, MaxArgs: 0,
+	registerBuiltin(&Builtin{Name: "unique", Impure: true, MinArgs: 0, MaxArgs: 0,
 		Doc: "unique() returns a node-unique identifier string",
 		Fn: func(env EvalEnv, _ []Value) (Value, error) {
 			return Str(fmt.Sprintf("%s#%d", env.LocalAddr(), env.NextID())), nil
 		}})
-	registerBuiltin(&Builtin{Name: "nextid", MinArgs: 0, MaxArgs: 0,
+	registerBuiltin(&Builtin{Name: "nextid", Impure: true, MinArgs: 0, MaxArgs: 0,
 		Doc: "nextid() returns a node-unique monotonically increasing int",
 		Fn: func(env EvalEnv, _ []Value) (Value, error) {
 			return Int(env.NextID()), nil
@@ -383,7 +388,7 @@ func init() {
 			sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 			return List(out...), nil
 		}})
-	registerBuiltin(&Builtin{Name: "random", MinArgs: 1, MaxArgs: 1,
+	registerBuiltin(&Builtin{Name: "random", Impure: true, MinArgs: 1, MaxArgs: 1,
 		Doc: "random(n) returns a deterministic pseudo-random int in [0, n)",
 		Fn: func(env EvalEnv, args []Value) (Value, error) {
 			n := args[0].AsInt()

@@ -23,7 +23,7 @@ func (v Value) appendBinary(b []byte) ([]byte, error) {
 		b = append(b, tmp[:]...)
 	case KindFloat:
 		var tmp [8]byte
-		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v.f))
+		binary.BigEndian.PutUint64(tmp[:], v.fbits())
 		b = append(b, tmp[:]...)
 	case KindString, KindAddr:
 		var tmp [4]byte
@@ -32,9 +32,10 @@ func (v Value) appendBinary(b []byte) ([]byte, error) {
 		b = append(b, v.s...)
 	case KindList:
 		var tmp [4]byte
-		binary.BigEndian.PutUint32(tmp[:], uint32(len(v.list)))
+		l := v.lst()
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(l)))
 		b = append(b, tmp[:]...)
-		for _, e := range v.list {
+		for _, e := range l {
 			var err error
 			b, err = e.appendBinary(b)
 			if err != nil {

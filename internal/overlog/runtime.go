@@ -3,6 +3,7 @@ package overlog
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -72,8 +73,16 @@ type Runtime struct {
 
 	// Per-step evaluation state.
 	stepDeltas map[string][]Tuple // all tuples newly inserted this step, per table
-	outbox     []Envelope
-	pendDel    []Tuple
+	// deltaFree recycles each table's delta backing across steps: the
+	// end-of-step clear parks the slice here (len 0), and the first
+	// insert for that table next step regrows into it instead of
+	// re-allocating the whole doubling ladder. Safe because nothing
+	// retains a previous step's delta headers past the step — frontier
+	// windows are local to runStratum, and the tuples' value storage is
+	// table-owned, not delta-owned.
+	deltaFree map[string][]Tuple
+	outbox    []Envelope
+	pendDel   []Tuple
 	// deferredIns holds `next`-rule heads awaiting the following step.
 	deferredIns []Tuple
 	// dirty marks tables that lost tuples (deletion or key replacement)
@@ -117,6 +126,18 @@ type Runtime struct {
 
 	stepHook func(StepStats)
 	wakeHook func()
+
+	// Parallel fixpoint state (see parallel.go): configured worker
+	// count, the lazily created pool, the dispatch threshold, and
+	// reusable partition scratch.
+	parWorkers     int
+	parMinFrontier int
+	parForce       bool // dispatch even on a single-CPU process
+	parCPUs        int  // GOMAXPROCS snapshot from construction
+	pool           *fixpool
+	parFPs         []uint64
+	parOwner       []uint8
+	parCallBuf     parCall
 }
 
 // StepStats summarizes one completed timestep for instrumentation.
@@ -180,13 +201,16 @@ func WithNaiveEval() Option {
 // NewRuntime creates an empty runtime for a node with the given address.
 func NewRuntime(addr string, opts ...Option) *Runtime {
 	r := &Runtime{
-		addr:          addr,
-		cat:           newCatalog(),
-		tables:        make(map[string]*Table),
-		stepDeltas:    make(map[string][]Tuple),
-		dirty:         make(map[string]bool),
-		nextDirty:     make(map[string]bool),
-		maxIterations: 1 << 20,
+		addr:           addr,
+		cat:            newCatalog(),
+		tables:         make(map[string]*Table),
+		stepDeltas:     make(map[string][]Tuple),
+		deltaFree:      make(map[string][]Tuple),
+		dirty:          make(map[string]bool),
+		nextDirty:      make(map[string]bool),
+		maxIterations:  1 << 20,
+		parMinFrontier: defaultParMinFrontier,
+		parCPUs:        runtime.GOMAXPROCS(0),
 	}
 	r.rng = rand.New(rand.NewSource(int64(hashValue(Str(addr)))))
 	for _, o := range opts {
@@ -372,6 +396,12 @@ func (r *Runtime) Install(prog *Program) error {
 			return err
 		}
 		cr.finalizeDelta()
+		cr.initParallel()
+		for _, v := range cr.deltaVariants {
+			if v != nil && v != cr {
+				v.initParallel()
+			}
+		}
 		r.cat.rules = append(r.cat.rules, cr)
 	}
 	r.cat.programs = append(r.cat.programs, progName(prog))
@@ -572,8 +602,12 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	r.stepCount++
 	// Clear this step's deltas first: fire-stat rows recorded below go
 	// through insertLocal so they seed the NEXT step's frontier (rules
-	// reading sys::fire see updates one step later).
-	r.stepDeltas = make(map[string][]Tuple)
+	// reading sys::fire see updates one step later). The backings are
+	// parked in deltaFree for reuse, not dropped (see the field doc).
+	for t, d := range r.stepDeltas {
+		r.deltaFree[t] = d[:0]
+		delete(r.stepDeltas, t)
+	}
 	if err := r.maintainFireStats(); err != nil {
 		return nil, err
 	}
@@ -640,13 +674,35 @@ func (r *Runtime) insertLocal(tp Tuple, viaRule string) (bool, error) {
 		return false, nil
 	}
 	r.insertCt++
-	r.stepDeltas[tp.Table] = append(r.stepDeltas[tp.Table], norm)
+	dl, ok := r.stepDeltas[tp.Table]
+	if !ok {
+		dl = r.deltaFree[tp.Table]
+	}
+	if len(dl) == cap(dl) {
+		// Doubling growth with a generous floor: append's taper to ~1.25x
+		// for large slices makes a fixpoint's delta list reallocate (and
+		// GC-scan the garbage) often enough to show up in profiles.
+		newCap := cap(dl) * 2
+		if newCap < 256 {
+			newCap = 256
+		}
+		grown := make([]Tuple, len(dl), newCap)
+		copy(grown, dl)
+		dl = grown
+	}
+	r.stepDeltas[tp.Table] = append(dl, norm)
 	if displaced != nil {
 		r.retractCt++
 		r.nextDirty[tp.Table] = true
-		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: viaRule, Tuple: *displaced})
+		if len(r.watchers) > 0 {
+			r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: false, Rule: viaRule, Tuple: *displaced})
+		}
 	}
-	r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Rule: viaRule, Tuple: norm})
+	// Constructing the WatchEvent costs a 90-byte struct copy per
+	// insert, so skip it entirely on unwatched runs.
+	if len(r.watchers) > 0 {
+		r.emitWatch(WatchEvent{Node: r.addr, Time: r.now, Insert: true, Rule: viaRule, Tuple: norm})
+	}
 	return true, nil
 }
 
@@ -839,6 +895,11 @@ func (r *Runtime) evalRuleFull(cr *compiledRule) error {
 	r.armProv(cr)
 	env := cr.envBuf
 	if cr.isAgg {
+		if r.parOn() && !r.provOn && cr.parOK {
+			if handled, err := r.evalAggPar(cr); handled {
+				return err
+			}
+		}
 		agg := newAggCollector(cr, r)
 		if err := r.execOps(cr, 0, -1, nil, env, agg.collect); err != nil {
 			return err
@@ -883,6 +944,15 @@ func (r *Runtime) evalRuleDelta(cr *compiledRule, deltaPos int, frontier []Tuple
 			pos = run.scanPositions[0]
 		}
 	}
+	// Parallel path: the frontier scan must lead the body (pos 0) so
+	// per-ordinal evaluation preserves serial emission order; see
+	// parallel.go. A worker-side error falls through to the serial
+	// path, which re-runs the untouched call exactly.
+	if pos == 0 && r.parReady(run, len(frontier)) {
+		if handled, err := r.evalRuleDeltaPar(run, frontier); handled {
+			return err
+		}
+	}
 	return r.execOps(run, 0, pos, frontier, run.envBuf, func(env []Value) error {
 		return r.emitHead(run, env)
 	})
@@ -921,7 +991,10 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 		if err != nil {
 			return err
 		}
-		op.candBuf = r.tables[op.table].MatchInto(op.candBuf[:0], op.boundCols, vals)
+		if t := r.tables[op.table]; !op.memoHit(t, vals) {
+			op.candBuf = t.MatchInto(op.candBuf[:0], op.boundCols, vals)
+			op.memoStore(t, vals)
+		}
 		for _, cand := range op.candBuf {
 			if r.passesFilters(op, cand, env) {
 				return nil // a matching tuple exists; notin fails
@@ -938,7 +1011,10 @@ func (r *Runtime) execOps(cr *compiledRule, opIdx, deltaPos int, frontier []Tupl
 		if opIdx == deltaPos {
 			candidates = frontier
 		} else {
-			op.candBuf = r.tables[op.table].MatchInto(op.candBuf[:0], op.boundCols, vals)
+			if t := r.tables[op.table]; !op.memoHit(t, vals) {
+				op.candBuf = t.MatchInto(op.candBuf[:0], op.boundCols, vals)
+				op.memoStore(t, vals)
+			}
 			candidates = op.candBuf
 		}
 		for _, cand := range candidates {
@@ -1130,6 +1206,7 @@ type aggCollector struct {
 	// Scratch buffers: group columns evaluate and encode here first, so
 	// bindings that land in an existing group allocate nothing.
 	valBuf []Value
+	aggBuf []Value
 	keyBuf []byte
 }
 
@@ -1137,7 +1214,10 @@ func newAggCollector(cr *compiledRule, rt *Runtime) *aggCollector {
 	return &aggCollector{cr: cr, rt: rt, groups: make(map[string]*aggGroup)}
 }
 
-// collect records one body binding into its group.
+// collect records one body binding into its group: evaluate the group
+// columns and gather the aggregated slot values, then accumulate via
+// collectRow (shared with the parallel merge, which replays rows the
+// workers recorded — see parallel.go).
 func (a *aggCollector) collect(env []Value) error {
 	cr := a.cr
 	// Group key = evaluated non-aggregate head columns.
@@ -1152,15 +1232,35 @@ func (a *aggCollector) collect(env []Value) error {
 		}
 		a.valBuf = append(a.valBuf, v)
 	}
+	if a.aggBuf == nil {
+		a.aggBuf = make([]Value, len(cr.head.aggs))
+	}
+	for i, spec := range cr.head.aggs {
+		if spec.slot < 0 {
+			a.aggBuf[i] = NilValue // count<_>
+		} else {
+			a.aggBuf[i] = env[spec.slot]
+		}
+	}
+	return a.collectRow(a.valBuf, a.aggBuf)
+}
+
+// collectRow accumulates one pre-evaluated binding row: groupVals are
+// the group columns in head order, aggVals one value per aggregate
+// spec (ignored for count<_>). Accumulation order across rows decides
+// float-sum results and group emission order, so callers must present
+// rows in serial binding order.
+func (a *aggCollector) collectRow(groupVals, aggVals []Value) error {
+	cr := a.cr
 	a.keyBuf = a.keyBuf[:0]
-	for _, v := range a.valBuf {
+	for _, v := range groupVals {
 		a.keyBuf = v.encode(a.keyBuf)
 	}
 	g, ok := a.groups[string(a.keyBuf)] // no alloc: map-index conversion
 	if !ok {
-		groupVals := append([]Value(nil), a.valBuf...)
+		gv := append([]Value(nil), groupVals...)
 		key := string(a.keyBuf)
-		g = &aggGroup{groupVals: groupVals, accs: make([]accumulator, len(cr.head.aggs))}
+		g = &aggGroup{groupVals: gv, accs: make([]accumulator, len(cr.head.aggs))}
 		a.groups[key] = g
 		a.order = append(a.order, key)
 	}
@@ -1170,7 +1270,7 @@ func (a *aggCollector) collect(env []Value) error {
 		if spec.slot < 0 {
 			continue // count<_>
 		}
-		v := env[spec.slot]
+		v := aggVals[i]
 		switch spec.kind {
 		case AggSum, AggAvg:
 			if v.Kind() == KindFloat {

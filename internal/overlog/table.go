@@ -23,8 +23,8 @@ type Table struct {
 	decl *TableDecl
 	keys []int // effective key columns (all columns when unspecified)
 
-	rows map[uint64][]Tuple // key fingerprint -> rows (collision chain)
-	n    int                // live tuple count
+	rows fpMap // key fingerprint -> rows (collision chain)
+	n    int   // live tuple count
 
 	// indexes maps an integer-encoded column-set signature to a
 	// secondary index; ixAll additionally lists every index (including
@@ -33,6 +33,18 @@ type Table struct {
 	indexes    map[uint64]*index
 	ixOverflow []*index
 	ixAll      []*index
+
+	// pending holds rows stored since the last index synchronization.
+	// Index maintenance is lazy: inserts append here (one cheap append,
+	// no per-index hashing) and syncIndexes drains the backlog the next
+	// time any index is consulted or modified. Tables that are written
+	// in bursts and probed rarely — e.g. the derived table of a
+	// transitive closure, whose own index is only probed while the base
+	// relation's delta is non-empty — never pay per-insert index upkeep
+	// for rows whose index entry is never read. Entries are the stored
+	// rows' value slices (the table name is implied), and growth doubles
+	// so an insert-heavy fixpoint's backlog reallocates O(log n) times.
+	pending [][]Value
 
 	// generation increments on every mutation; used to invalidate the
 	// sorted-scan cache and by iterators that must detect concurrent
@@ -44,11 +56,25 @@ type Table struct {
 	sorted    []Tuple
 	sortedGen uint64
 	sortedOK  bool
+
+	// arena backs stored tuples' value slices in shared chunks, so an
+	// insert-heavy fixpoint allocates once per arenaChunk values instead
+	// of once per stored tuple. chain does the same for the singleton
+	// row buckets the rows map holds (almost every key fingerprint maps
+	// to exactly one row). Deleted and replaced rows leave their slots
+	// dead until the chunk itself is unreachable — acceptable for the
+	// grow-mostly tables fixpoints produce; Clear drops both arenas
+	// with the rows.
+	arena []Value
+	chain []Tuple
 }
+
+// arenaChunk is the stored-tuple arena's chunk size in values.
+const arenaChunk = 512
 
 type index struct {
 	cols    []int
-	buckets map[uint64][]Tuple // fingerprint of col values -> rows
+	buckets fpMap // fingerprint of col values -> rows
 }
 
 // indexSig packs a column list into a 64-bit signature: 8 bits per
@@ -102,7 +128,6 @@ func NewTable(decl *TableDecl) *Table {
 	return &Table{
 		decl:    decl,
 		keys:    keys,
-		rows:    make(map[uint64][]Tuple),
 		indexes: make(map[uint64]*index),
 	}
 }
@@ -183,6 +208,40 @@ func (t *Table) findRow(bucket []Tuple, tp Tuple) int {
 // the evaluator's reusable) value slice.
 func cloneTuple(tp Tuple) Tuple { return tp.Clone() }
 
+// ownTuple is cloneTuple for tuples this table stores: the copy's
+// values are carved from the table arena (capacity-clipped, so later
+// slice growth can never bleed into a neighbouring row).
+func (t *Table) ownTuple(tp Tuple) Tuple {
+	n := len(tp.Vals)
+	if n == 0 {
+		return Tuple{Table: tp.Table}
+	}
+	if cap(t.arena)-len(t.arena) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		t.arena = make([]Value, 0, size)
+	}
+	a := len(t.arena)
+	t.arena = append(t.arena, tp.Vals...)
+	return Tuple{Table: tp.Table, Vals: t.arena[a : a+n : a+n]}
+}
+
+// ownChain carves a capacity-clipped singleton bucket for a new key
+// fingerprint out of the shared chain arena; a fingerprint collision
+// later appends past the clipped capacity and reallocates, leaving
+// the carve dead.
+func (t *Table) ownChain(stored Tuple) []Tuple {
+	if cap(t.chain)-len(t.chain) < 1 {
+		t.chain = make([]Tuple, 0, arenaChunk/2)
+	}
+	a := len(t.chain)
+	//boomvet:allow(ownership) stored is the storage-owned clone made by insertChecked
+	t.chain = append(t.chain, stored)
+	return t.chain[a : a+1 : a+1]
+}
+
 // Insert adds the tuple. The returns are (inserted, displaced):
 // inserted is false when an identical tuple was already stored;
 // displaced holds a tuple evicted by primary-key replacement. The
@@ -200,27 +259,98 @@ func (t *Table) insertChecked(tp Tuple) (bool, *Tuple, Tuple, error) {
 	}
 	tp = t.normalize(tp)
 	fp := tp.hashCols(t.keys)
-	bucket := t.rows[fp]
+	s := t.rows.slot(fp)
+	bucket := s.b
 	if i := t.findRow(bucket, tp); i >= 0 {
 		old := bucket[i]
 		if old.Equal(tp) {
 			return false, nil, old, nil
 		}
 		// Same key, different non-key columns: replace.
-		stored := cloneTuple(tp)
+		stored := t.ownTuple(tp)
 		t.removeFromIndexes(old)
 		bucket[i] = stored
-		t.addToIndexes(stored)
+		t.deferIndexAdd(stored)
 		t.generation++
 		displaced := old
 		return true, &displaced, stored, nil
 	}
-	stored := cloneTuple(tp)
-	t.rows[fp] = append(bucket, stored)
+	stored := t.ownTuple(tp)
+	if len(bucket) == 0 {
+		s.fp = fp
+		s.b = t.ownChain(stored)
+		t.rows.added()
+	} else {
+		s.b = append(bucket, stored)
+	}
 	t.n++
-	t.addToIndexes(stored)
+	t.deferIndexAdd(stored)
 	t.generation++
 	return true, nil, stored, nil
+}
+
+// InsertBatch bulk-inserts tuples, returning how many mutated the
+// table (new rows plus key replacements; exact duplicates are
+// skipped). Semantics per tuple are identical to Insert, but the
+// allocations are batched: the rows map is pre-sized, every stored
+// copy's values share one backing array, and each new hash bucket is
+// carved from one shared chain array instead of allocating its own
+// singleton slice. Displaced tuples from key replacement are
+// discarded; callers that need them use Insert.
+//
+// The carves are capacity-clipped (backing[a:b:b]), so a later append
+// to a bucket reallocates instead of clobbering its neighbour, and
+// removeRow's in-place compaction stays confined to the bucket.
+func (t *Table) InsertBatch(tps []Tuple) (int, error) {
+	if len(tps) == 0 {
+		return 0, nil
+	}
+	t.rows.reserve(len(tps))
+	width := len(t.decl.Cols)
+	valBacking := make([]Value, 0, width*len(tps))
+	chain := make([]Tuple, len(tps))
+	ci := 0
+	mutated := 0
+	for _, tp := range tps {
+		if err := t.checkTuple(tp); err != nil {
+			if mutated > 0 {
+				t.generation++
+			}
+			return mutated, err
+		}
+		tp = t.normalize(tp)
+		a := len(valBacking)
+		valBacking = append(valBacking, tp.Vals...)
+		stored := Tuple{Table: tp.Table, Vals: valBacking[a : a+width : a+width]}
+		fp := stored.hashCols(t.keys)
+		bucket := t.rows.get(fp)
+		if i := t.findRow(bucket, stored); i >= 0 {
+			old := bucket[i]
+			if old.Equal(stored) {
+				valBacking = valBacking[:a]
+				continue
+			}
+			t.removeFromIndexes(old)
+			bucket[i] = stored
+			t.deferIndexAdd(stored)
+			mutated++
+			continue
+		}
+		if len(bucket) == 0 {
+			chain[ci] = stored
+			t.rows.put(fp, chain[ci:ci+1:ci+1])
+			ci++
+		} else {
+			t.rows.put(fp, append(bucket, stored))
+		}
+		t.n++
+		t.deferIndexAdd(stored)
+		mutated++
+	}
+	if mutated > 0 {
+		t.generation++
+	}
+	return mutated, nil
 }
 
 // Delete removes the stored tuple matching tp's key columns if the full
@@ -231,7 +361,7 @@ func (t *Table) Delete(tp Tuple) (bool, error) {
 	}
 	tp = t.normalize(tp)
 	fp := tp.hashCols(t.keys)
-	bucket := t.rows[fp]
+	bucket := t.rows.get(fp)
 	i := t.findRow(bucket, tp)
 	if i < 0 || !bucket[i].Equal(tp) {
 		return false, nil
@@ -251,11 +381,12 @@ func (t *Table) DeleteByKey(tp Tuple) (*Tuple, error) {
 	}
 	tp = t.normalize(tp)
 	fp := tp.hashCols(t.keys)
-	i := t.findRow(t.rows[fp], tp)
+	bucket := t.rows.get(fp)
+	i := t.findRow(bucket, tp)
 	if i < 0 {
 		return nil, nil
 	}
-	old := t.rows[fp][i]
+	old := bucket[i]
 	t.removeRow(fp, i)
 	t.removeFromIndexes(old)
 	t.generation++
@@ -264,14 +395,14 @@ func (t *Table) DeleteByKey(tp Tuple) (*Tuple, error) {
 
 // removeRow deletes chain position i of the fp bucket.
 func (t *Table) removeRow(fp uint64, i int) {
-	bucket := t.rows[fp]
+	bucket := t.rows.get(fp)
 	last := len(bucket) - 1
 	bucket[i] = bucket[last]
 	bucket[last] = Tuple{}
 	if last == 0 {
-		delete(t.rows, fp)
+		t.rows.del(fp)
 	} else {
-		t.rows[fp] = bucket[:last]
+		t.rows.put(fp, bucket[:last])
 	}
 	t.n--
 }
@@ -282,7 +413,7 @@ func (t *Table) Contains(tp Tuple) bool {
 		return false
 	}
 	tp = t.normalize(tp)
-	bucket := t.rows[tp.hashCols(t.keys)]
+	bucket := t.rows.get(tp.hashCols(t.keys))
 	i := t.findRow(bucket, tp)
 	return i >= 0 && bucket[i].Equal(tp)
 }
@@ -297,7 +428,7 @@ func (t *Table) LookupKey(tp Tuple) (Tuple, bool) {
 		return Tuple{}, false
 	}
 	tp = t.normalize(tp)
-	bucket := t.rows[tp.hashCols(t.keys)]
+	bucket := t.rows.get(tp.hashCols(t.keys))
 	if i := t.findRow(bucket, tp); i >= 0 {
 		return bucket[i], true
 	}
@@ -306,8 +437,8 @@ func (t *Table) LookupKey(tp Tuple) (Tuple, bool) {
 
 // Scan calls fn for every stored tuple; fn must not mutate the table.
 func (t *Table) Scan(fn func(Tuple) bool) {
-	for _, bucket := range t.rows {
-		for _, tp := range bucket {
+	for i := range t.rows.slots {
+		for _, tp := range t.rows.slots[i].b {
 			if !fn(tp) {
 				return
 			}
@@ -327,8 +458,8 @@ func (t *Table) sortedTuples() []Tuple {
 	if cap(out) < t.n {
 		out = make([]Tuple, 0, t.n)
 	}
-	for _, bucket := range t.rows {
-		out = append(out, bucket...)
+	for i := range t.rows.slots {
+		out = append(out, t.rows.slots[i].b...)
 	}
 	SortTuples(out)
 	t.sorted = out
@@ -347,13 +478,16 @@ func (t *Table) Clear() {
 	if t.n == 0 {
 		return
 	}
-	t.rows = make(map[uint64][]Tuple)
+	t.rows.clear()
 	t.n = 0
 	for _, ix := range t.ixAll {
-		ix.buckets = make(map[uint64][]Tuple)
+		ix.buckets.clear()
 	}
 	t.sorted = nil
 	t.sortedOK = false
+	t.arena = nil
+	t.chain = nil
+	t.pending = nil
 	t.generation++
 }
 
@@ -372,7 +506,7 @@ func (t *Table) MatchInto(dst []Tuple, cols []int, vals []Value) []Tuple {
 		return append(dst, t.sortedTuples()...)
 	}
 	ix := t.ensureIndex(cols)
-	for _, tp := range ix.buckets[hashVals(vals)] {
+	for _, tp := range ix.buckets.get(hashVals(vals)) {
 		match := true
 		for i, c := range cols {
 			if !tp.Vals[c].keyEqual(vals[i]) {
@@ -388,6 +522,9 @@ func (t *Table) MatchInto(dst []Tuple, cols []int, vals []Value) []Tuple {
 }
 
 func (t *Table) ensureIndex(cols []int) *index {
+	if len(t.pending) > 0 {
+		t.syncIndexes()
+	}
 	sig := indexSig(cols)
 	if ix, ok := t.indexes[sig]; ok {
 		if colsEqual(ix.cols, cols) {
@@ -401,12 +538,37 @@ func (t *Table) ensureIndex(cols []int) *index {
 	}
 	// Pre-size buckets for the current population: secondary keys are
 	// usually near-unique, so one bucket per row is the right guess.
-	ix := &index{cols: append([]int(nil), cols...), buckets: make(map[uint64][]Tuple, t.n)}
-	// Build from the sorted scan, not the rows map: within-bucket order
-	// decides probe candidate order, so it must not vary run to run.
-	for _, tp := range t.sortedTuples() {
-		fp := tp.hashCols(ix.cols)
-		ix.buckets[fp] = append(ix.buckets[fp], tp)
+	ix := &index{cols: append([]int(nil), cols...)}
+	ix.buckets.reserve(t.n)
+	// Two-pass build from the sorted scan (not the rows map: within-
+	// bucket order decides probe candidate order, so it must not vary
+	// run to run). Pass one fingerprints every row and stable-sorts row
+	// indices by fingerprint, so pass two can carve each bucket out of
+	// one shared backing array instead of growing per-fp slices — the
+	// stable sort keeps sortedTuples order within a bucket. Carves are
+	// capacity-clipped so later appends and in-place removals stay
+	// confined to their own bucket.
+	src := t.sortedTuples()
+	if len(src) > 0 {
+		fps := make([]uint64, len(src))
+		ord := make([]int, len(src))
+		for i, tp := range src {
+			fps[i] = tp.hashCols(ix.cols)
+			ord[i] = i
+		}
+		sort.SliceStable(ord, func(a, b int) bool { return fps[ord[a]] < fps[ord[b]] })
+		backing := make([]Tuple, len(src))
+		for i, o := range ord {
+			backing[i] = src[o]
+		}
+		for i := 0; i < len(backing); {
+			j := i + 1
+			for j < len(backing) && fps[ord[j]] == fps[ord[i]] {
+				j++
+			}
+			ix.buckets.put(fps[ord[i]], backing[i:j:j])
+			i = j
+		}
 	}
 	if prev, ok := t.indexes[sig]; ok && !colsEqual(prev.cols, cols) {
 		t.ixOverflow = append(t.ixOverflow, ix)
@@ -417,21 +579,55 @@ func (t *Table) ensureIndex(cols []int) *index {
 	return ix
 }
 
-// addToIndexes mirrors a stored tuple into every secondary index.
+// deferIndexAdd queues a freshly stored row for index maintenance.
 // Callers pass the storage-owned copy (insertChecked clones before
-// indexing), never the evaluator's scratch tuple.
+// indexing), never the evaluator's scratch tuple. Tables with no
+// index yet skip even the queue: ensureIndex builds from a full scan.
+func (t *Table) deferIndexAdd(tp Tuple) {
+	if len(t.ixAll) == 0 {
+		return
+	}
+	if len(t.pending) == cap(t.pending) {
+		newCap := cap(t.pending) * 2
+		if newCap < 256 {
+			newCap = 256
+		}
+		grown := make([][]Value, len(t.pending), newCap)
+		copy(grown, t.pending)
+		t.pending = grown
+	}
+	t.pending = append(t.pending, tp.Vals)
+}
+
+// syncIndexes drains the pending backlog into every index. It runs
+// before any index read or removal, so consumers always see a complete
+// index; between probes the backlog just accumulates.
+func (t *Table) syncIndexes() {
+	name := t.decl.Name
+	for i := range t.pending {
+		t.addToIndexes(Tuple{Table: name, Vals: t.pending[i]})
+		t.pending[i] = nil
+	}
+	t.pending = t.pending[:0]
+}
+
+// addToIndexes mirrors a stored tuple into every secondary index.
 func (t *Table) addToIndexes(tp Tuple) {
 	for _, ix := range t.ixAll {
 		fp := tp.hashCols(ix.cols)
-		//boomvet:allow(ownership) tp is the storage-owned clone made by insertChecked
-		ix.buckets[fp] = append(ix.buckets[fp], tp)
+		ix.buckets.put(fp, append(ix.buckets.get(fp), tp))
 	}
 }
 
 func (t *Table) removeFromIndexes(tp Tuple) {
+	// The departing row may still sit in the pending backlog; drain it
+	// first so the removal finds (and keeps) a complete index.
+	if len(t.pending) > 0 {
+		t.syncIndexes()
+	}
 	for _, ix := range t.ixAll {
 		fp := tp.hashCols(ix.cols)
-		bucket := ix.buckets[fp]
+		bucket := ix.buckets.get(fp)
 		for i := range bucket {
 			if bucket[i].keyEqualCols(tp, t.keys) {
 				last := len(bucket) - 1
@@ -442,9 +638,9 @@ func (t *Table) removeFromIndexes(tp Tuple) {
 			}
 		}
 		if len(bucket) == 0 {
-			delete(ix.buckets, fp)
+			ix.buckets.del(fp)
 		} else {
-			ix.buckets[fp] = bucket
+			ix.buckets.put(fp, bucket)
 		}
 	}
 }

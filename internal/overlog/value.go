@@ -92,13 +92,31 @@ func KindByName(name string) (Kind, bool) {
 }
 
 // Value is a dynamically typed Overlog value.
+//
+// The layout is deliberately four words (48 bytes): values are copied
+// by value throughout the evaluator — into environments, head
+// buffers, stored tuples, hash streams — so every extra field is paid
+// on all of those copies. Floats ride in the integer word as their
+// IEEE-754 bit pattern (fval/fbits), and list payloads share the
+// opaque interface slot (lst); both kinds dispatch on kind first, so
+// the unions are unambiguous.
 type Value struct {
 	kind Kind
-	i    int64
-	f    float64
-	s    string
-	list []Value
-	any  interface{}
+	i    int64       // bool/int payload; float bit pattern for KindFloat
+	s    string      // string/addr payload
+	any  interface{} // opaque payload for KindAny; []Value for KindList
+}
+
+// fval decodes the float payload stored in the integer word.
+func (v Value) fval() float64 { return math.Float64frombits(uint64(v.i)) }
+
+// fbits returns the float payload's IEEE-754 bit pattern.
+func (v Value) fbits() uint64 { return uint64(v.i) }
+
+// lst returns the list payload (nil for non-lists).
+func (v Value) lst() []Value {
+	l, _ := v.any.([]Value)
+	return l
 }
 
 // NilValue is the distinguished null value.
@@ -117,7 +135,7 @@ func Bool(b bool) Value {
 func Int(v int64) Value { return Value{kind: KindInt, i: v} }
 
 // Float wraps a float64.
-func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+func Float(v float64) Value { return Value{kind: KindFloat, i: int64(math.Float64bits(v))} }
 
 // Str wraps a string.
 func Str(s string) Value { return Value{kind: KindString, s: s} }
@@ -126,7 +144,7 @@ func Str(s string) Value { return Value{kind: KindString, s: s} }
 func Addr(s string) Value { return Value{kind: KindAddr, s: s} }
 
 // List wraps a slice of values. The slice is not copied.
-func List(vals ...Value) Value { return Value{kind: KindList, list: vals} }
+func List(vals ...Value) Value { return Value{kind: KindList, any: vals} }
 
 // Any wraps an opaque Go value.
 func Any(v interface{}) Value { return Value{kind: KindAny, any: v} }
@@ -143,7 +161,7 @@ func (v Value) AsBool() bool { return v.kind == KindBool && v.i != 0 }
 // AsInt returns the integer payload, coercing floats.
 func (v Value) AsInt() int64 {
 	if v.kind == KindFloat {
-		return int64(v.f)
+		return int64(v.fval())
 	}
 	return v.i
 }
@@ -153,17 +171,30 @@ func (v Value) AsFloat() float64 {
 	if v.kind == KindInt {
 		return float64(v.i)
 	}
-	return v.f
+	if v.kind == KindFloat {
+		return v.fval()
+	}
+	return 0
 }
 
 // AsString returns the string payload for strings and addrs.
 func (v Value) AsString() string { return v.s }
 
 // AsList returns the list payload (nil for non-lists).
-func (v Value) AsList() []Value { return v.list }
+func (v Value) AsList() []Value {
+	if v.kind != KindList {
+		return nil
+	}
+	return v.lst()
+}
 
 // AsAny returns the opaque payload.
-func (v Value) AsAny() interface{} { return v.any }
+func (v Value) AsAny() interface{} {
+	if v.kind != KindAny {
+		return nil
+	}
+	return v.any
+}
 
 // Equal reports deep equality. Numeric values compare across int/float.
 func (v Value) Equal(o Value) bool {
@@ -183,15 +214,16 @@ func (v Value) Equal(o Value) bool {
 	case KindBool, KindInt:
 		return v.i == o.i
 	case KindFloat:
-		return v.f == o.f
+		return v.fval() == o.fval()
 	case KindString, KindAddr:
 		return v.s == o.s
 	case KindList:
-		if len(v.list) != len(o.list) {
+		vl, ol := v.lst(), o.lst()
+		if len(vl) != len(ol) {
 			return false
 		}
-		for i := range v.list {
-			if !v.list[i].Equal(o.list[i]) {
+		for i := range vl {
+			if !vl[i].Equal(ol[i]) {
 				return false
 			}
 		}
@@ -242,16 +274,17 @@ func (v Value) Compare(o Value) int {
 	case v.kind == KindString || v.kind == KindAddr:
 		return strings.Compare(v.s, o.s)
 	case v.kind == KindList:
-		n := len(v.list)
-		if len(o.list) < n {
-			n = len(o.list)
+		vl, ol := v.lst(), o.lst()
+		n := len(vl)
+		if len(ol) < n {
+			n = len(ol)
 		}
 		for i := 0; i < n; i++ {
-			if c := v.list[i].Compare(o.list[i]); c != 0 {
+			if c := vl[i].Compare(ol[i]); c != 0 {
 				return c
 			}
 		}
-		return cmpInt64(int64(len(v.list)), int64(len(o.list)))
+		return cmpInt64(int64(len(vl)), int64(len(ol)))
 	default:
 		// Opaque values order by stable dynamic type name, then by the
 		// registered comparator (or deterministic key) within a type.
@@ -377,7 +410,7 @@ func (v Value) encode(b []byte) []byte {
 		b = append(b, tmp[:]...)
 	case KindFloat:
 		var tmp [8]byte
-		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.f))
+		binary.LittleEndian.PutUint64(tmp[:], v.fbits())
 		b = append(b, tmp[:]...)
 	case KindString, KindAddr:
 		var tmp [4]byte
@@ -385,10 +418,11 @@ func (v Value) encode(b []byte) []byte {
 		b = append(b, tmp[:]...)
 		b = append(b, v.s...)
 	case KindList:
+		l := v.lst()
 		var tmp [4]byte
-		binary.LittleEndian.PutUint32(tmp[:], uint32(len(v.list)))
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(l)))
 		b = append(b, tmp[:]...)
-		for _, e := range v.list {
+		for _, e := range l {
 			b = e.encode(b)
 		}
 	case KindAny:
@@ -452,13 +486,14 @@ func (v Value) hash(h uint64) uint64 {
 	case KindBool, KindInt:
 		h = fnvUint64(h, uint64(v.i))
 	case KindFloat:
-		h = fnvUint64(h, math.Float64bits(v.f))
+		h = fnvUint64(h, v.fbits())
 	case KindString, KindAddr:
 		h = fnvUint32(h, uint32(len(v.s)))
 		h = fnvString(h, v.s)
 	case KindList:
-		h = fnvUint32(h, uint32(len(v.list)))
-		for _, e := range v.list {
+		l := v.lst()
+		h = fnvUint32(h, uint32(len(l)))
+		for _, e := range l {
 			h = e.hash(h)
 		}
 	case KindAny:
@@ -490,15 +525,16 @@ func (v Value) keyEqual(o Value) bool {
 	case KindBool, KindInt:
 		return v.i == o.i
 	case KindFloat:
-		return math.Float64bits(v.f) == math.Float64bits(o.f)
+		return v.i == o.i
 	case KindString, KindAddr:
 		return v.s == o.s
 	case KindList:
-		if len(v.list) != len(o.list) {
+		vl, ol := v.lst(), o.lst()
+		if len(vl) != len(ol) {
 			return false
 		}
-		for i := range v.list {
-			if !v.list[i].keyEqual(o.list[i]) {
+		for i := range vl {
+			if !vl[i].keyEqual(ol[i]) {
 				return false
 			}
 		}
@@ -522,14 +558,15 @@ func (v Value) String() string {
 	case KindInt:
 		return strconv.FormatInt(v.i, 10)
 	case KindFloat:
-		return strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.FormatFloat(v.fval(), 'g', -1, 64)
 	case KindString:
 		return strconv.Quote(v.s)
 	case KindAddr:
 		return "@" + v.s
 	case KindList:
-		parts := make([]string, len(v.list))
-		for i, e := range v.list {
+		l := v.lst()
+		parts := make([]string, len(l))
+		for i, e := range l {
 			parts[i] = e.String()
 		}
 		return "[" + strings.Join(parts, ", ") + "]"

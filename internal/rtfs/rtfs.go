@@ -63,16 +63,18 @@ func (s *Server) ServeStatus(addr string) error {
 	return nil
 }
 
-// StartMaster serves a BOOM-FS master at addr (host:port).
-func StartMaster(addr string, cfg boomfs.Config) (*Server, error) {
-	return StartMasterFrom(addr, cfg, "")
+// StartMaster serves a BOOM-FS master at addr (host:port). Trailing
+// options configure the node's runtime (e.g.
+// overlog.WithParallelFixpoint for the -workers flag).
+func StartMaster(addr string, cfg boomfs.Config, opts ...overlog.Option) (*Server, error) {
+	return StartMasterFrom(addr, cfg, "", opts...)
 }
 
 // StartMasterFrom serves a master, optionally restoring its metadata
 // catalog from a checkpoint file first (the FsImage equivalent —
 // Runtime.Snapshot output).
-func StartMasterFrom(addr string, cfg boomfs.Config, restorePath string) (*Server, error) {
-	rt := overlog.NewRuntime(addr)
+func StartMasterFrom(addr string, cfg boomfs.Config, restorePath string, opts ...overlog.Option) (*Server, error) {
+	rt := overlog.NewRuntime(addr, opts...)
 	if err := rt.InstallSource(boomfs.ProtocolDecls); err != nil {
 		return nil, err
 	}
@@ -115,8 +117,8 @@ func (s *Server) Checkpoint(path string) error {
 }
 
 // StartDataNode serves a datanode at addr, heartbeating the master.
-func StartDataNode(addr, master string, cfg boomfs.Config) (*Server, error) {
-	rt := overlog.NewRuntime(addr)
+func StartDataNode(addr, master string, cfg boomfs.Config, opts ...overlog.Option) (*Server, error) {
+	rt := overlog.NewRuntime(addr, opts...)
 	_, svc, err := boomfs.NewDataNodeOnRuntime(rt, master, cfg)
 	if err != nil {
 		return nil, err

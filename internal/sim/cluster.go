@@ -197,6 +197,12 @@ type Cluster struct {
 	// WithParallelStep). 0 or 1 means serial.
 	parallel int
 
+	// nodeOpts are runtime options applied to every node the cluster
+	// creates — including crash-restarted incarnations, which would
+	// otherwise silently lose per-node configuration like
+	// overlog.WithParallelFixpoint.
+	nodeOpts []overlog.Option
+
 	// Optional telemetry: a registry shared by every node (metrics are
 	// labelled per node) and a cluster-wide event journal recording
 	// inter-node sends with trace IDs — the simulated counterpart of
@@ -343,6 +349,15 @@ func WithParallelStep(workers int) Option {
 	return func(c *Cluster) { c.parallel = workers }
 }
 
+// WithNodeOptions applies the given runtime options to every node the
+// cluster creates, now and after crash-restarts. Node-level
+// WithParallelFixpoint composes with cluster-level WithParallelStep:
+// the latter parallelizes across co-timed nodes, the former within one
+// node's stratum.
+func WithNodeOptions(opts ...overlog.Option) Option {
+	return func(c *Cluster) { c.nodeOpts = append(c.nodeOpts, opts...) }
+}
+
 // WithTelemetry installs a metrics registry (every node added later is
 // instrumented, labelled by address) and an optional shared journal
 // that records inter-node message flow with trace IDs.
@@ -397,7 +412,7 @@ func (c *Cluster) AddNode(addr string, opts ...overlog.Option) (*overlog.Runtime
 	if _, dup := c.nodes[addr]; dup {
 		return nil, fmt.Errorf("sim: duplicate node %q", addr)
 	}
-	rt := overlog.NewRuntime(addr, opts...)
+	rt := overlog.NewRuntime(addr, append(append([]overlog.Option(nil), c.nodeOpts...), opts...)...)
 	if c.reg != nil {
 		telemetry.AttachRuntime(c.reg, addr, rt)
 	}
@@ -509,7 +524,7 @@ func (c *Cluster) Restart(addr string) error {
 		return fmt.Errorf("sim: Restart: node %q has no NodeSpec (use SetSpec, or Revive)", addr)
 	}
 	prev := n.rt
-	rt := overlog.NewRuntime(addr)
+	rt := overlog.NewRuntime(addr, c.nodeOpts...)
 	if c.reg != nil {
 		telemetry.AttachRuntime(c.reg, addr, rt)
 	}
@@ -527,6 +542,9 @@ func (c *Cluster) Restart(addr string) error {
 	// the explicit refresh after un-killing picks the final state up.
 	rt.SetWakeHook(func() { c.refreshWake(n) })
 	svcs, err := n.spec(prev, rt)
+	// The crashed runtime is dead once the spec has copied what it
+	// wants: release its fixpoint worker pool, if one ever started.
+	prev.Close()
 	if err != nil {
 		return fmt.Errorf("sim: restart %s: %w", addr, err)
 	}
