@@ -13,10 +13,12 @@ test: check
 	$(GO) test ./...
 
 # check: static analysis plus a race pass over the concurrency-heavy
-# packages (telemetry registry/journal, wall-clock transport, trace)
-# and over the parallel-fixpoint worker pool (the only goroutines
-# inside internal/overlog), plus a short fault-injection sweep (see
-# `chaos` below).
+# packages (telemetry registry/journal/span tracer, wall-clock
+# transport, trace) and over the parallel-fixpoint worker pool (the
+# only goroutines inside internal/overlog), plus a short
+# fault-injection sweep (see `chaos` below). The telemetry, sim,
+# chaos, and loadgen lines carry the span-tracing and SLO-monitor
+# tests, so concurrent span recording is always raced.
 # boomlint runs the Overlog whole-program analyzer over every embedded
 # rule set (and the standalone .olg examples), failing on any
 # error-severity finding. boomvet does the same for the Go runtime

@@ -98,8 +98,11 @@ type workloadSpec struct {
 
 func workloadSweep(smoke bool) []workloadSpec {
 	fs := func(masters, clients, idle int, rate float64, ops int64) workloadSpec {
+		// Trace decomposes the latency CDF into queue/serve/network in
+		// the report's breakdown column.
 		cfg := loadgen.FSConfig{Masters: masters, Clients: clients, IdleNodes: idle,
-			Mix: loadgen.DefaultFSMix(), Seed: 7, Rate: rate, Ops: ops, MasterServiceMS: 1}
+			Mix: loadgen.DefaultFSMix(), Seed: 7, Rate: rate, Ops: ops,
+			MasterServiceMS: 1, Trace: true}
 		return workloadSpec{
 			name: fmt.Sprintf("fs/masters=%d/idle=%d/rate=%.0f", masters, idle, rate),
 			kind: "fs", rate: rate,

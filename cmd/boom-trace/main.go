@@ -1,0 +1,225 @@
+// Command boom-trace inspects distributed traces: the span trees that
+// traced tuples grow as they cross nodes (see telemetry.Span). It
+// attaches to one or more live status servers and merges their
+// /debug/spans views — over TCP every node records into its own
+// tracer, so a cross-node trace only assembles once the pieces are
+// pulled together — or replays a span dump from a file.
+//
+// Usage:
+//
+//	boom-trace -status host:7070,host:7071           # list traces
+//	boom-trace -status host:7070,host:7071 -id req-3 # waterfall one trace
+//	boom-trace -file spans.json [-id req-3]          # replay a dump
+//
+// The file form accepts either a bare JSON span array or any object
+// with a "spans" field — including a saved /debug/spans?id= response.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	status := flag.String("status", "", "comma-separated status server addresses (host:port or URL) to attach to")
+	file := flag.String("file", "", "replay spans from a JSON dump instead of attaching")
+	id := flag.String("id", "", "trace ID to render; empty lists traces")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	var spans []telemetry.Span
+	var err error
+	switch {
+	case *file != "":
+		spans, err = loadFile(*file)
+	case *status != "":
+		spans, err = fetchAll(strings.Split(*status, ","), *id, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "boom-trace: need -status or -file")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boom-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *id == "" {
+		listTraces(spans)
+		return
+	}
+	var got []telemetry.Span
+	for _, sp := range spans {
+		if sp.TraceID == *id {
+			got = append(got, sp)
+		}
+	}
+	if len(got) == 0 {
+		fmt.Fprintf(os.Stderr, "boom-trace: no spans for trace %q\n", *id)
+		os.Exit(1)
+	}
+	telemetry.SortSpans(got)
+	fmt.Printf("trace %s: %d span(s) across %s\n", *id, len(got),
+		strings.Join(telemetry.TraceNodes(got), ", "))
+	fmt.Print(telemetry.Waterfall(telemetry.AssembleTrace(got)))
+}
+
+// listTraces prints one summary line per distinct trace.
+func listTraces(spans []telemetry.Span) {
+	byID := make(map[string][]telemetry.Span)
+	for _, sp := range spans {
+		byID[sp.TraceID] = append(byID[sp.TraceID], sp)
+	}
+	type row struct {
+		id      string
+		n       int
+		nodes   int
+		lo, ext int64
+	}
+	var rows []row
+	for id, ts := range byID {
+		lo, hi := ts[0].StartMS, ts[0].EndMS
+		for _, sp := range ts {
+			if sp.StartMS < lo {
+				lo = sp.StartMS
+			}
+			if sp.EndMS > hi {
+				hi = sp.EndMS
+			}
+		}
+		rows = append(rows, row{id, len(ts), len(telemetry.TraceNodes(ts)), lo, hi - lo})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].lo != rows[j].lo {
+			return rows[i].lo < rows[j].lo
+		}
+		return rows[i].id < rows[j].id
+	})
+	fmt.Printf("%-28s %6s %6s %8s\n", "trace", "spans", "nodes", "extent")
+	for _, r := range rows {
+		fmt.Printf("%-28s %6d %6d %6dms\n", r.id, r.n, r.nodes, r.ext)
+	}
+	fmt.Printf("%d trace(s); -id <trace> for the waterfall.\n", len(rows))
+}
+
+// spanDump is the permissive file/endpoint shape: anything carrying a
+// "spans" array, e.g. a saved /debug/spans?id= response.
+type spanDump struct {
+	Spans []telemetry.Span `json:"spans"`
+}
+
+func loadFile(path string) ([]telemetry.Span, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bare []telemetry.Span
+	if err := json.Unmarshal(data, &bare); err == nil {
+		return bare, nil
+	}
+	var dump spanDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return nil, fmt.Errorf("%s: neither a span array nor a {\"spans\": ...} object: %w", path, err)
+	}
+	return dump.Spans, nil
+}
+
+// fetchAll pulls spans from every status server and merges them,
+// dropping duplicates by span ID (a span records on exactly one node,
+// but an address list may name the same server twice).
+func fetchAll(addrs []string, id string, timeout time.Duration) ([]telemetry.Span, error) {
+	client := &http.Client{Timeout: timeout}
+	seen := make(map[string]bool)
+	var out []telemetry.Span
+	var firstErr error
+	ok := 0
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		spans, err := fetchOne(client, addr, id)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", addr, err)
+			}
+			fmt.Fprintf(os.Stderr, "boom-trace: %s: %v\n", addr, err)
+			continue
+		}
+		ok++
+		for _, sp := range spans {
+			if sp.SpanID != "" && seen[sp.SpanID] {
+				continue
+			}
+			seen[sp.SpanID] = true
+			out = append(out, sp)
+		}
+	}
+	if ok == 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// fetchOne reads one server's spans. With a trace ID it uses the
+// filtered endpoint; without, it pages through every summary and
+// fetches each trace — the list view needs the spans to size extents.
+func fetchOne(client *http.Client, addr, id string) ([]telemetry.Span, error) {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if id != "" {
+		var resp spanDump
+		if err := getJSON(client, base+"/debug/spans?id="+id, &resp); err != nil {
+			return nil, err
+		}
+		return resp.Spans, nil
+	}
+	var out []telemetry.Span
+	for offset := 0; ; {
+		var page struct {
+			Traces []telemetry.TraceSummary `json:"traces"`
+			Limit  int                      `json:"limit"`
+		}
+		if err := getJSON(client, fmt.Sprintf("%s/debug/spans?offset=%d", base, offset), &page); err != nil {
+			return nil, err
+		}
+		if len(page.Traces) == 0 {
+			return out, nil
+		}
+		for _, t := range page.Traces {
+			var resp spanDump
+			if err := getJSON(client, base+"/debug/spans?id="+t.TraceID, &resp); err != nil {
+				return nil, err
+			}
+			out = append(out, resp.Spans...)
+		}
+		offset += len(page.Traces)
+		if page.Limit > 0 && len(page.Traces) < page.Limit {
+			return out, nil
+		}
+	}
+}
+
+func getJSON(client *http.Client, url string, v interface{}) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -205,7 +205,9 @@ func startGossip(srv *rtfs.Server, enabled bool, seedList string, defaults []str
 	return err
 }
 
-// serveStatus starts a node's observability endpoint when requested.
+// serveStatus starts a node's observability endpoint when requested,
+// and with it the metric sweep that mirrors the node's own registry
+// series into sys::metric tuples — the relations SLO rules judge.
 func serveStatus(srv *rtfs.Server, addr string) error {
 	if addr == "" {
 		return nil
@@ -213,7 +215,8 @@ func serveStatus(srv *rtfs.Server, addr string) error {
 	if err := srv.ServeStatus(addr); err != nil {
 		return err
 	}
-	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace,prov,profile,transport,pprof}\n",
+	srv.StartMetricSweep(1000, "boom")
+	fmt.Printf("status endpoints at %s/metrics /healthz /debug/{tables,rules,catalog,trace,spans,prov,profile,transport,pprof}\n",
 		srv.Status.URL())
 	return nil
 }

@@ -12,7 +12,11 @@ import (
 // across client, master and datanodes.
 func init() {
 	for table, col := range map[string]int{
-		"request": 1, "response": 1,
+		"request": 1, "response": 1, "fsreq": 1,
+		// Membership relations trace by member address, so gossip- and
+		// heartbeat-originated liveness changes are followable across
+		// nodes instead of dead-ending at the membership boundary.
+		"dn_alive": 1, "master": 0,
 		"dn_write": 1, "dn_write_ack": 1, "dn_read": 1, "dn_read_resp": 1,
 		"dn_store":   0,
 		"fs_newfile": 0, "req_pc": 0, "req_rm_ok": 0, "req_mv_ok": 0,

@@ -5,9 +5,18 @@ import (
 	"repro/internal/telemetry"
 )
 
-// MR protocol tuples carry job/task identity rather than a string
-// request ID; trace correlation for MR uses the scheduler journal and
-// per-table counters instead.
+// MR protocol tuples trace by JobId (an int, rendered as its decimal
+// literal): one job becomes one trace whose spans cross the
+// JobTracker and every TaskTracker its attempts ran on.
+func init() {
+	for table, col := range map[string]int{
+		"job_submit": 1, "task_submit": 1,
+		"assign": 1, "assign_reject": 1,
+		"attempt_progress": 1, "attempt_done": 1,
+	} {
+		telemetry.RegisterTraceColumn(table, col)
+	}
+}
 
 // InstrumentJobTracker attaches watch-based scheduler metrics to a
 // JobTracker runtime: submissions, heartbeats, assignments (split into

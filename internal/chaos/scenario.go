@@ -8,11 +8,14 @@ import (
 // failures (the simulation itself broke); Violations report the system
 // under test breaking its invariants. Provenance, when non-empty, is
 // the rendered derivation DAG of the first violation — which monitor
-// rule fired, from which tuples, chased across nodes.
+// rule fired, from which tuples, chased across nodes. Tracer, when a
+// scenario runs traced, holds the cross-node span record so a failure
+// report can show where each request spent its time.
 type Outcome struct {
 	Violations []Violation
 	Provenance string
 	Journal    *telemetry.Journal
+	Tracer     *telemetry.Tracer
 	Err        error
 }
 

@@ -105,9 +105,10 @@ func (p fsParams) schedule(seed int64) Schedule {
 func (p fsParams) run(seed int64, sched Schedule) Outcome {
 	journal := telemetry.NewJournal(8192)
 	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(16384)
 	c := sim.NewCluster(sim.WithClusterSeed(seed), sim.WithTelemetry(reg, journal),
-		sim.WithProvenance(256))
-	out := Outcome{Journal: journal}
+		sim.WithProvenance(256), sim.WithTracer(tracer))
+	out := Outcome{Journal: journal, Tracer: tracer}
 	fail := func(err error) Outcome { out.Err = err; return out }
 
 	cfg := boomfs.DefaultConfig()

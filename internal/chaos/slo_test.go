@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overlog"
+	"repro/internal/telemetry"
+)
+
+// TestSLOMonitorFires drives the SLO rules directly: a sys::metric
+// window under the bound stays silent, one over it materializes
+// slo_violation and an inv_violation("slo") row, which ScanViolations
+// mirrors into sys::invariant like any safety violation.
+func TestSLOMonitorFires(t *testing.T) {
+	rt := overlog.NewRuntime("mon:0")
+	if err := InstallSLOMonitor(rt, map[string]int64{"fs_p99": 50}); err != nil {
+		t.Fatal(err)
+	}
+	metric := func(now, val int64) {
+		t.Helper()
+		if _, err := rt.Step(now, []overlog.Tuple{overlog.NewTuple("sys::metric",
+			overlog.Str("loadgen"), overlog.Str("fs_p99"),
+			overlog.Int(now-1000), overlog.Int(val)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	metric(1000, 40) // under the bound
+	if n := rt.Table("slo_violation").Len(); n != 0 {
+		t.Fatalf("window under bound produced %d violations", n)
+	}
+	metric(2000, 80) // over the bound
+	if n := rt.Table("slo_violation").Len(); n != 1 {
+		t.Fatalf("window over bound produced %d slo_violation rows, want 1", n)
+	}
+	// A metric with no declared bound never judges.
+	if _, err := rt.Step(3000, []overlog.Tuple{overlog.NewTuple("sys::metric",
+		overlog.Str("loadgen"), overlog.Str("fs_count"),
+		overlog.Int(2000), overlog.Int(9999)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := rt.Table("slo_violation").Len(); n != 1 {
+		t.Fatalf("unbounded metric changed the violation count to %d", n)
+	}
+
+	vs := ScanViolations(rt)
+	if len(vs) != 1 || vs[0].Inv != "slo" {
+		t.Fatalf("ScanViolations = %v, want one slo violation", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "fs_p99=80 > bound 50") {
+		t.Fatalf("violation detail %q missing metric and bound", vs[0].Detail)
+	}
+	if n := rt.Table("sys::invariant").Len(); n != 1 {
+		t.Fatalf("sys::invariant holds %d rows after scan, want 1", n)
+	}
+}
+
+// TestReplicatedFSSpanTree is the failover-tracing acceptance check:
+// a traced chaos FS run — masters crash-restarting, datanodes
+// churning — must leave at least one span tree whose spans cross
+// three or more nodes.
+func TestReplicatedFSSpanTree(t *testing.T) {
+	out := mustClean(t, ReplicatedFS(), 1)
+	if out.Tracer == nil {
+		t.Fatal("FS scenario ran untraced")
+	}
+	best, bestID := 0, ""
+	for _, ts := range out.Tracer.Traces() {
+		if len(ts.Nodes) > best {
+			best, bestID = len(ts.Nodes), ts.TraceID
+		}
+	}
+	if best < 3 {
+		t.Fatalf("no trace crossed >= 3 nodes (max %d)", best)
+	}
+	spans := out.Tracer.ByTrace(bestID)
+	roots := telemetry.AssembleTrace(spans)
+	if len(roots) == 0 {
+		t.Fatalf("trace %s did not assemble", bestID)
+	}
+	if w := telemetry.Waterfall(roots); w == "" {
+		t.Fatalf("trace %s rendered an empty waterfall", bestID)
+	}
+	t.Logf("trace %s crossed %d nodes:\n%s", bestID, best,
+		telemetry.Waterfall(roots))
+}

@@ -42,6 +42,17 @@ package govet
 //     carries //boomvet:allow(gospawn) restating this argument; any
 //     NEW goroutine in the package must either route through that pool
 //     or make the same determinism argument in its own waiver.
+//
+// Span-timestamp policy (walltime pass): telemetry.Tracer records
+// whatever clock the caller passes and never reads one itself, so the
+// scoped packages stay waiver-free by construction — the sim stamps
+// spans with its virtual clock in the serial merge phase, loadgen
+// stamps request spans at virtual issue/complete instants, and only
+// the wall-clock drivers (transport, rtfs, rtmr — all outside the
+// scope, by the transport argument above) call time.Now for span
+// bounds. A walltime finding on a span-stamping line inside a scoped
+// package means virtual time was available and not used: fix it, do
+// not waive it.
 var DeterministicPackages = map[string]bool{
 	"repro/internal/sim":              true,
 	"repro/internal/overlog":          true,

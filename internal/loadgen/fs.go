@@ -6,9 +6,11 @@ import (
 	"strings"
 
 	"repro/internal/boomfs"
+	"repro/internal/chaos"
 	"repro/internal/overlog"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // idleProgram is the cheapest possible node: one rule, no periodics,
@@ -66,6 +68,17 @@ type FSConfig struct {
 	// fast and latency purely network-bound.
 	MasterServiceMS int64 `json:"master_service_ms"`
 	Parallel        int   `json:"parallel,omitempty"`
+	// Trace arms per-request root spans plus sim rule/net spans, and
+	// fills RunStats.Breakdown with the queue/serve/network
+	// decomposition of the latency distribution.
+	Trace bool `json:"trace,omitempty"`
+	// SLOBoundP99MS, when positive, declares a p99 SLO: completion
+	// latencies are swept into sys::metric windows (SLOWindowMS wide,
+	// default 1000) on the first client's runtime, where the Overlog
+	// SLO monitor judges them; breached windows are counted in
+	// RunStats.SLOViolations and surface in sys::invariant.
+	SLOBoundP99MS int64 `json:"slo_bound_p99_ms,omitempty"`
+	SLOWindowMS   int64 `json:"slo_window_ms,omitempty"`
 }
 
 // RunStats couples a generator Result with scheduler-cost accounting
@@ -74,6 +87,12 @@ type RunStats struct {
 	Result
 	Nodes int   `json:"nodes"`
 	Steps int64 `json:"sched_steps"`
+	// Breakdown decomposes latency into queue/serve/network components
+	// (Trace runs only).
+	Breakdown *LatencyBreakdown `json:"breakdown,omitempty"`
+	// SLOViolations counts windows the Overlog SLO monitor judged over
+	// bound (SLOBoundP99MS runs only).
+	SLOViolations int `json:"slo_violations,omitempty"`
 }
 
 func (cfg *FSConfig) defaults() {
@@ -126,6 +145,13 @@ func RunFS(cfg FSConfig) (RunStats, error) {
 			return 0
 		}))
 	}
+	var tracer *telemetry.Tracer
+	if cfg.Trace {
+		// Generous cap: every request contributes an op span plus a few
+		// rule/net spans per hop; undersizing silently drops the oldest.
+		tracer = telemetry.NewTracer(int(cfg.Ops)*16 + 1024)
+		opts = append(opts, sim.WithTracer(tracer))
+	}
 	c := sim.NewCluster(opts...)
 
 	fscfg := boomfs.DefaultConfig()
@@ -136,6 +162,7 @@ func RunFS(cfg FSConfig) (RunStats, error) {
 	}
 
 	var gen *Generator
+	var sloRT *overlog.Runtime // first client's runtime hosts the SLO monitor
 	fss := make([]*partition.FS, cfg.Clients)
 	for i := range fss {
 		cl, err := boomfs.NewClient(c, fmt.Sprintf("lc:%d", i), fscfg, addrs...)
@@ -148,6 +175,9 @@ func RunFS(cfg FSConfig) (RunStats, error) {
 		}
 		fss[i] = fs
 		rt := cl.Runtime()
+		if i == 0 {
+			sloRT = rt
+		}
 		if err := rt.AddWatch("resp_log", "i"); err != nil {
 			return RunStats{}, err
 		}
@@ -209,9 +239,43 @@ func RunFS(cfg FSConfig) (RunStats, error) {
 	}
 
 	gen = NewGenerator(c, cfg.arrivals(), cfg.Seed+1, cfg.Ops, cfg.TimeoutMS, issue)
+	if tracer != nil {
+		gen.SetTracer(tracer, func(i int64) string {
+			return fmt.Sprintf("lc:%d", int(i)%cfg.Clients)
+		})
+	}
+	sloWin := cfg.SLOWindowMS
+	if sloWin <= 0 {
+		sloWin = 1000
+	}
+	if cfg.SLOBoundP99MS > 0 {
+		if err := chaos.InstallSLOMonitor(sloRT, map[string]int64{
+			"fs_p99": cfg.SLOBoundP99MS,
+		}); err != nil {
+			return RunStats{}, err
+		}
+		StartSLOSweep(c, gen, "lc:0", "loadgen", "fs", sloWin)
+	}
 	res, err := gen.Run(c.Now()+1, c.Now()+horizon(cfg.Ops, cfg.Rate, cfg.TimeoutMS))
 	if err != nil {
 		return RunStats{}, err
 	}
-	return RunStats{Result: res, Nodes: len(c.Nodes()), Steps: c.Steps()}, nil
+	if cfg.SLOBoundP99MS > 0 {
+		// The run stops the instant the last op resolves; step one more
+		// window so the sweep judges the tail completions too.
+		if _, err := c.RunUntil(func() bool { return false }, c.Now()+sloWin+1); err != nil {
+			return RunStats{}, err
+		}
+	}
+	stats := RunStats{Result: res, Nodes: len(c.Nodes()), Steps: c.Steps()}
+	if tracer != nil {
+		bd := BreakdownSpans(tracer)
+		stats.Breakdown = &bd
+	}
+	if cfg.SLOBoundP99MS > 0 {
+		if tbl := sloRT.Table("slo_violation"); tbl != nil {
+			stats.SLOViolations = tbl.Len()
+		}
+	}
+	return stats, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Generator drives one open-loop operation stream over a sim.Cluster.
@@ -29,16 +30,32 @@ type Generator struct {
 	// time (recorded with zero latency).
 	issue func(i int64) (string, error)
 
+	// tracer, when set, gives every request a root "op" span: opened
+	// at issue (and marked active so the request's first hop parents
+	// to it), recorded at completion with the full virtual-time
+	// extent. nodeOf names the span's issuing node per operation.
+	tracer *telemetry.Tracer
+	nodeOf func(i int64) string
+
 	// mu guards inflight and rec: watch callbacks fire during phase 1
 	// of the cluster step, which may run node fixpoints concurrently
 	// under WithParallelStep.
 	mu       sync.Mutex
-	inflight map[string]int64 // key -> issue time (virtual ms)
+	inflight map[string]inflightOp
 	rec      Recorder
+	win      []int64 // completion latencies since the last TakeWindow
 
 	issued    int64
 	completed int64
 	issueErrs int64
+}
+
+// inflightOp is one issued-but-unresolved operation.
+type inflightOp struct {
+	at   int64  // issue time (virtual ms)
+	span string // pre-allocated root span ID ("" without a tracer)
+	node string // issuing node for the root span
+	op   int64  // operation index
 }
 
 // NewGenerator builds a generator over c. ops is the stream length,
@@ -51,8 +68,15 @@ func NewGenerator(c *sim.Cluster, arr Arrivals, seed, ops, timeoutMS int64, issu
 		ops:       ops,
 		timeoutMS: timeoutMS,
 		issue:     issue,
-		inflight:  make(map[string]int64),
+		inflight:  make(map[string]inflightOp),
 	}
+}
+
+// SetTracer arms per-request root spans on tr; nodeOf maps an
+// operation index to the node issuing it. Call before Start.
+func (g *Generator) SetTracer(tr *telemetry.Tracer, nodeOf func(i int64) string) {
+	g.tracer = tr
+	g.nodeOf = nodeOf
 }
 
 // Start arms the first arrival at virtual time startAt.
@@ -66,6 +90,12 @@ func (g *Generator) arm(i, at int64) {
 	g.c.At(at, func() error {
 		key, err := g.issue(i)
 		now := g.c.Now()
+		entry := inflightOp{at: now, op: i}
+		if g.tracer != nil && err == nil && key != "" {
+			entry.node = g.nodeOf(i)
+			entry.span = g.tracer.NextID(entry.node)
+			g.tracer.SetActive(entry.node, key, entry.span)
+		}
 		g.mu.Lock()
 		g.issued++
 		if err != nil {
@@ -73,8 +103,9 @@ func (g *Generator) arm(i, at int64) {
 		} else if key == "" {
 			g.completed++
 			g.rec.Observe(0, g.timeoutMS)
+			g.win = append(g.win, 0)
 		} else {
-			g.inflight[key] = now
+			g.inflight[key] = entry
 		}
 		g.mu.Unlock()
 		if i+1 < g.ops {
@@ -89,14 +120,34 @@ func (g *Generator) arm(i, at int64) {
 // drained) are ignored. Safe for concurrent use.
 func (g *Generator) Complete(key string, at int64) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	issuedAt, ok := g.inflight[key]
+	entry, ok := g.inflight[key]
 	if !ok {
+		g.mu.Unlock()
 		return
 	}
 	delete(g.inflight, key)
 	g.completed++
-	g.rec.Observe(at-issuedAt, g.timeoutMS)
+	g.rec.Observe(at-entry.at, g.timeoutMS)
+	g.win = append(g.win, at-entry.at)
+	g.mu.Unlock()
+	if g.tracer != nil && entry.span != "" {
+		g.tracer.Record(telemetry.Span{
+			TraceID: key, SpanID: entry.span, Node: entry.node,
+			Kind: "op", Op: fmt.Sprintf("op%d", entry.op),
+			StartMS: entry.at, EndMS: at,
+		})
+	}
+}
+
+// TakeWindow returns the completion latencies observed since the
+// previous call and starts a fresh window — the raw material of the
+// periodic sys::metric p99 sweep.
+func (g *Generator) TakeWindow() []int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	w := g.win
+	g.win = nil
+	return w
 }
 
 // Done reports whether every operation has been issued and resolved.
@@ -143,7 +194,7 @@ func (g *Generator) Run(startAt, horizonMS int64) (Result, error) {
 	for range g.inflight {
 		g.rec.Unfinished()
 	}
-	g.inflight = make(map[string]int64)
+	g.inflight = make(map[string]inflightOp)
 	res := Result{
 		Issued:      g.issued,
 		Completed:   g.completed,

@@ -124,8 +124,8 @@ type Runtime struct {
 	// with pendDel.
 	pendDelBy []*ruleStats
 
-	stepHook func(StepStats)
-	wakeHook func()
+	stepHooks []func(StepStats)
+	wakeHook  func()
 
 	// Parallel fixpoint state (see parallel.go): configured worker
 	// count, the lazily created pool, the dispatch threshold, and
@@ -155,13 +155,38 @@ type StepStats struct {
 	// the slice is the runtime's scratch buffer — hooks must not retain
 	// it past their return.
 	StratumIters []int32
+	// Consumed is the full external input this step ingested (caller
+	// tuples plus replayed deferred heads and fired periodics), and
+	// Outbox the envelopes about to be returned from Step. Both alias
+	// runtime scratch — hooks must not retain or mutate them past
+	// their return. They exist so tracing hooks can stamp rule-fire
+	// and remote-send spans per trace ID without the runtime knowing
+	// about spans.
+	Consumed []Tuple
+	Outbox   []Envelope
 }
 
 // SetStepHook installs a callback invoked at the end of every
 // successful Step, while the caller still holds the runtime — hook
 // implementations must not re-enter the runtime. The hook is the
-// telemetry layer's attachment point; nil clears it.
-func (r *Runtime) SetStepHook(fn func(StepStats)) { r.stepHook = fn }
+// telemetry layer's attachment point; nil clears every installed
+// hook (including ones added by AddStepHook), non-nil replaces them.
+func (r *Runtime) SetStepHook(fn func(StepStats)) {
+	if fn == nil {
+		r.stepHooks = nil
+		return
+	}
+	r.stepHooks = []func(StepStats){fn}
+}
+
+// AddStepHook appends a step hook without disturbing ones already
+// installed, so metrics attachment and span tracing compose. Hooks
+// run in installation order under the same contract as SetStepHook.
+func (r *Runtime) AddStepHook(fn func(StepStats)) {
+	if fn != nil {
+		r.stepHooks = append(r.stepHooks, fn)
+	}
+}
 
 // SetWakeHook installs a callback invoked whenever the runtime's
 // NextWake may have changed outside a Step — today that is Install,
@@ -324,6 +349,20 @@ func (r *Runtime) declareSysTables() {
 			{Name: "Table", Type: KindString},
 			{Name: "Cap", Type: KindInt},
 		}, KeyCols: []int{0}},
+		// sys::metric mirrors selected registry series into the rule
+		// space: a periodic sweep (telemetry.MetricSweep) replaces the
+		// latest window per (Node, Name), so windowed SLO rules —
+		// p99 bounds, error budgets — are written in Overlog against
+		// ordinary tuples instead of Go-side counters. Window is the
+		// window-start clock value in ms; Value is rounded to int
+		// (milliseconds or counts) so guard comparisons stay
+		// uniformly int-typed.
+		{Name: "sys::metric", Cols: []ColDecl{
+			{Name: "Node", Type: KindString},
+			{Name: "Name", Type: KindString},
+			{Name: "Window", Type: KindInt},
+			{Name: "Value", Type: KindInt},
+		}, KeyCols: []int{0, 1}},
 		// sys::invariant holds runtime invariant violations observed by
 		// monitor rules (populated by the chaos harness from each node's
 		// inv_violation table); like sys::lint, no keys = set semantics.
@@ -523,7 +562,7 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	}
 	var hookStart time.Time
 	var derived0, inserted0, retracted0 int64
-	if r.stepHook != nil {
+	if len(r.stepHooks) != 0 {
 		hookStart = time.Now() //boomvet:allow(walltime) profiling only: hook wall duration never feeds tuples
 		derived0, inserted0, retracted0 = r.derivedCt, r.insertCt, r.retractCt
 	}
@@ -613,7 +652,7 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 	}
 	out := r.outbox
 	r.outbox = nil
-	if r.stepHook != nil {
+	if len(r.stepHooks) != 0 {
 		var stored int64
 		for _, tbl := range r.tables {
 			stored += int64(tbl.Len())
@@ -627,11 +666,15 @@ func (r *Runtime) Step(now int64, external []Tuple) ([]Envelope, error) {
 			Retracted:  r.retractCt - retracted0,
 			Envelopes:  len(out),
 			Stored:     stored,
+			Consumed:   external,
+			Outbox:     out,
 		}
 		if r.profOn {
 			st.StratumIters = r.stratIter
 		}
-		r.stepHook(st)
+		for _, hook := range r.stepHooks {
+			hook(st)
+		}
 	}
 	return out, nil
 }

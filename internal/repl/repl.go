@@ -16,14 +16,16 @@ import (
 	"repro/internal/overlog"
 	"repro/internal/overlog/analysis"
 	"repro/internal/provenance"
+	"repro/internal/telemetry"
 )
 
 // REPL wraps a runtime with an interactive loop.
 type REPL struct {
-	rt    *overlog.Runtime
-	now   int64
-	out   io.Writer
-	progs []*overlog.Program // everything installed, for .analyze
+	rt     *overlog.Runtime
+	now    int64
+	out    io.Writer
+	progs  []*overlog.Program // everything installed, for .analyze
+	tracer *telemetry.Tracer
 	// Echo controls whether watch events stream to the output.
 	Echo bool
 }
@@ -32,7 +34,9 @@ type REPL struct {
 // forwarded to the runtime (e.g. overlog.WithParallelFixpoint for the
 // \profile per-worker view).
 func New(out io.Writer, opts ...overlog.Option) *REPL {
-	r := &REPL{rt: overlog.NewRuntime("repl", opts...), out: out, Echo: true}
+	r := &REPL{rt: overlog.NewRuntime("repl", opts...), out: out, Echo: true,
+		tracer: telemetry.NewTracer(0)}
+	telemetry.AttachTracer(r.tracer, "repl", r.rt, nil)
 	r.rt.RegisterWatcher(func(ev overlog.WatchEvent) {
 		if r.Echo {
 			fmt.Fprintf(r.out, "  %s\n", ev)
@@ -59,6 +63,7 @@ const help = `commands:
   .why off [table]                  disable capture; bare .why shows capture state
   .profile        (or \profile)     per-rule wall time / fires / retractions + stratum iterations
   .profile on|off                   toggle wall-clock profiling (fire counts are always on)
+  .trace [id]     (or \trace)       list recorded traces, or render one as a span waterfall
   .help                             this text
   .quit                             leave
 `
@@ -247,6 +252,8 @@ func (r *REPL) command(line string) bool {
 		r.why(fields[1:])
 	case ".profile":
 		r.profile(fields[1:])
+	case ".trace":
+		r.trace(fields[1:])
 	default:
 		fmt.Fprintf(r.out, "unknown command %s (try .help)\n", fields[0])
 	}
@@ -299,6 +306,33 @@ func (r *REPL) why(args []string) {
 		fmt.Fprintln(r.out, "(capture is off — derivations made before .why on are unexplained)")
 	}
 	fmt.Fprint(r.out, provenance.FormatAll(roots))
+}
+
+// trace implements .trace: list traces the step hook recorded (tuples
+// in traced tables — telemetry.RegisterTraceColumn — grow spans as
+// rules consume and re-emit them), or render one trace's span tree.
+func (r *REPL) trace(args []string) {
+	if len(args) == 0 {
+		traces := r.tracer.Traces()
+		if len(traces) == 0 {
+			fmt.Fprintln(r.out, "no traces recorded (only tuples in traced tables grow spans).")
+			return
+		}
+		fmt.Fprintf(r.out, "  %-24s %6s %6s %8s\n", "trace", "spans", "nodes", "extent")
+		for _, t := range traces {
+			fmt.Fprintf(r.out, "  %-24s %6d %6d %6dms\n",
+				t.TraceID, t.Spans, len(t.Nodes), t.EndMS-t.StartMS)
+		}
+		fmt.Fprintf(r.out, "%d trace(s); .trace <id> for the waterfall.\n", len(traces))
+		return
+	}
+	id := strings.TrimSuffix(args[0], ";")
+	spans := r.tracer.ByTrace(id)
+	if len(spans) == 0 {
+		fmt.Fprintf(r.out, "no spans for trace %q.\n", id)
+		return
+	}
+	fmt.Fprint(r.out, telemetry.Waterfall(telemetry.AssembleTrace(spans)))
 }
 
 // profile implements .profile: the per-rule fixpoint profiler.

@@ -14,8 +14,30 @@ import (
 	"time"
 
 	"repro/internal/overlog"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
+
+// noteMembership stamps the trace context of a gossip-originated
+// relation change. The member's address doubles as the trace ID
+// (dn_alive and master carry registered trace columns for the same
+// reason), so a failover investigation follows membership
+// transitions into the rule firings they caused instead of
+// dead-ending at the membership boundary.
+func (s *Server) noteMembership(table, member string) {
+	s.Journal.Record(telemetry.Event{Node: s.Addr, Kind: "member",
+		Table: table, TraceID: member, Detail: "gossip-originated"})
+	if s.Tracer == nil {
+		return
+	}
+	id := s.Tracer.NextID(s.Addr)
+	now := time.Now().UnixMilli()
+	s.Tracer.Record(telemetry.Span{TraceID: member, SpanID: id,
+		ParentID: s.Tracer.Active(s.Addr, member),
+		Node:     s.Addr, Kind: "member", Op: table,
+		StartMS: now, EndMS: now, Detail: "gossip-originated"})
+	s.Tracer.SetActive(s.Addr, member, id)
+}
 
 // GossipOptions configures a server's membership agent.
 type GossipOptions struct {
@@ -60,6 +82,7 @@ func (s *Server) StartGossip(opts GossipOptions) (*transport.Gossip, error) {
 		cfg.OnTick = func(members []transport.Member) {
 			for _, m := range members {
 				if m.State == transport.StateAlive && m.Role == "datanode" {
+					s.noteMembership("dn_alive", m.Addr)
 					s.Node.Deliver(overlog.NewTuple("dn_alive",
 						overlog.Addr(s.Addr), overlog.Addr(m.Addr)))
 				}
@@ -79,6 +102,7 @@ func (s *Server) StartGossip(opts GossipOptions) (*transport.Gossip, error) {
 			if seen {
 				return
 			}
+			s.noteMembership("master", m.Addr)
 			s.Node.Runtime(func(rt *overlog.Runtime) {
 				_ = rt.InstallSource(fmt.Sprintf("master(%q);", m.Addr))
 			})

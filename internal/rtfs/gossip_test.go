@@ -102,6 +102,25 @@ func TestGossipFeedsDatanodeRelation(t *testing.T) {
 		t.Fatalf("gossip failed to sustain liveness: %v", live)
 	}
 
+	// Membership relations trace by member address: the gossip-originated
+	// dn_alive refresh must have grown spans under the datanode's own
+	// address, including the explicit "member" transition span — liveness
+	// changes are followable traces, not dead ends.
+	spans := master.Tracer.ByTrace(dn1.Addr)
+	if len(spans) == 0 {
+		t.Fatalf("no spans traced under member address %s", dn1.Addr)
+	}
+	var member bool
+	for _, sp := range spans {
+		if sp.Kind == "member" {
+			member = true
+			break
+		}
+	}
+	if !member {
+		t.Fatalf("no membership-transition span for %s; got: %v", dn1.Addr, spans)
+	}
+
 	// Kill dn2: gossip must mark it dead within its interval budget,
 	// after which the relation's cutoff expires it.
 	dn2.Close()

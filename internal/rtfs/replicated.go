@@ -58,6 +58,7 @@ func (c *Client) callReplicated(op, path, arg string) (*boomfs.Response, error) 
 	overall := time.Now().Add(c.Timeout)
 	tries := 0
 	id := c.nextReqID()
+	finish := c.startOpSpan(id, op, path)
 	for time.Now().Before(overall) {
 		idx := (c.preferred + tries) % len(c.Masters)
 		m := c.Masters[idx]
@@ -80,6 +81,7 @@ func (c *Client) callReplicated(op, path, arg string) (*boomfs.Response, error) 
 		for time.Now().Before(deadline) {
 			if resp := c.pollResponse(id); resp != nil {
 				c.preferred = idx
+				finish(fmt.Sprintf("ok (%d tries)", tries))
 				return resp, nil
 			}
 			time.Sleep(2 * time.Millisecond)
@@ -88,6 +90,7 @@ func (c *Client) callReplicated(op, path, arg string) (*boomfs.Response, error) 
 			break // no retry budget configured; one pass is enough
 		}
 	}
+	finish(fmt.Sprintf("timeout (%d tries)", tries))
 	return nil, fmt.Errorf("rtfs: %s %s: timeout after %v (%d tries)", op, path, c.Timeout, tries)
 }
 

@@ -30,13 +30,20 @@ type Server struct {
 	// served over HTTP only when ServeStatus is called.
 	Reg     *telemetry.Registry
 	Journal *telemetry.Journal
+	Tracer  *telemetry.Tracer
 	Status  *telemetry.Server
+
+	sweepStop chan struct{}
 }
 
 // Close stops the node, its transport, and the status server.
 func (s *Server) Close() {
 	if s.Status != nil {
 		s.Status.Close()
+	}
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		s.sweepStop = nil
 	}
 	s.Node.Stop()
 	s.TCP.Close()
@@ -51,6 +58,7 @@ func (s *Server) ServeStatus(addr string) error {
 		Addr:        s.Addr,
 		Registry:    s.Reg,
 		Journal:     s.Journal,
+		Tracer:      s.Tracer,
 		WithRuntime: s.Node.Runtime,
 		Extra: map[string]http.HandlerFunc{
 			"/debug/transport": s.transportDebug,
@@ -141,7 +149,9 @@ func serve(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) e
 	// hook runs without extra synchronization.
 	reg := telemetry.NewRegistry()
 	journal := telemetry.NewJournal(0)
+	tracer := telemetry.NewTracer(0)
 	telemetry.AttachRuntime(reg, "", rt)
+	telemetry.AttachTracer(tracer, addr, rt, func() int64 { return time.Now().UnixMilli() })
 	var instErr error
 	switch role {
 	case "master":
@@ -167,9 +177,38 @@ func serve(rt *overlog.Runtime, addr, role string, setup func(*transport.Node) e
 		return nil, err
 	}
 	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
+	tcp.SetTracer(tracer)
 	tcp.RegisterQueueGauges(reg)
 	go node.Run()
-	return &Server{Addr: addr, Role: role, Node: node, TCP: tcp, Reg: reg, Journal: journal}, nil
+	return &Server{Addr: addr, Role: role, Node: node, TCP: tcp,
+		Reg: reg, Journal: journal, Tracer: tracer}, nil
+}
+
+// StartMetricSweep mirrors the server's registry into sys::metric
+// tuples every intervalMS milliseconds (see telemetry.MetricSweep),
+// so SLO rules installed on this node run against live series.
+// Stopped by Close.
+func (s *Server) StartMetricSweep(intervalMS int64, prefixes ...string) {
+	if s.sweepStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	s.sweepStop = stop
+	sweep := &telemetry.MetricSweep{Reg: s.Reg, Node: s.Addr, Prefixes: prefixes}
+	go func() {
+		tick := time.NewTicker(time.Duration(intervalMS) * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case t := <-tick.C:
+				for _, tp := range sweep.Collect(t.UnixMilli()) {
+					s.Node.Deliver(tp)
+				}
+			}
+		}
+	}()
 }
 
 // Client is a real-time FS client: it owns a node (to receive
@@ -193,6 +232,10 @@ type Client struct {
 	// datanodes' /debug/trace endpoints.
 	Reg     *telemetry.Registry
 	Journal *telemetry.Journal
+	// Tracer records per-op root spans; the request ID doubles as the
+	// trace ID, so /debug/spans on any node the op touched shows the
+	// same tree the client started.
+	Tracer *telemetry.Tracer
 
 	node      *transport.Node
 	tcp       *transport.TCP
@@ -213,16 +256,37 @@ func NewClient(addr, master string, timeout time.Duration) (*Client, error) {
 	node := transport.NewNode(rt, func(env overlog.Envelope) error { return tcp.Send(env) })
 	reg := telemetry.NewRegistry()
 	journal := telemetry.NewJournal(0)
+	tracer := telemetry.NewTracer(0)
 	telemetry.AttachRuntime(reg, "", rt)
+	telemetry.AttachTracer(tracer, addr, rt, func() int64 { return time.Now().UnixMilli() })
 	var err error
 	tcp, err = transport.ListenTCP(node, addr)
 	if err != nil {
 		return nil, err
 	}
 	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
+	tcp.SetTracer(tracer)
 	go node.Run()
 	return &Client{Addr: addr, Master: master, Timeout: timeout,
-		Reg: reg, Journal: journal, node: node, tcp: tcp}, nil
+		Reg: reg, Journal: journal, Tracer: tracer, node: node, tcp: tcp}, nil
+}
+
+// startOpSpan opens the root span of one client op; the returned
+// finish records it once the outcome is known. The span is marked
+// active for the request's trace so the first outbound frame parents
+// to it. No-op without a tracer.
+func (c *Client) startOpSpan(id, op, path string) func(outcome string) {
+	if c.Tracer == nil {
+		return func(string) {}
+	}
+	span := c.Tracer.NextID(c.Addr)
+	c.Tracer.SetActive(c.Addr, id, span)
+	start := time.Now().UnixMilli()
+	return func(outcome string) {
+		c.Tracer.Record(telemetry.Span{TraceID: id, SpanID: span, Node: c.Addr,
+			Kind: "op", Op: op, StartMS: start, EndMS: time.Now().UnixMilli(),
+			Detail: path + " " + outcome})
+	}
 }
 
 // Close stops the client.
@@ -257,18 +321,22 @@ func (c *Client) call(op, path, arg string) (*boomfs.Response, error) {
 	id := c.nextReqID()
 	c.Journal.Record(telemetry.Event{Node: c.Addr, Kind: "op", Table: "request",
 		TraceID: id, Detail: op + " " + path})
+	finish := c.startOpSpan(id, op, path)
 	if err := c.tcp.Send(overlog.Envelope{To: c.Master, Tuple: overlog.NewTuple("request",
 		overlog.Addr(c.Master), overlog.Str(id), overlog.Addr(c.Addr),
 		overlog.Str(op), overlog.Str(path), overlog.Str(arg))}); err != nil {
+		finish("send-error")
 		return nil, err
 	}
 	deadline := time.Now().Add(c.Timeout)
 	for time.Now().Before(deadline) {
 		if resp := c.pollResponse(id); resp != nil {
+			finish("ok")
 			return resp, nil
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	finish("timeout")
 	return nil, fmt.Errorf("rtfs: %s %s: timeout after %v", op, path, c.Timeout)
 }
 

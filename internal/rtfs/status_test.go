@@ -162,4 +162,47 @@ func TestStatusEndpointsAndCrossNodeTrace(t *testing.T) {
 		t.Fatalf("mkdir histogram count: %g",
 			cl.Reg.Get(telemetry.L("boomfs_op_ms", "op", "mkdir")))
 	}
+
+	// /metrics?format=json mirrors the text exposition with quantiles.
+	code, body = httpGet(t, m.Status.URL()+"/metrics?format=json")
+	if code != 200 || !strings.Contains(body, "boom_steps_total") ||
+		!strings.Contains(body, `"p99.9"`) {
+		t.Fatalf("metrics json %d: %s", code, body)
+	}
+
+	// The same trace's SPANS: the client recorded the op root span and
+	// parked the request's wire hop; the master chained recv -> rules.
+	// Each node's /debug/spans serves its own half; merged (what
+	// boom-trace does), they assemble into one tree.
+	clSpans := cl.Tracer.ByTrace(traceID)
+	clKindSet := map[string]bool{}
+	for _, sp := range clSpans {
+		clKindSet[sp.Kind] = true
+	}
+	if !clKindSet["op"] || !clKindSet["send"] {
+		t.Fatalf("client span kinds: %v (%v)", clKindSet, clSpans)
+	}
+	code, body = httpGet(t, m.Status.URL()+"/debug/spans?id="+traceID)
+	if code != 200 {
+		t.Fatalf("spans status: %d", code)
+	}
+	var sp struct {
+		Spans     []telemetry.Span `json:"spans"`
+		Waterfall string           `json:"waterfall"`
+	}
+	if err := json.Unmarshal([]byte(body), &sp); err != nil {
+		t.Fatal(err)
+	}
+	mKindSet := map[string]bool{}
+	for _, s := range sp.Spans {
+		mKindSet[s.Kind] = true
+	}
+	if !mKindSet["recv"] || !mKindSet["rules"] {
+		t.Fatalf("master span kinds: %v (%s)", mKindSet, body)
+	}
+	merged := append(clSpans, sp.Spans...)
+	roots := telemetry.AssembleTrace(merged)
+	if len(roots) != 1 || roots[0].Kind != "op" {
+		t.Fatalf("merged spans did not assemble under the client op root: %d roots", len(roots))
+	}
 }

@@ -37,6 +37,7 @@ type server struct {
 	tcp     *transport.TCP
 	reg     *telemetry.Registry
 	journal *telemetry.Journal
+	tracer  *telemetry.Tracer
 	status  *telemetry.Server
 }
 
@@ -98,7 +99,9 @@ func serveRuntime(rt *overlog.Runtime, addr, role string, setup func(*transport.
 	}
 	reg := telemetry.NewRegistry()
 	journal := telemetry.NewJournal(0)
+	tracer := telemetry.NewTracer(0)
 	telemetry.AttachRuntime(reg, "", rt)
+	telemetry.AttachTracer(tracer, addr, rt, func() int64 { return time.Now().UnixMilli() })
 	if role == "jobtracker" {
 		if err := boommr.InstrumentJobTracker(reg, "", rt); err != nil {
 			return nil, err
@@ -110,11 +113,13 @@ func serveRuntime(rt *overlog.Runtime, addr, role string, setup func(*transport.
 		return nil, err
 	}
 	tcp.SetTelemetry(transport.NewTCPStats(reg), journal)
+	tcp.SetTracer(tracer)
 	// Materialize the node's own lint findings into sys::lint before the
 	// step loop starts, so rules and /debug/lint can query them.
 	analysis.SelfLint(rt)
 	go node.Run()
-	return &server{addr: addr, role: role, node: node, tcp: tcp, reg: reg, journal: journal}, nil
+	return &server{addr: addr, role: role, node: node, tcp: tcp,
+		reg: reg, journal: journal, tracer: tracer}, nil
 }
 
 // ServeStatus starts status HTTP servers for every node: the
@@ -132,6 +137,7 @@ func (c *Cluster) ServeStatus(jtStatus string) ([]string, error) {
 			Addr:        s.addr,
 			Registry:    s.reg,
 			Journal:     s.journal,
+			Tracer:      s.tracer,
 			WithRuntime: s.node.Runtime,
 		})
 		if err != nil {

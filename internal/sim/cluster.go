@@ -209,6 +209,7 @@ type Cluster struct {
 	// the TCP transport's instrumentation, without the HTTP server.
 	reg     *telemetry.Registry
 	journal *telemetry.Journal
+	tracer  *telemetry.Tracer
 
 	// provCap > 0 enables wildcard derivation capture (sys::prov "*")
 	// on every node, surviving crash-restarts. See WithProvenance.
@@ -366,6 +367,16 @@ func WithTelemetry(reg *telemetry.Registry, j *telemetry.Journal) Option {
 		c.reg = reg
 		c.journal = j
 	}
+}
+
+// WithTracer installs a cluster-wide span tracer. The sim stamps all
+// spans itself in the serial phase-2 merge — rule-fire spans when a
+// node consumed traced tuples, network spans when a traced envelope
+// or service injection crosses a link — with virtual-clock
+// timestamps and per-node span counters, so span assembly is
+// bit-identical across runs (including under WithParallelStep).
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(c *Cluster) { c.tracer = tr }
 }
 
 // WithProvenance enables derivation-lineage capture on every node —
@@ -645,6 +656,9 @@ func (c *Cluster) Telemetry() *telemetry.Registry { return c.reg }
 // Journal returns the cluster's event journal (nil unless installed).
 func (c *Cluster) Journal() *telemetry.Journal { return c.journal }
 
+// Tracer returns the cluster's span tracer (nil unless WithTracer).
+func (c *Cluster) Tracer() *telemetry.Tracer { return c.tracer }
+
 // send routes a runtime-emitted envelope through the network model.
 func (c *Cluster) send(from string, env overlog.Envelope) {
 	if c.partitions[[2]string{from, env.To}] {
@@ -675,7 +689,61 @@ func (c *Cluster) send(from string, env overlog.Envelope) {
 	} else {
 		delay = 1
 	}
+	c.stampNetSpan(from, env.To, env.Tuple, delay)
 	c.Inject(env.To, env.Tuple, delay)
+}
+
+// stampNetSpan records the wire hop of a traced cross-node emission:
+// EndMS covers network delay only, so the gap to the destination's
+// next rule-fire span is the service-queueing component. Runs only in
+// the serial phase-2 merge, which is what keeps per-node span
+// counters and ring order deterministic.
+func (c *Cluster) stampNetSpan(from, to string, tp overlog.Tuple, delay int64) {
+	if c.tracer == nil || from == to {
+		return
+	}
+	trace := telemetry.TraceIDOf(tp)
+	if trace == "" {
+		return
+	}
+	id := c.tracer.NextID(from)
+	c.tracer.Record(telemetry.Span{
+		TraceID: trace, SpanID: id,
+		ParentID: c.tracer.Active(from, trace),
+		Node:     from, Kind: "net", Op: tp.Table,
+		StartMS: c.now, EndMS: c.now + delay, Detail: "to " + to,
+	})
+	c.tracer.SetActive(to, trace, id)
+}
+
+// stampRuleSpans records one rule-fire span per distinct trace a
+// node's step consumed, parented to the hop that delivered it; the
+// span becomes the node's active span so this step's sends chain
+// under it. Phase 2 only, like stampNetSpan.
+func (c *Cluster) stampRuleSpans(n *node, in []overlog.Tuple, outCt int) {
+	if c.tracer == nil {
+		return
+	}
+	var seen map[string]bool
+	for _, tp := range in {
+		trace := telemetry.TraceIDOf(tp)
+		if trace == "" || seen[trace] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[string]bool, 4)
+		}
+		seen[trace] = true
+		id := c.tracer.NextID(n.addr)
+		c.tracer.Record(telemetry.Span{
+			TraceID: trace, SpanID: id,
+			ParentID: c.tracer.Active(n.addr, trace),
+			Node:     n.addr, Kind: "rules", Op: tp.Table,
+			StartMS: c.now, EndMS: c.now,
+			Detail: fmt.Sprintf("out=%d", outCt),
+		})
+		c.tracer.SetActive(n.addr, trace, id)
+	}
 }
 
 // Step processes the earliest pending work (message deliveries, fault
@@ -783,6 +851,7 @@ func (c *Cluster) Step() (bool, error) {
 		if r.err != nil {
 			return false, r.err
 		}
+		c.stampRuleSpans(r.n, r.in, len(r.out))
 		c.flushNode(r.n, r.out)
 		r.n.inbox = r.n.inbox[:0]
 		c.refreshWake(r.n)
@@ -871,6 +940,7 @@ func (c *Cluster) sendInjection(from string, inj Injection) {
 	if delay < 1 {
 		delay = 1
 	}
+	c.stampNetSpan(from, inj.To, inj.Tuple, delay)
 	c.Inject(inj.To, inj.Tuple, delay)
 }
 

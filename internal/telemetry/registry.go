@@ -335,6 +335,56 @@ func (r *Registry) Get(series string) float64 {
 	return 0
 }
 
+// MetricJSON is one series in the /metrics?format=json exposition.
+// Histograms carry quantile estimates (including p99.9, matching
+// what trace.CDF computes for the bench reports) instead of raw
+// cumulative buckets.
+type MetricJSON struct {
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Help      string             `json:"help,omitempty"`
+	Value     float64            `json:"value"`
+	Count     int64              `json:"count,omitempty"`
+	Sum       float64            `json:"sum,omitempty"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// JSONSnapshot renders every series for the JSON metrics form, in
+// registration order.
+func (r *Registry) JSONSnapshot() []MetricJSON {
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.byName[name])
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricJSON, 0, len(entries))
+	for _, e := range entries {
+		m := MetricJSON{Name: e.series, Kind: e.kind.promType(), Help: e.help}
+		switch e.kind {
+		case kindCounter:
+			m.Value = float64(e.counter.Value())
+		case kindGauge:
+			m.Value = float64(e.gauge.Value())
+		case kindGaugeFunc:
+			m.Value = e.gfn()
+		case kindHistogram:
+			m.Count = e.hist.Count()
+			m.Sum = e.hist.Sum()
+			m.Value = float64(m.Count)
+			m.Quantiles = map[string]float64{
+				"p50":   e.hist.Quantile(0.50),
+				"p90":   e.hist.Quantile(0.90),
+				"p99":   e.hist.Quantile(0.99),
+				"p99.9": e.hist.Quantile(0.999),
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // suffixed inserts a family suffix before any label set: suffixed
 // (`h{op="r"}`, "_sum") is `h_sum{op="r"}`.
 func suffixed(series, suffix string) string {

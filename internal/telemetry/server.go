@@ -23,6 +23,7 @@ type Source struct {
 	Addr        string // the node's Overlog/TCP address
 	Registry    *Registry
 	Journal     *Journal
+	Tracer      *Tracer
 	WithRuntime func(func(*overlog.Runtime))
 	// Extra mounts additional debug endpoints (path → handler), e.g.
 	// the transport layer's /debug/transport queue/membership snapshot.
@@ -53,6 +54,7 @@ func Serve(addr string, src Source) (*Server, error) {
 	mux.HandleFunc("/debug/rules", s.handleRules)
 	mux.HandleFunc("/debug/catalog", s.handleCatalog)
 	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/spans", s.handleSpans)
 	mux.HandleFunc("/debug/lint", s.handleLint)
 	mux.HandleFunc("/debug/prov", s.handleProv)
 	mux.HandleFunc("/debug/profile", s.handleProfile)
@@ -81,7 +83,22 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // Close shuts the server down.
 func (s *Server) Close() error { return s.srv.Close() }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		var series []MetricJSON
+		if s.src.Registry != nil {
+			series = s.src.Registry.JSONSnapshot()
+		}
+		if series == nil {
+			series = []MetricJSON{}
+		}
+		writeJSON(w, map[string]interface{}{
+			"node":    s.src.Addr,
+			"role":    s.src.Role,
+			"metrics": series,
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if s.src.Registry == nil {
 		return
@@ -314,5 +331,37 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		"offset":   offset,
 		"limit":    limit,
 		"events":   evs[lo:hi],
+	})
+}
+
+// handleSpans serves the span tracer: ?id=TRACE returns one trace's
+// spans in canonical order plus a rendered waterfall; otherwise a
+// page of trace summaries (?limit=N, default 50, ?offset=M) — the
+// machine-readable form boom-trace attaches to and replays from.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.src.Tracer == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		spans := s.src.Tracer.ByTrace(id)
+		writeJSON(w, map[string]interface{}{
+			"trace_id":  id,
+			"node":      s.src.Addr,
+			"nodes":     TraceNodes(spans),
+			"spans":     spans,
+			"waterfall": Waterfall(AssembleTrace(spans)),
+		})
+		return
+	}
+	limit, offset := pageParams(r, 50)
+	traces := s.src.Tracer.Traces()
+	lo, hi := pageSlice(len(traces), limit, offset)
+	writeJSON(w, map[string]interface{}{
+		"node":   s.src.Addr,
+		"total":  s.src.Tracer.Total(),
+		"traces": traces[lo:hi],
+		"offset": offset,
+		"limit":  limit,
 	})
 }

@@ -1,6 +1,7 @@
 package telemetry_test
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -111,4 +112,100 @@ func TestStatusServerConcurrentWithCluster(t *testing.T) {
 	if n := rtA.Table("seen").Len() + rtB.Table("seen").Len(); n < 100 {
 		t.Fatalf("cluster derived only %d seen tuples while serving", n)
 	}
+}
+
+// TestJournalWrapConcurrentPagination forces the journal ring to wrap
+// many times over while /debug/trace pages through it. Each writer
+// stamps its events with its own strictly sequential offset; every
+// page the server returns is carved from one locked Events() snapshot,
+// so within a page each writer's offsets must be strictly increasing
+// AND gap-free — a duplicated offset means the ring re-served a slot,
+// a gap means wraparound lost an event that newer retained events
+// should have displaced contiguously.
+func TestJournalWrapConcurrentPagination(t *testing.T) {
+	const (
+		writers   = 4
+		perWriter = 2000
+		capacity  = 256
+	)
+	journal := telemetry.NewJournal(capacity)
+	srv, err := telemetry.Serve("127.0.0.1:0", telemetry.Source{
+		Role: "sim", Addr: "n1", Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				journal.RecordAt(telemetry.Event{
+					WallMS: int64(i), Node: fmt.Sprintf("w%d", w),
+					Kind: "op", Table: "hammer", Detail: fmt.Sprintf("%d", i),
+				})
+			}
+		}(w)
+	}
+
+	type page struct {
+		Total  int64             `json:"total"`
+		Events []telemetry.Event `json:"events"`
+	}
+	checkPage := func(evs []telemetry.Event) {
+		last := map[string]int{}
+		for _, ev := range evs {
+			var off int
+			if _, err := fmt.Sscanf(ev.Detail, "%d", &off); err != nil {
+				t.Errorf("unparseable offset %q", ev.Detail)
+				return
+			}
+			if prev, ok := last[ev.Node]; ok {
+				if off == prev {
+					t.Errorf("%s: duplicate offset %d in one page", ev.Node, off)
+				}
+				if off != prev+1 {
+					t.Errorf("%s: lost offsets %d..%d within one page", ev.Node, prev+1, off-1)
+				}
+			}
+			last[ev.Node] = off
+		}
+	}
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for i := 0; i < 200; i++ {
+			// Walk a few pages backwards through the ring, like a client
+			// following /debug/trace pagination mid-wrap.
+			for _, q := range []string{"?limit=64", "?limit=64&offset=64", "?limit=64&offset=128"} {
+				resp, err := http.Get(srv.URL() + "/debug/trace" + q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var p page
+				if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+					t.Error(err)
+					resp.Body.Close()
+					return
+				}
+				resp.Body.Close()
+				checkPage(p.Events)
+			}
+		}
+	}()
+	wg.Wait()
+	<-readDone
+
+	if got := journal.Total(); got != writers*perWriter {
+		t.Fatalf("journal total = %d, want %d (no lost records)", got, writers*perWriter)
+	}
+	evs := journal.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want full ring of %d", len(evs), capacity)
+	}
+	checkPage(evs)
 }

@@ -26,6 +26,12 @@ type WireMsg struct {
 	Table   string
 	Vals    []overlog.Value
 	TraceID string
+	// SpanID names the sender-side send span this frame extends, so
+	// the receiver's recv span can parent to it and the trace tree
+	// stays connected across the socket. Empty when no tracer is
+	// attached or the tuple carries no trace. Batched frames keep
+	// their own SpanID through wireBatch exactly like TraceID.
+	SpanID string
 }
 
 // wireBatch is what actually crosses the socket: every frame queued for
@@ -144,6 +150,7 @@ type TCP struct {
 	qcfg    QueueConfig
 	stats   *TCPStats
 	journal *telemetry.Journal
+	tracer  *telemetry.Tracer
 	faults  *Faults
 	gossip  *Gossip
 	done    chan struct{}
@@ -232,6 +239,25 @@ func (t *TCP) SetTelemetry(stats *TCPStats, j *telemetry.Journal) {
 	}
 	t.journal = j
 	t.mu.Unlock()
+}
+
+// SetTracer installs the span tracer consulted on every send and
+// delivery; nil clears it. Sends take the pending hop the runtime
+// step hook parked (telemetry.AttachTracer) — or stamp a fresh send
+// span for direct client emissions that never crossed a step — and
+// put its ID on the wire; deliveries record a recv span parented to
+// it and mark it active so the next local rule-fire chains.
+func (t *TCP) SetTracer(tr *telemetry.Tracer) {
+	t.mu.Lock()
+	t.tracer = tr
+	t.mu.Unlock()
+}
+
+// Tracer returns the installed span tracer, or nil.
+func (t *TCP) Tracer() *telemetry.Tracer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tracer
 }
 
 // RegisterQueueGauges exposes the transport's aggregate queue depth on
@@ -338,6 +364,23 @@ func (t *TCP) Send(env overlog.Envelope) error {
 	}
 
 	msg := WireMsg{To: env.To, Table: env.Tuple.Table, Vals: env.Tuple.Vals, TraceID: trace}
+	if tr := t.Tracer(); tr != nil && trace != "" {
+		span := tr.TakeHop(t.localAddr, trace, env.To)
+		if span == "" {
+			// Direct emission that never crossed a runtime step (a
+			// client call, a relay) — stamp the send span here so the
+			// remote recv still has a parent.
+			now := time.Now().UnixMilli()
+			span = tr.NextID(t.localAddr)
+			tr.Record(telemetry.Span{
+				TraceID: trace, SpanID: span,
+				ParentID: tr.Active(t.localAddr, trace),
+				Node:     t.localAddr, Kind: "send", Op: env.Tuple.Table,
+				StartMS: now, EndMS: now, Detail: "to " + env.To,
+			})
+		}
+		msg.SpanID = span
+	}
 	p := t.peer(env.To)
 	if err := p.enqueue(msg, stats, journal); err != nil {
 		return err
@@ -671,6 +714,16 @@ func (t *TCP) deliverWire(msg WireMsg, from string) {
 	}
 	journal.Record(telemetry.Event{Node: t.localAddr, Kind: "recv",
 		Table: msg.Table, TraceID: trace, Detail: "from " + from})
+	if tr := t.Tracer(); tr != nil && trace != "" {
+		now := time.Now().UnixMilli()
+		id := tr.NextID(t.localAddr)
+		tr.Record(telemetry.Span{
+			TraceID: trace, SpanID: id, ParentID: msg.SpanID,
+			Node: t.localAddr, Kind: "recv", Op: msg.Table,
+			StartMS: now, EndMS: now, Detail: "from " + from,
+		})
+		tr.SetActive(t.localAddr, trace, id)
+	}
 	if msg.Table == GossipTable {
 		t.mu.Lock()
 		g := t.gossip
